@@ -1,0 +1,23 @@
+"""Ablation C: container reuse (Fuxi) vs reclaim-on-exit (YARN baseline).
+
+The §3.2.3 design claim: separating containers from tasks lets an AM run
+wave after wave inside one grant, while YARN "has to conduct additional
+rounds of rescheduling, thereby creating substantial overhead and
+unnecessary request messages".
+"""
+
+from repro.experiments import ablations
+from repro.experiments.ablations import ReuseAblationConfig
+
+CONFIG = ReuseAblationConfig(machines=20, slots_per_machine=4,
+                             instances=800, task_seconds=5.0)
+
+
+def test_ablation_container_reuse(benchmark, publish):
+    report = benchmark.pedantic(ablations.container_reuse_ablation,
+                                args=(CONFIG,), rounds=1, iterations=1)
+    publish(report)
+    message_ratio = report.comparison("message ratio yarn/fuxi").measured
+    makespan_ratio = report.comparison("makespan ratio yarn/fuxi").measured
+    assert message_ratio > 10.0       # orders of magnitude more RM traffic
+    assert makespan_ratio >= 1.0      # and never faster

@@ -1,0 +1,23 @@
+"""Ablation A: incremental protocol vs per-heartbeat full re-assertion.
+
+The §3.1 design claim: sending only deltas (and full state only as a
+periodic safety measure) cuts message payload by an order of magnitude
+against the "simple iterative process that keeps asking for unfulfilled
+resources".
+"""
+
+from repro.experiments import ablations
+from repro.experiments.ablations import ProtocolAblationConfig
+
+CONFIG = ProtocolAblationConfig()
+
+
+def test_ablation_incremental_protocol(benchmark, publish):
+    report = benchmark.pedantic(ablations.protocol_ablation, args=(CONFIG,),
+                                rounds=1, iterations=1)
+    publish(report)
+    reduction = report.comparison("payload reduction").measured
+    assert reduction >= 5.0
+    incremental = report.comparison("messages (incremental)").measured
+    full = report.comparison("messages (full re-send)").measured
+    assert incremental < full

@@ -1,0 +1,21 @@
+"""Figure 9: FuxiMaster per-request scheduling time under concurrent jobs.
+
+Paper: average 0.88 ms, peak < 3 ms, no degradation over the run.
+"""
+
+from repro.experiments import fig09_scheduling_time
+from repro.experiments.workload_runner import (SyntheticRunConfig,
+                                               run_synthetic_workload)
+
+CONFIG = SyntheticRunConfig(duration=120.0, concurrent_jobs=60)
+
+
+def test_fig09_scheduling_time(benchmark, publish):
+    run = benchmark.pedantic(run_synthetic_workload, args=(CONFIG,),
+                             rounds=1, iterations=1)
+    report = fig09_scheduling_time.run(prior_run=run)
+    publish(report)
+    assert report.comparison("avg scheduling time").measured < 1.0   # sub-ms
+    assert report.comparison("peak scheduling time").measured < 30.0
+    drift = report.comparison("first-half vs second-half avg").measured
+    assert drift < 2.0   # flat over the run, no degradation

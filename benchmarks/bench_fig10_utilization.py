@@ -1,0 +1,28 @@
+"""Figure 10: planned memory/CPU utilization of the four views.
+
+Paper (steady state): memory FM_planned 97.1 %, AM_obtained 95.9 %,
+FA_planned 95.2 %; CPU 92.3 % / 91.3 %.
+"""
+
+from repro.core.resources import CPU, MEMORY
+from repro.experiments import fig10_utilization
+from repro.experiments.workload_runner import (SyntheticRunConfig,
+                                               run_synthetic_workload)
+
+CONFIG = SyntheticRunConfig(duration=150.0, concurrent_jobs=80)
+
+
+def test_fig10_utilization(benchmark, publish):
+    run = benchmark.pedantic(run_synthetic_workload, args=(CONFIG,),
+                             rounds=1, iterations=1)
+    report = fig10_utilization.run(prior_run=run)
+    publish(report)
+    for dim, label in ((MEMORY, "memory"), (CPU, "cpu")):
+        for curve in ("FM_planned", "AM_obtained", "FA_planned"):
+            measured = report.comparison(f"{label} {curve}").measured
+            assert measured >= 80.0, f"{label} {curve} = {measured:.1f}%"
+            assert measured <= 101.0
+    # memory binds harder than CPU, as in the paper
+    memory_planned = report.comparison("memory FM_planned").measured
+    cpu_planned = report.comparison("cpu FM_planned").measured
+    assert memory_planned >= cpu_planned

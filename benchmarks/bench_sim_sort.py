@@ -1,0 +1,67 @@
+"""Simulated sort execution: the Table-4 structure out of the simulator.
+
+Runs a bandwidth-derived sort DAG on two cluster sizes and checks the
+structural claims behind Table 4: doubling the cluster roughly doubles sort
+throughput (aggregate hardware wins), and the simulated makespan tracks the
+wave-count ideal within the scheduler's overhead budget.
+"""
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.agent import FuxiAgentConfig
+from repro.core.resources import ResourceVector
+from repro.experiments.harness import ExperimentReport
+from repro.jobs.sortjob import ideal_makespan, simulated_sort_job
+from repro.runtime import FuxiCluster
+
+SLOTS = 4
+
+
+def run_sort(machines: int, data_gb: float, seed: int = 17):
+    topology = ClusterTopology.build(
+        max(2, machines // 10), 10 if machines >= 10 else machines,
+        capacity=ResourceVector.of(cpu=100 * SLOTS, memory=2048 * SLOTS))
+    cluster = FuxiCluster(topology, seed=seed,
+                          agent_config=FuxiAgentConfig(worker_start_delay=0.2))
+    cluster.warm_up()
+    plan = simulated_sort_job(topology, data_gb, slots_per_machine=SLOTS)
+    app_id = cluster.submit_job(plan.spec)
+    assert cluster.run_until_complete([app_id], timeout=40_000, step=5.0)
+    result = cluster.job_results[app_id]
+    assert result.success
+    return plan, result, len(topology)
+
+
+def _experiment():
+    report = ExperimentReport(
+        exp_id="sim-sort",
+        title="Simulated sort: throughput scales with aggregate hardware")
+    rows = []
+    throughputs = {}
+    for machines, data_gb in ((20, 40.0), (40, 80.0)):
+        plan, result, n = run_sort(machines, data_gb)
+        ideal = ideal_makespan(plan, n, SLOTS)
+        throughput = plan.throughput_gb_per_s(result.makespan)
+        throughputs[machines] = throughput
+        rows.append([n, f"{data_gb:.0f}", f"{ideal:.0f}",
+                     f"{result.makespan:.0f}", f"{throughput:.3f}",
+                     f"{result.makespan / ideal:.2f}x"])
+        report.add_comparison(f"makespan vs ideal ({n} machines)", 1.0,
+                              result.makespan / ideal, "x",
+                              "close to the wave-count bound")
+    report.add_table(
+        ["machines", "data GB", "ideal s", "measured s", "GB/s",
+         "overhead"], rows)
+    report.add_comparison("throughput scaling (2x cluster, 2x data)", 2.0,
+                          throughputs[40] / throughputs[20], "x",
+                          "aggregate hardware determines throughput")
+    return report
+
+
+def test_simulated_sort_scaling(benchmark, publish):
+    report = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    publish(report)
+    for n in (20, 40):
+        overhead = report.comparison(f"makespan vs ideal ({n} machines)")
+        assert 1.0 <= overhead.measured < 1.8
+    scaling = report.comparison("throughput scaling (2x cluster, 2x data)")
+    assert 1.6 <= scaling.measured <= 2.4

@@ -1,0 +1,25 @@
+"""Table 1: production trace statistics.
+
+Paper: 228 instances avg/task (max 99,937), 87.92 workers avg/task
+(max 4,636), 2.0 tasks avg/job (max 150) over 91,990 jobs.
+The generator is run at full trace size — it is cheap.
+"""
+
+from repro.experiments import table1_production
+from repro.experiments.table1_production import Table1Config
+
+CONFIG = Table1Config(jobs=91_990)
+
+
+def test_table1_production_trace(benchmark, publish):
+    report = benchmark.pedantic(table1_production.run, args=(CONFIG,),
+                                rounds=1, iterations=1)
+    publish(report)
+    assert 0.8 <= report.comparison("instances avg/task").ratio <= 1.2
+    assert 0.8 <= report.comparison("workers avg/task").ratio <= 1.2
+    assert 0.8 <= report.comparison("tasks avg/job").ratio <= 1.2
+    assert report.comparison("instances max/task").ratio == 1.0
+    assert report.comparison("workers max/task").ratio == 1.0
+    assert report.comparison("tasks max/job").ratio == 1.0
+    assert 0.8 <= report.comparison("instances total").ratio <= 1.2
+    assert 0.8 <= report.comparison("workers total").ratio <= 1.2

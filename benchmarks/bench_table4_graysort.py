@@ -1,0 +1,20 @@
+"""Table 4: GraySort Indi comparison (+ §5.3 PetaSort).
+
+Paper: Fuxi 2.364 TB/min — a 66.5 % improvement over Yahoo's 1.42 TB/min —
+with UCSD / UCSD&VUT / KIT trailing.  The bench checks the model preserves
+the published ranking and the improvement factor.
+"""
+
+from repro.experiments import table4_graysort
+
+
+def test_table4_graysort(benchmark, publish):
+    report = benchmark.pedantic(table4_graysort.run, rounds=1, iterations=1)
+    publish(report)
+    assert report.comparison("ranking preserved").measured == 1.0
+    improvement = report.comparison("Fuxi/Yahoo improvement").measured
+    assert 1.4 <= improvement <= 2.0   # paper: 1.665
+    fuxi = report.comparison("Fuxi throughput")
+    assert 0.8 <= fuxi.ratio <= 1.2
+    petasort = report.comparison("PetaSort elapsed")
+    assert 0.4 <= petasort.ratio <= 2.5   # held-out prediction

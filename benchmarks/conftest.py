@@ -1,0 +1,29 @@
+"""Benchmark harness helpers.
+
+Each benchmark regenerates one paper table/figure via the corresponding
+:mod:`repro.experiments` module, times it with pytest-benchmark, prints the
+paper-vs-measured report, and writes it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _publish(report) -> None:
+    """Print the experiment report and persist it for later reading."""
+    rendered = report.render()
+    print()
+    print(rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{report.exp_id}.txt"
+    path.write_text(rendered + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def publish():
+    return _publish

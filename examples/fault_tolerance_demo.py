@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""User-transparent failure recovery, live (paper §4.3).
+
+Runs one long job while everything that can fail, fails:
+
+1. a machine powers off (NodeDown) — its containers are revoked and
+   replaced, its instances re-run elsewhere;
+2. a FuxiAgent process bounces — running workers are *adopted*, not killed;
+3. the JobMaster crashes — FuxiMaster restarts it and it recovers from its
+   instance-status snapshot while workers keep running;
+4. the primary FuxiMaster is killed — the standby takes over, rebuilding
+   soft state from agents and application masters.
+
+The job still finishes, and the final books balance.
+"""
+
+from repro import ClusterTopology, FuxiCluster, ResourceVector
+from repro.workloads.synthetic import mapreduce_job
+
+
+def banner(text: str, cluster: FuxiCluster) -> None:
+    print(f"\n== t={cluster.loop.now:6.1f}s  {text}")
+
+
+def main() -> None:
+    topology = ClusterTopology.build(
+        racks=3, machines_per_rack=5,
+        capacity=ResourceVector.of(cpu=400, memory=16 * 1024))
+    cluster = FuxiCluster(topology, seed=7)
+    cluster.warm_up()
+
+    app_id = cluster.submit_job(mapreduce_job(
+        "survivor", mappers=150, reducers=15, map_duration=5.0,
+        reduce_duration=5.0, workers_per_task=45))
+    print(f"submitted {app_id}; primary = {cluster.primary_master.name}")
+    cluster.run_for(6.0)
+
+    banner("FAULT 1: NodeDown on r00m001", cluster)
+    cluster.faults.node_down("r00m001")
+    cluster.run_for(8.0)
+    print("   machine removed from pool:",
+          not cluster.primary_master.scheduler.pool.has_machine("r00m001"))
+    print("   heartbeat timeouts seen:",
+          int(cluster.metrics.counter("fm.heartbeat_timeouts")))
+
+    banner("FAULT 2: FuxiAgent bounce on r01m002 (workers adopted)", cluster)
+    workers_before = len(cluster.workers_on("r01m002"))
+    cluster.restart_agent("r01m002")
+    cluster.run_for(4.0)
+    workers_after = len(cluster.workers_on("r01m002"))
+    print(f"   workers before/after: {workers_before}/{workers_after}")
+
+    banner("FAULT 3: JobMaster crash (snapshot recovery)", cluster)
+    finished_before = cluster.app_masters[app_id]._instances_finished
+    cluster.crash_app_master(app_id)
+    cluster.run_for(15.0)
+    master = cluster.app_masters[app_id]
+    print(f"   JobMaster restarted: alive={master.alive}; "
+          f"finished work preserved "
+          f"(>= {finished_before} instances not re-run)")
+
+    banner("FAULT 4: primary FuxiMaster killed (hot standby)", cluster)
+    old = cluster.primary_master.name
+    cluster.crash_primary_master()
+    cluster.run_for(10.0)
+    print(f"   {old} -> {cluster.primary_master.name}, "
+          f"recovering={cluster.primary_master.recovering}")
+
+    banner("letting the job finish...", cluster)
+    finished = cluster.run_until_complete([app_id], timeout=2000)
+    result = cluster.job_results.get(app_id)
+    print(f"   finished={finished} success={result.success} "
+          f"makespan={result.makespan:.1f}s "
+          f"instances={result.instances_finished} "
+          f"backups={result.backups_launched}")
+
+    cluster.primary_master.scheduler.check_conservation()
+    print("\nfinal books balance; blacklisted machines:",
+          cluster.primary_master.blacklist.disabled_machines() or "none")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""GraySort two ways: the real algorithm, and the Table-4 cluster model.
+
+Part 1 actually *sorts data* with the Streamline operators — the same
+sample → range-partition → sort → merge pipeline a Terasort job's workers
+execute — and validates the output.
+
+Part 2 prints Table 4: the phase-level execution model applied to each
+published cluster configuration, reproducing the ranking and the paper's
+66.5 % improvement claim over Yahoo's Hadoop record.
+"""
+
+import random
+
+from repro.jobs import streamline
+from repro.jobs.mapreduce import local_terasort
+from repro.jobs.sortmodel import (bottleneck_of, improvement_factor, predict)
+from repro.workloads.graysort import GRAYSORT_ENTRIES, PETASORT_ENTRY
+
+
+def part1_real_sort() -> None:
+    print("== part 1: the sort algorithm itself (Streamline operators)")
+    rng = random.Random(2013)
+    keys = [rng.getrandbits(64) for _ in range(200_000)]
+    print(f"   sorting {len(keys):,} random 64-bit keys "
+          f"across 16 range partitions...")
+    output = local_terasort(keys, reducers=16)
+    ok = output == sorted(keys)
+    print(f"   output correct and globally ordered: {ok}")
+    boundaries = streamline.sample_boundaries(
+        [(k, None) for k in keys[:2000]], 16)
+    sizes = [len(b) for b in streamline.range_partition(
+        [(k, None) for k in keys], boundaries)]
+    print(f"   partition balance: min={min(sizes):,} max={max(sizes):,} "
+          f"(ideal {len(keys)//16:,})")
+
+
+def part2_table4() -> None:
+    print("\n== part 2: Table 4 via the cluster execution model")
+    header = (f"{'entry':<16}{'year':<6}{'hw':<12}{'published':>10}"
+              f"{'model':>8}{'TB/min':>8}{'bottleneck':>12}")
+    print("   " + header)
+    print("   " + "-" * len(header))
+    predictions = [predict(e) for e in GRAYSORT_ENTRIES]
+    for p in predictions + [predict(PETASORT_ENTRY)]:
+        e = p.config
+        print(f"   {e.name:<16}{e.year:<6}"
+              f"{e.nodes}x{e.disks_per_node}d{'':<3}"
+              f"{e.published_seconds:>9,.0f}s"
+              f"{p.total_seconds:>7,.0f}s"
+              f"{p.tb_per_min:>8.3f}"
+              f"{bottleneck_of(p):>12}")
+    fuxi, yahoo = predictions[0], predictions[1]
+    print(f"\n   Fuxi vs Yahoo improvement: "
+          f"{improvement_factor(fuxi, yahoo):.3f}x  (paper claims 1.665x)")
+    print("   why: Fuxi's 20 GB/node fits memory (1-pass sort) and its "
+          "5,000 nodes out-aggregate Yahoo's 2,100;")
+    print("   TritonSort (UCSD) is disk-bound and per-node far more "
+          "efficient, but 52 nodes cannot compete.")
+
+
+if __name__ == "__main__":
+    part1_real_sort()
+    part2_table4()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Long-running services next to batch jobs (paper §6's service task model).
+
+A replicated "web" service holds its replica count through machine failures
+and live re-scaling, while batch MapReduce jobs churn through the remaining
+capacity around it.
+"""
+
+from repro import ClusterTopology, FuxiCluster, ResourceVector
+from repro.jobs.service import ServiceSpec
+from repro.workloads.synthetic import mapreduce_job
+
+
+def show(cluster, app_id, label):
+    status = cluster.app_masters[app_id].status()
+    print(f"   t={cluster.loop.now:6.1f}s  {label}: "
+          f"{status['up']}/{status['target']} up on "
+          f"{len(status['machines'])} machines "
+          f"(replacements so far: {status['replacements']})")
+
+
+def main() -> None:
+    topology = ClusterTopology.build(
+        racks=3, machines_per_rack=4,
+        capacity=ResourceVector.of(cpu=400, memory=8192))
+    cluster = FuxiCluster(topology, seed=5)
+    cluster.warm_up()
+
+    print("== deploy the service: 6 replicas, at most 1 per machine")
+    svc = cluster.submit_service(ServiceSpec(
+        name="web", replicas=6,
+        resources=ResourceVector.of(cpu=100, memory=2048),
+        max_per_machine=1))
+    cluster.run_for(10)
+    show(cluster, svc, "web")
+
+    print("\n== batch traffic arrives and shares the cluster")
+    jobs = [cluster.submit_job(mapreduce_job(f"batch-{i}", mappers=20,
+                                             reducers=4, map_duration=3.0,
+                                             reduce_duration=2.0,
+                                             workers_per_task=10))
+            for i in range(3)]
+    cluster.run_until_complete(jobs, timeout=600)
+    show(cluster, svc, "web")
+    print(f"   batch jobs completed: "
+          f"{sum(1 for j in jobs if cluster.job_results[j].success)}/3")
+
+    print("\n== a replica's machine dies; the service self-heals")
+    victim = cluster.app_masters[svc].status()["machines"][0]
+    cluster.faults.node_down(victim)
+    cluster.run_for(25)
+    show(cluster, svc, "web")
+
+    print("\n== scale up for peak traffic, then back down")
+    cluster.app_masters[svc].scale_to(9)
+    cluster.run_for(12)
+    show(cluster, svc, "web")
+    cluster.app_masters[svc].scale_to(3)
+    cluster.run_for(12)
+    show(cluster, svc, "web")
+
+    print("\n== graceful shutdown")
+    cluster.app_masters[svc].stop_service()
+    cluster.run_for(10)
+    scheduler = cluster.primary_master.scheduler
+    scheduler.check_conservation()
+    print(f"   workers remaining: {cluster.live_workers()}; books balance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: build a simulated cluster, run a MapReduce job on Fuxi.
+
+Usage::
+
+    python examples/quickstart.py
+
+Builds a 40-machine cluster (4 racks), starts the hot-standby FuxiMaster
+pair and one FuxiAgent per machine, submits a WordCount-shaped DAG job, and
+prints the job's progress and final accounting.
+"""
+
+from repro import ClusterTopology, FuxiCluster, ResourceVector
+from repro.workloads.synthetic import mapreduce_job
+
+
+def main() -> None:
+    topology = ClusterTopology.build(
+        racks=4, machines_per_rack=10,
+        capacity=ResourceVector.of(cpu=400, memory=16 * 1024))
+    cluster = FuxiCluster(topology, seed=42)
+    cluster.warm_up()
+    primary = cluster.primary_master
+    print(f"cluster up: {len(topology)} machines in {len(topology.racks())} "
+          f"racks, primary master = {primary.name}")
+
+    spec = mapreduce_job("quickstart-wc", mappers=120, reducers=12,
+                         map_duration=4.0, reduce_duration=6.0,
+                         workers_per_task=40)
+    app_id = cluster.submit_job(spec)
+    print(f"submitted {spec.name!r} as {app_id}: "
+          f"{spec.total_instances()} instances over {len(spec.tasks)} tasks")
+
+    # watch progress while the simulation runs
+    while app_id not in cluster.job_results:
+        cluster.run_for(5.0)
+        master = cluster.app_masters.get(app_id)
+        if master is None or not master.alive:
+            continue
+        status = master.status()
+        line = " | ".join(
+            f"{task}: {info.get('finished', '-')}/{info.get('total', '-')} "
+            f"({info['state']})"
+            for task, info in sorted(status.items()))
+        print(f"t={cluster.loop.now:6.1f}s  {line}")
+
+    result = cluster.job_results[app_id]
+    print()
+    print(f"job finished: success={result.success}")
+    print(f"  makespan               {result.makespan:8.2f} s")
+    print(f"  instances finished     {result.instances_finished:8d}")
+    print(f"  JobMaster start        {result.jobmaster_start_overhead:8.2f} s")
+    if result.worker_start_overheads:
+        avg_ws = (sum(result.worker_start_overheads)
+                  / len(result.worker_start_overheads))
+        print(f"  worker start (avg)     {avg_ws:8.2f} s")
+
+    scheduler = cluster.primary_master.scheduler
+    scheduler.check_conservation()
+    series = cluster.metrics.series("fm.schedule_ms")
+    print(f"  scheduling decisions   {int(cluster.metrics.counter('fm.requests')):8d}"
+          f"  (avg {series.mean():.3f} ms each)")
+    print("books clean:", len(scheduler.ledger) == 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Reproduction of "Fuxi: a Fault-Tolerant Resource Management and Job
+Scheduling System at Internet Scale" (Zhang et al., VLDB 2014).
+
+The package implements the full Fuxi stack on a deterministic discrete-event
+cluster simulator:
+
+- :mod:`repro.sim` — the event-loop kernel (actors, timers, processes);
+- :mod:`repro.cluster` — machines, racks, network, lock service, block
+  store, metrics and fault injection;
+- :mod:`repro.core` — the incremental resource-management protocol, the
+  locality-tree scheduler, quota/preemption, FuxiMaster/FuxiAgent with
+  user-transparent failover, and the multi-level blacklist;
+- :mod:`repro.jobs` — the DAG job framework (JobMaster/TaskMaster,
+  workers, backup instances, the Streamline operator library, the GraySort
+  model);
+- :mod:`repro.baselines` — YARN-, Mesos- and Hadoop-1.0-style schedulers
+  used by the ablation benchmarks;
+- :mod:`repro.workloads` — synthetic, production-trace and sort workloads;
+- :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quick start::
+
+    from repro import FuxiCluster, ClusterTopology
+    from repro.workloads.synthetic import mapreduce_job
+
+    cluster = FuxiCluster(ClusterTopology.build(racks=2, machines_per_rack=10))
+    cluster.warm_up()
+    app_id = cluster.submit_job(mapreduce_job("demo", mappers=40, reducers=5))
+    cluster.run_until_complete([app_id], timeout=600)
+    print(cluster.job_results[app_id].makespan)
+"""
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.resources import CPU, MEMORY, ResourceVector
+from repro.runtime import FuxiCluster
+
+__version__ = "1.0.0"
+
+__all__ = ["FuxiCluster", "ClusterTopology", "ResourceVector", "CPU", "MEMORY",
+           "__version__"]

@@ -1,0 +1,28 @@
+"""Comparator schedulers (paper §6, Related Works).
+
+Simplified but faithful-in-the-relevant-dimension reimplementations of the
+systems the paper compares against, used by the ablation benchmarks:
+
+- :mod:`repro.baselines.yarn` — request-based like Fuxi, but allocation is
+  paced by node heartbeats over a single global request list (no locality
+  tree) and containers are reclaimed when a task exits (no reuse);
+- :mod:`repro.baselines.mesos` — two-level offer-based scheduling, where
+  frameworks wait for resource offers in turn;
+- :mod:`repro.baselines.hadoop10` — the single-master global recompute
+  ("a naive approach of delegating every decision to a single master").
+
+Each baseline exposes the counters the benchmarks compare: scheduling work
+per event, messages exchanged, and time-to-allocation.
+"""
+
+from repro.baselines.yarn import YarnScheduler, YarnRequest
+from repro.baselines.mesos import MesosMaster, MesosFramework
+from repro.baselines.hadoop10 import Hadoop10Scheduler
+
+__all__ = [
+    "YarnScheduler",
+    "YarnRequest",
+    "MesosMaster",
+    "MesosFramework",
+    "Hadoop10Scheduler",
+]

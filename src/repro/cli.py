@@ -1,0 +1,180 @@
+"""``fuxi-sim`` — command-line tools (paper §4.2: "We provide a plenty of
+command line tools for users to manipulate the job").
+
+Each invocation spins up a simulated cluster (everything here is a
+simulator, so the "cluster" lives for the duration of the command):
+
+- ``fuxi-sim submit job.json`` — run a Figure-6-style DAG description and
+  report its execution;
+- ``fuxi-sim demo`` — run a synthetic workload and print the summary;
+- ``fuxi-sim trace`` — generate the Table-1 production trace statistics;
+- ``fuxi-sim sortbench`` — print the Table-4 GraySort comparison;
+- ``fuxi-sim experiment <name>`` — run one paper experiment and print the
+  paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.cluster.metrics import format_table
+from repro.cluster.topology import ClusterTopology
+from repro.core.resources import ResourceVector
+from repro.jobs.spec import parse_job_description
+from repro.runtime import FuxiCluster
+
+EXPERIMENTS = ("fig09", "fig10", "table1", "table2", "table3", "table4",
+               "scale", "ablation-protocol", "ablation-locality",
+               "ablation-reuse")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the fuxi-sim argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="fuxi-sim",
+        description="Fuxi (VLDB 2014) reproduction — simulated cluster tools")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser("submit", help="run a DAG job description")
+    submit.add_argument("job_file", help="JSON job description (Figure 6)")
+    submit.add_argument("--machines", type=int, default=20)
+    submit.add_argument("--racks", type=int, default=4)
+    submit.add_argument("--timeout", type=float, default=3600.0)
+    submit.add_argument("--watch", action="store_true",
+                        help="print task progress while running")
+
+    demo = sub.add_parser("demo", help="run a synthetic workload")
+    demo.add_argument("--machines", type=int, default=20)
+    demo.add_argument("--racks", type=int, default=4)
+    demo.add_argument("--jobs", type=int, default=10)
+    demo.add_argument("--duration", type=float, default=60.0)
+
+    trace = sub.add_parser("trace", help="Table-1 trace statistics")
+    trace.add_argument("--jobs", type=int, default=10_000)
+
+    sub.add_parser("sortbench", help="Table-4 GraySort comparison")
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    return parser
+
+
+def _make_cluster(machines: int, racks: int, seed: int) -> FuxiCluster:
+    per_rack = max(1, machines // max(racks, 1))
+    topology = ClusterTopology.build(
+        racks, per_rack, capacity=ResourceVector.of(cpu=400, memory=16384))
+    cluster = FuxiCluster(topology, seed=seed)
+    cluster.warm_up()
+    return cluster
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Run a JSON DAG job description on a fresh simulated cluster."""
+    with open(args.job_file, "r", encoding="utf-8") as handle:
+        description = json.load(handle)
+    spec = parse_job_description(description,
+                                 name=description.get("name", args.job_file))
+    cluster = _make_cluster(args.machines, args.racks, args.seed)
+    app_id = cluster.submit_job(spec)
+    print(f"submitted {spec.name!r} as {app_id} "
+          f"({spec.total_instances()} instances, {len(spec.tasks)} tasks)")
+    while app_id not in cluster.job_results:
+        if cluster.loop.now > args.timeout:
+            print("TIMEOUT: job did not finish", file=sys.stderr)
+            return 2
+        cluster.run_for(5.0)
+        if args.watch:
+            master = cluster.app_masters.get(app_id)
+            if master is not None and master.alive:
+                states = {t: i["state"] for t, i in master.status().items()}
+                print(f"  t={cluster.loop.now:7.1f}s  {states}")
+    result = cluster.job_results[app_id]
+    print(f"{'SUCCESS' if result.success else 'FAILED'}: "
+          f"makespan={result.makespan:.1f}s "
+          f"instances={result.instances_finished} "
+          f"backups={result.backups_launched}")
+    return 0 if result.success else 1
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run the synthetic workload and print a summary table."""
+    from repro.sim.rng import SplitRandom
+    from repro.workloads.synthetic import (SyntheticWorkload,
+                                           SyntheticWorkloadConfig)
+    cluster = _make_cluster(args.machines, args.racks, args.seed)
+    workload = SyntheticWorkload(
+        SyntheticWorkloadConfig(concurrent_jobs=args.jobs),
+        SplitRandom(args.seed))
+    apps = [cluster.submit_job(spec) for spec in workload.initial_batch()]
+    cluster.run_for(args.duration)
+    done = [a for a in apps if a in cluster.job_results]
+    series = cluster.metrics.series("fm.schedule_ms")
+    rows = [
+        ["jobs submitted", len(apps)],
+        ["jobs completed", len(done)],
+        ["simulated seconds", f"{cluster.loop.now:.0f}"],
+        ["scheduling decisions", int(cluster.metrics.counter("fm.requests"))],
+        ["avg scheduling ms", f"{series.mean():.3f}"],
+        ["grants issued", int(cluster.metrics.counter("fm.grants"))],
+    ]
+    print(format_table(["metric", "value"], rows, title="demo summary"))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Generate and print the Table-1 production trace statistics."""
+    from repro.experiments.table1_production import Table1Config, run
+    report = run(Table1Config(jobs=args.jobs, seed=args.seed))
+    print(report.render())
+    return 0
+
+
+def cmd_sortbench(_args: argparse.Namespace) -> int:
+    """Print the Table-4 GraySort comparison."""
+    from repro.experiments.table4_graysort import run
+    print(run().render())
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one named paper experiment and print its report."""
+    from repro.experiments import (ablations, fig09_scheduling_time,
+                                   fig10_utilization, scale_instances,
+                                   table1_production, table2_overheads,
+                                   table3_faults, table4_graysort)
+    runners = {
+        "fig09": lambda: fig09_scheduling_time.run(),
+        "fig10": lambda: fig10_utilization.run(),
+        "table1": lambda: table1_production.run(),
+        "table2": lambda: table2_overheads.run(),
+        "table3": lambda: table3_faults.run(),
+        "table4": lambda: table4_graysort.run(),
+        "scale": lambda: scale_instances.run(),
+        "ablation-protocol": ablations.protocol_ablation,
+        "ablation-locality": ablations.locality_ablation,
+        "ablation-reuse": ablations.container_reuse_ablation,
+    }
+    print(runners[args.name]().render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """fuxi-sim entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "submit": cmd_submit,
+        "demo": cmd_demo,
+        "trace": cmd_trace,
+        "sortbench": cmd_sortbench,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

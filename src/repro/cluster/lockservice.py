@@ -1,0 +1,106 @@
+"""Lease-based distributed lock service (Apsara lock stand-in, paper §4.3.1).
+
+The two FuxiMaster processes "are mutually excluded by using a distributed
+lock on the Apsara lock service.  The primary master that has grabbed the
+lock will take charge ... when the primary FuxiMaster crashes, the standby
+will immediately grasp the lock and become the new primary master."
+
+Locks are leases: a holder must renew before expiry or the lock frees up and
+waiting contenders are notified.  The service itself is assumed reliable
+(as Apsara's is, via its own replication) — simulating lock-service failure
+is outside the paper's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.events import Event, EventLoop
+
+
+@dataclass
+class _Lock:
+    holder: Optional[str] = None
+    lease_expiry: float = 0.0
+    expiry_event: Optional[Event] = None
+    waiters: List[Callable[[], None]] = field(default_factory=list)
+
+
+class LockService:
+    """Named leases with expiry callbacks."""
+
+    def __init__(self, loop: EventLoop, default_lease: float = 10.0):
+        self.loop = loop
+        self.default_lease = default_lease
+        self._locks: Dict[str, _Lock] = {}
+
+    def _lock(self, name: str) -> _Lock:
+        lock = self._locks.get(name)
+        if lock is None:
+            lock = self._locks[name] = _Lock()
+        return lock
+
+    def try_acquire(self, name: str, owner: str,
+                    lease: Optional[float] = None) -> bool:
+        """Attempt to take the lock; re-acquiring one's own lock renews it."""
+        lock = self._lock(name)
+        if lock.holder is not None and lock.holder != owner:
+            return False
+        lock.holder = owner
+        self._arm_expiry(name, lock, lease or self.default_lease)
+        return True
+
+    def renew(self, name: str, owner: str, lease: Optional[float] = None) -> bool:
+        """Extend the lease; fails if the lock moved on."""
+        lock = self._lock(name)
+        if lock.holder != owner:
+            return False
+        self._arm_expiry(name, lock, lease or self.default_lease)
+        return True
+
+    def release(self, name: str, owner: str) -> bool:
+        lock = self._lock(name)
+        if lock.holder != owner:
+            return False
+        self._free(name, lock)
+        return True
+
+    def holder(self, name: str) -> Optional[str]:
+        lock = self._locks.get(name)
+        return lock.holder if lock else None
+
+    def watch(self, name: str, callback: Callable[[], None]) -> None:
+        """Run ``callback`` next time the lock becomes free."""
+        lock = self._lock(name)
+        if lock.holder is None:
+            self.loop.call_after(0.0, callback)
+        else:
+            lock.waiters.append(callback)
+
+    # --------------------------------------------------------------- #
+    # internals
+    # --------------------------------------------------------------- #
+
+    def _arm_expiry(self, name: str, lock: _Lock, lease: float) -> None:
+        if lock.expiry_event is not None:
+            lock.expiry_event.cancel()
+        lock.lease_expiry = self.loop.now + lease
+        lock.expiry_event = self.loop.call_at(lock.lease_expiry, self._expire, name)
+
+    def _expire(self, name: str) -> None:
+        lock = self._locks.get(name)
+        if lock is None or lock.holder is None:
+            return
+        if self.loop.now + 1e-12 < lock.lease_expiry:
+            return  # lease was renewed after this event was scheduled
+        self._free(name, lock)
+
+    def _free(self, name: str, lock: _Lock) -> None:
+        lock.holder = None
+        if lock.expiry_event is not None:
+            lock.expiry_event.cancel()
+            lock.expiry_event = None
+        waiters, lock.waiters = lock.waiters, []
+        for callback in waiters:
+            self.loop.call_after(0.0, callback)

@@ -1,0 +1,135 @@
+"""Metrics collection: counters, gauges and time series.
+
+The evaluation figures are all time series (Fig 9 per-request scheduling
+time, Fig 10 utilization curves) or aggregates over event timestamps
+(Table 2 overheads).  The collector is deliberately dumb storage — analysis
+lives in :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """An append-only (time, value) series with summary helpers."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def times(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    def mean(self) -> float:
+        values = self.values()
+        return sum(values) / len(values) if values else 0.0
+
+    def max(self) -> float:
+        values = self.values()
+        return max(values) if values else 0.0
+
+    def min(self) -> float:
+        values = self.values()
+        return min(values) if values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, q in [0, 100]."""
+        values = sorted(self.values())
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        rank = (q / 100.0) * (len(values) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(values) - 1)
+        frac = rank - low
+        return values[low] * (1 - frac) + values[high] * frac
+
+    def resample(self, step: float) -> List[Tuple[float, float]]:
+        """Mean value per ``step``-wide time bucket (for plotting/printing)."""
+        if not self.points:
+            return []
+        buckets: Dict[int, List[float]] = {}
+        for time, value in self.points:
+            buckets.setdefault(int(time // step), []).append(value)
+        return [
+            (index * step, sum(vals) / len(vals))
+            for index, vals in sorted(buckets.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class MetricsCollector:
+    """Named counters and series, plus periodic gauge sampling."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._series: Dict[str, Series] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+
+    # ----------------------------- counters ------------------------- #
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    # ----------------------------- series --------------------------- #
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series(name).append(time, value)
+
+    def series(self, name: str) -> Series:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = Series(name)
+        return series
+
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series
+
+    # ----------------------------- gauges --------------------------- #
+
+    def register_gauge(self, name: str, reader: Callable[[], float]) -> None:
+        """A gauge is sampled into a same-named series by :meth:`sample_gauges`."""
+        self._gauges[name] = reader
+
+    def sample_gauges(self, time: float) -> None:
+        for name, reader in self._gauges.items():
+            self.record(name, time, reader())
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Plain-text table used by the experiment harness reports."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

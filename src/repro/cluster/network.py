@@ -1,0 +1,110 @@
+"""Simulated message transport between actors.
+
+Delivers messages with configurable latency and, when enabled, probabilistic
+duplication and reordering — the two transport pathologies the incremental
+protocol (paper §3.1) must survive: "we must ensure the idempotency of the
+handling of duplicated delta messages, which could happen as a result of
+temporary communication failure."
+
+Messages to crashed actors (or to unknown addresses — e.g. an agent on a
+machine that was powered off) are silently dropped, exactly like the real
+failures look to peers.  Aliases support logical addressing: everyone sends
+to ``"fuxi-master"`` and the elected primary points the alias at itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.rng import SplitRandom
+
+
+@dataclass
+class NetworkConfig:
+    """Transport behaviour knobs.
+
+    Attributes:
+        latency: base one-way delivery latency in seconds.
+        jitter: extra uniform random latency in [0, jitter].
+        duplicate_prob: probability a message is delivered twice.
+        reorder_jitter: extra random latency occasionally applied to model
+            reordering (applied with probability ``reorder_prob``).
+        drop_prob: probability a message is silently lost.
+    """
+
+    latency: float = 0.001
+    jitter: float = 0.0005
+    duplicate_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_jitter: float = 0.01
+    drop_prob: float = 0.0
+
+
+class MessageBus:
+    """Registry of actors plus the delivery machinery."""
+
+    def __init__(self, loop: EventLoop, rng: Optional[SplitRandom] = None,
+                 config: Optional[NetworkConfig] = None):
+        self.loop = loop
+        self.config = config or NetworkConfig()
+        self._rng = (rng or SplitRandom(0)).stream("network")
+        self._actors: Dict[str, Actor] = {}
+        self._aliases: Dict[str, str] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+
+    # --------------------------------------------------------------- #
+    # registry
+    # --------------------------------------------------------------- #
+
+    def register(self, actor: Actor) -> None:
+        self._actors[actor.name] = actor
+
+    def unregister(self, name: str) -> None:
+        self._actors.pop(name, None)
+
+    def set_alias(self, alias: str, target: str) -> None:
+        self._aliases[alias] = target
+
+    def resolve(self, name: str) -> str:
+        return self._aliases.get(name, name)
+
+    def actor(self, name: str) -> Optional[Actor]:
+        return self._actors.get(self.resolve(name))
+
+    # --------------------------------------------------------------- #
+    # delivery
+    # --------------------------------------------------------------- #
+
+    def send(self, sender: str, dest: str, message: Any) -> None:
+        self.messages_sent += 1
+        if self.config.drop_prob and self._rng.random() < self.config.drop_prob:
+            self.messages_dropped += 1
+            return
+        self._schedule_delivery(sender, dest, message)
+        if (self.config.duplicate_prob
+                and self._rng.random() < self.config.duplicate_prob):
+            self.messages_duplicated += 1
+            self._schedule_delivery(sender, dest, message)
+
+    def _schedule_delivery(self, sender: str, dest: str, message: Any) -> None:
+        delay = self.config.latency
+        if self.config.jitter:
+            delay += self._rng.random() * self.config.jitter
+        if (self.config.reorder_prob
+                and self._rng.random() < self.config.reorder_prob):
+            delay += self._rng.random() * self.config.reorder_jitter
+        self.loop.call_after(delay, self._deliver, sender, dest, message)
+
+    def _deliver(self, sender: str, dest: str, message: Any) -> None:
+        actor = self._actors.get(self.resolve(dest))
+        if actor is None or not actor.alive:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        actor.deliver(sender, message)

@@ -1,0 +1,81 @@
+"""Hard-state checkpointing (paper §4.3.1).
+
+FuxiMaster separates *hard* state — application/job descriptions, quota
+configuration, the cluster-level machine blacklist — from *soft* state that
+can be re-collected from FuxiAgents and application masters at failover.
+Only hard state is checkpointed, and only on job submit/stop, keeping the
+bookkeeping overhead negligible.
+
+The store is a versioned key-value journal.  In the simulator both
+FuxiMaster incarnations share one store object (standing in for reliable
+shared storage); it can also round-trip through JSON for durability tests.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from typing import Any, Dict, Iterator, Tuple
+
+
+class CheckpointStore:
+    """Versioned hard-state store with JSON round-tripping."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Any] = {}
+        self.version = 0
+        self.writes = 0
+
+    def put(self, key: str, value: Any) -> None:
+        """Record hard state under ``key``.  Values must be JSON-serializable."""
+        self._entries[key] = copy.deepcopy(value)
+        self.version += 1
+        self.writes += 1
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self._entries.get(key, default)
+        return copy.deepcopy(value)
+
+    def delete(self, key: str) -> None:
+        if key in self._entries:
+            del self._entries[key]
+            self.version += 1
+            self.writes += 1
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        return iter(sorted(k for k in self._entries if k.startswith(prefix)))
+
+    def items(self, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+        for key in self.keys(prefix):
+            yield key, copy.deepcopy(self._entries[key])
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # --------------------------------------------------------------- #
+    # durability round-trip
+    # --------------------------------------------------------------- #
+
+    def dump_json(self) -> str:
+        return json.dumps({"version": self.version, "entries": self._entries},
+                          sort_keys=True)
+
+    @classmethod
+    def load_json(cls, text: str) -> "CheckpointStore":
+        data = json.loads(text)
+        store = cls()
+        store._entries = data["entries"]
+        store.version = data["version"]
+        return store
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dump_json())
+
+    @classmethod
+    def load(cls, path: str) -> "CheckpointStore":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.load_json(handle.read())

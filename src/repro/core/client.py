@@ -1,0 +1,48 @@
+"""Client: submits jobs over the wire (paper Figure 2's "Job Submission").
+
+The :class:`FuxiCluster` runtime offers a convenience method that calls the
+primary master directly; this actor is the faithful alternative — a client
+process that addresses the logical ``"fuxi-master"`` alias with a
+:class:`~repro.core.messages.SubmitJob` message, so submission survives
+master failover exactly like every other protocol interaction (the new
+primary serves the alias).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.core import messages as msg
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+
+
+class Client(Actor):
+    """A job-submission client."""
+
+    def __init__(self, loop: EventLoop, bus, name: str = "client",
+                 master_address: str = "fuxi-master"):
+        super().__init__(loop, name, bus)
+        self.master_address = master_address
+        self._seq = itertools.count(1)
+        self.submitted: Dict[str, dict] = {}
+
+    def submit(self, description: dict, group: str = "default",
+               app_id: Optional[str] = None) -> str:
+        """Send a job description to whoever currently holds the master alias."""
+        if app_id is None:
+            app_id = f"{self.name}-job-{next(self._seq):04d}"
+        self.submitted[app_id] = description
+        self.send(self.master_address,
+                  msg.SubmitJob(app_id, description, group))
+        return app_id
+
+    def resubmit(self, app_id: str) -> None:
+        """Retry a submission (e.g. the master was mid-failover)."""
+        description = self.submitted[app_id]
+        self.send(self.master_address,
+                  msg.SubmitJob(app_id, description, "default"))
+
+    def handle_message(self, sender: str, message) -> None:
+        """Clients receive nothing in this model; submissions are one-way."""

@@ -1,0 +1,168 @@
+"""Resource grants and the allocation ledger (paper §3.2.3).
+
+A grant gives an application the right to run processes consuming ``count``
+copies of a ScheduleUnit on one machine.  Grants are *containers*: they have
+a lifecycle independent of the tasks run inside them — the application may
+execute several task instances in one grant before returning it (this is the
+container-reuse behaviour the paper contrasts with YARN).
+
+The :class:`AllocationLedger` is the bookkeeping structure shared (in shape)
+by FuxiMaster, application masters and FuxiAgents; failover works by
+rebuilding the master's ledger from the peers' ledgers and asserting
+consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.resources import ResourceVector, total_of
+from repro.core.units import UnitKey
+
+
+@dataclass(frozen=True)
+class Grant:
+    """A (possibly negative) change of allocation: ``count`` units on ``machine``.
+
+    Positive ``count`` grants resource; negative ``count`` is a revocation
+    (node down, preemption).  The paper's response form ``(M1, +3), (M3, -1)``.
+    """
+
+    unit_key: UnitKey
+    machine: str
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count == 0:
+            raise ValueError("a grant must change the allocation")
+
+    @property
+    def is_revocation(self) -> bool:
+        return self.count < 0
+
+
+class AllocationLedger:
+    """Granted unit counts, indexed (app, unit, machine), with resource totals."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[Tuple[UnitKey, str], int] = {}
+        # machine -> unit -> count and unit -> machine -> count indexes so
+        # per-machine queries (machine-local scheduling, preemption
+        # planning) and per-unit queries (grant caps, full syncs) do not
+        # scan the whole ledger.
+        self._by_machine: Dict[str, Dict[UnitKey, int]] = {}
+        self._by_unit: Dict[UnitKey, Dict[str, int]] = {}
+
+    def _set(self, unit_key: UnitKey, machine: str, count: int) -> None:
+        key = (unit_key, machine)
+        if count == 0:
+            self._counts.pop(key, None)
+            per_machine = self._by_machine.get(machine)
+            if per_machine is not None:
+                per_machine.pop(unit_key, None)
+                if not per_machine:
+                    del self._by_machine[machine]
+            per_unit = self._by_unit.get(unit_key)
+            if per_unit is not None:
+                per_unit.pop(machine, None)
+                if not per_unit:
+                    del self._by_unit[unit_key]
+        else:
+            self._counts[key] = count
+            self._by_machine.setdefault(machine, {})[unit_key] = count
+            self._by_unit.setdefault(unit_key, {})[machine] = count
+
+    def apply(self, grant: Grant) -> None:
+        """Fold a grant/revocation in.  Over-revocation raises."""
+        current = self._counts.get((grant.unit_key, grant.machine), 0)
+        new = current + grant.count
+        if new < 0:
+            raise ValueError(
+                f"revoking {-grant.count} of {grant.unit_key!r} on {grant.machine} "
+                f"but only {current} granted"
+            )
+        self._set(grant.unit_key, grant.machine, new)
+
+    def set_count(self, unit_key: UnitKey, machine: str, count: int) -> None:
+        """Overwrite an entry (used when rebuilding from peer reports)."""
+        if count < 0:
+            raise ValueError(f"negative count {count}")
+        self._set(unit_key, machine, count)
+
+    def count(self, unit_key: UnitKey, machine: str) -> int:
+        return self._counts.get((unit_key, machine), 0)
+
+    def count_on_machine(self, machine: str) -> int:
+        return sum(self._by_machine.get(machine, {}).values())
+
+    def total_units(self, unit_key: UnitKey) -> int:
+        return sum(self._by_unit.get(unit_key, {}).values())
+
+    def machines_of(self, unit_key: UnitKey) -> List[Tuple[str, int]]:
+        return sorted(self._by_unit.get(unit_key, {}).items())
+
+    def entries(self) -> Iterator[Tuple[UnitKey, str, int]]:
+        for (unit_key, machine), count in sorted(self._counts.items()):
+            yield unit_key, machine, count
+
+    def entries_for_app(self, app_id: str) -> Iterator[Tuple[UnitKey, str, int]]:
+        for unit_key, machine, count in self.entries():
+            if unit_key.app_id == app_id:
+                yield unit_key, machine, count
+
+    def entries_for_machine(self, machine: str) -> Iterator[Tuple[UnitKey, int]]:
+        per_machine = self._by_machine.get(machine, {})
+        for unit_key in sorted(per_machine):
+            yield unit_key, per_machine[unit_key]
+
+    def drop_app(self, app_id: str) -> List[Grant]:
+        """Remove all allocations of ``app_id``; returns the revocations applied."""
+        revoked = []
+        for (unit_key, machine) in [k for k in self._counts if k[0].app_id == app_id]:
+            count = self._counts[(unit_key, machine)]
+            self._set(unit_key, machine, 0)
+            revoked.append(Grant(unit_key, machine, -count))
+        return revoked
+
+    def drop_machine(self, machine: str) -> List[Grant]:
+        """Remove all allocations on ``machine`` (node down); returns revocations."""
+        revoked = []
+        for unit_key, count in sorted(self._by_machine.get(machine, {}).items()):
+            self._set(unit_key, machine, 0)
+            revoked.append(Grant(unit_key, machine, -count))
+        return revoked
+
+    def resources_on_machine(self, machine: str, unit_sizes) -> ResourceVector:
+        """Total resources allocated on ``machine`` given a UnitKey->vector lookup."""
+        return total_of(
+            unit_sizes(unit_key) * count
+            for unit_key, count in self.entries_for_machine(machine)
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Nested dict form: app -> "slot_id" -> machine -> count."""
+        out: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for unit_key, machine, count in self.entries():
+            out.setdefault(unit_key.app_id, {}).setdefault(
+                str(unit_key.slot_id), {}
+            )[machine] = count
+        return out
+
+    def equals(self, other: "AllocationLedger") -> bool:
+        return self._counts == other._counts
+
+    def copy(self) -> "AllocationLedger":
+        clone = AllocationLedger()
+        clone._counts = dict(self._counts)
+        clone._by_machine = {m: dict(units)
+                             for m, units in self._by_machine.items()}
+        clone._by_unit = {u: dict(machines)
+                          for u, machines in self._by_unit.items()}
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AllocationLedger {len(self._counts)} entries>"

@@ -1,0 +1,141 @@
+"""Pluggable node-health scoring (paper §4.3.2).
+
+FuxiMaster collects hardware information from each machine's operating
+system — "disk statistics, machine load and network I/O are all collected to
+calculate a score.  Once the score is too low for a long time, FuxiMaster
+will also mark the machine as unavailable.  With this plugin schema,
+administrators can add more check items to the list."
+
+A :class:`HealthPlugin` turns one raw sample dict into a score in [0, 1];
+the :class:`HealthMonitor` combines plugin scores by weight and tracks how
+long each machine has stayed below the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set
+
+
+class HealthPlugin:
+    """One check item.  Subclass and override :meth:`evaluate`."""
+
+    name = "plugin"
+    weight = 1.0
+
+    def evaluate(self, sample: Mapping[str, float]) -> float:
+        """Score a raw sample in [0, 1]; 1 is perfectly healthy."""
+        raise NotImplementedError
+
+
+class DiskHealthPlugin(HealthPlugin):
+    """Penalizes disk errors and slow I/O.
+
+    Sample keys: ``disk_errors`` (count since last sample), ``disk_util``
+    (0..1 busy fraction).
+    """
+
+    name = "disk"
+    weight = 2.0
+
+    def __init__(self, max_errors: int = 5):
+        self.max_errors = max_errors
+
+    def evaluate(self, sample: Mapping[str, float]) -> float:
+        errors = float(sample.get("disk_errors", 0.0))
+        util = min(max(float(sample.get("disk_util", 0.0)), 0.0), 1.0)
+        error_score = max(0.0, 1.0 - errors / self.max_errors)
+        util_score = 1.0 - 0.5 * util  # saturated disks halve the score
+        return error_score * util_score
+
+
+class LoadHealthPlugin(HealthPlugin):
+    """Penalizes load average above the core count.
+
+    Sample keys: ``load1`` (1-minute load average), ``cores``.
+    """
+
+    name = "load"
+    weight = 1.0
+
+    def evaluate(self, sample: Mapping[str, float]) -> float:
+        cores = max(float(sample.get("cores", 1.0)), 1.0)
+        load = max(float(sample.get("load1", 0.0)), 0.0)
+        overload = max(0.0, load / cores - 1.0)
+        return 1.0 / (1.0 + overload)
+
+
+class NetworkHealthPlugin(HealthPlugin):
+    """Penalizes packet errors/drops.
+
+    Sample keys: ``net_errors`` (count since last sample).
+    """
+
+    name = "network"
+    weight = 1.0
+
+    def __init__(self, max_errors: int = 100):
+        self.max_errors = max_errors
+
+    def evaluate(self, sample: Mapping[str, float]) -> float:
+        errors = float(sample.get("net_errors", 0.0))
+        return max(0.0, 1.0 - errors / self.max_errors)
+
+
+def default_plugins() -> List[HealthPlugin]:
+    """The disk/load/network check items the paper describes."""
+    return [DiskHealthPlugin(), LoadHealthPlugin(), NetworkHealthPlugin()]
+
+
+@dataclass
+class _MachineHealth:
+    score: float = 1.0
+    below_since: Optional[float] = None
+
+
+class HealthMonitor:
+    """Combines plugin scores and flags persistently unhealthy machines."""
+
+    def __init__(self, plugins: Optional[List[HealthPlugin]] = None,
+                 threshold: float = 0.5, grace_seconds: float = 60.0):
+        self.plugins = plugins if plugins is not None else default_plugins()
+        if not self.plugins:
+            raise ValueError("need at least one health plugin")
+        self.threshold = threshold
+        self.grace_seconds = grace_seconds
+        self._machines: Dict[str, _MachineHealth] = {}
+
+    def add_plugin(self, plugin: HealthPlugin) -> None:
+        """Administrators can add more check items at runtime."""
+        self.plugins.append(plugin)
+
+    def record_sample(self, machine: str, sample: Mapping[str, float],
+                      now: float) -> float:
+        """Fold one raw sample in; returns the combined score."""
+        total_weight = sum(p.weight for p in self.plugins)
+        score = sum(
+            p.weight * min(max(p.evaluate(sample), 0.0), 1.0) for p in self.plugins
+        ) / total_weight
+        state = self._machines.setdefault(machine, _MachineHealth())
+        state.score = score
+        if score < self.threshold:
+            if state.below_since is None:
+                state.below_since = now
+        else:
+            state.below_since = None
+        return score
+
+    def score(self, machine: str) -> float:
+        state = self._machines.get(machine)
+        return state.score if state else 1.0
+
+    def unavailable_machines(self, now: float) -> Set[str]:
+        """Machines below threshold for longer than the grace period."""
+        return {
+            machine for machine, state in self._machines.items()
+            if state.below_since is not None
+            and now - state.below_since >= self.grace_seconds
+        }
+
+    def forget(self, machine: str) -> None:
+        self._machines.pop(machine, None)

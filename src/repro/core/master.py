@@ -1,0 +1,604 @@
+"""FuxiMaster: the central resource manager actor (paper §2.2, §3, §4.3.1).
+
+Wraps the synchronous :class:`~repro.core.scheduler.FuxiScheduler` with:
+
+- the incremental protocol streams to application masters (requests in,
+  grants out) and FuxiAgents (allocation updates out, heartbeats in);
+- **hot-standby failover**: two FuxiMaster processes contend for a lease on
+  the lock service; the primary serves, the standby watches.  On takeover
+  the new primary loads *hard* state from the checkpoint store (application
+  configs, quota groups, cluster blacklist) and rebuilds *soft* state from
+  peers: agents re-send capacity + per-app allocations, application masters
+  re-send units + demands.  A short recovery window batches the reports,
+  after which the rebuilt ledger resumes scheduling;
+- faulty-node handling: heartbeat timeouts remove machines (revoking their
+  grants), persistent low health scores and cross-job blacklist reports
+  disable machines (paper §4.3.2's cluster level);
+- application-master supervision: silent AMs are restarted on a fresh agent.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.lockservice import LockService
+from repro.cluster.metrics import MetricsCollector
+from repro.core import messages as msg
+from repro.core.blacklist import BlacklistConfig, ClusterBlacklist
+from repro.core.checkpoint import CheckpointStore
+from repro.core.grant import Grant
+from repro.core.health import HealthMonitor
+from repro.core.protocol import StreamHub
+from repro.core.quota import DEFAULT_GROUP, QuotaGroup
+from repro.core.request import WaitingDemand
+from repro.core.scheduler import FuxiScheduler, SchedulerConfig
+from repro.core.units import UnitKey
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+
+
+@dataclass
+class FuxiMasterConfig:
+    """Timing and policy knobs for the master."""
+
+    alias: str = "fuxi-master"
+    lock_name: str = "fuxi-master-lock"
+    lease: float = 4.0
+    renew_interval: float = 1.0
+    heartbeat_timeout: float = 5.0
+    liveness_check_interval: float = 1.0
+    app_master_timeout: float = 8.0
+    recovery_window: float = 3.0
+    retransmit_interval: float = 2.0
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    blacklist: BlacklistConfig = field(default_factory=BlacklistConfig)
+    health_threshold: float = 0.5
+    health_grace: float = 60.0
+
+
+class FuxiMaster(Actor):
+    """One FuxiMaster process; run two for hot standby."""
+
+    def __init__(self, loop: EventLoop, bus, name: str,
+                 locks: LockService, checkpoint: CheckpointStore,
+                 config: Optional[FuxiMasterConfig] = None,
+                 metrics: Optional[MetricsCollector] = None,
+                 runtime: Optional[Any] = None):
+        super().__init__(loop, name, bus)
+        self.config = config or FuxiMasterConfig()
+        self.locks = locks
+        self.checkpoint = checkpoint
+        self.metrics = metrics or MetricsCollector()
+        self.runtime = runtime
+        self.hub = StreamHub(self)
+        self.role = "candidate"
+        self.scheduler: Optional[FuxiScheduler] = None
+        self.blacklist = ClusterBlacklist(self.config.blacklist)
+        self.health = HealthMonitor(threshold=self.config.health_threshold,
+                                    grace_seconds=self.config.health_grace)
+        self.recovering = False
+        self.failovers = 0
+        self._last_agent_seen: Dict[str, float] = {}
+        self._last_app_seen: Dict[str, float] = {}
+        self._app_master_machine: Dict[str, str] = {}
+        self._pending_agent_reports: Dict[str, msg.AgentFullState] = {}
+        self._pending_allocations: Dict[str, Dict[UnitKey, int]] = {}
+        self._pending_am_holdings: Dict[str, Dict[UnitKey, int]] = {}
+        self._campaign()
+
+    # ------------------------------------------------------------------ #
+    # election / roles
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_primary(self) -> bool:
+        return self.role == "primary"
+
+    def _campaign(self) -> None:
+        if not self.alive:
+            return
+        if self.locks.try_acquire(self.config.lock_name, self.name,
+                                  self.config.lease):
+            self._become_primary()
+        else:
+            self.role = "standby"
+            self.locks.watch(self.config.lock_name, self._campaign)
+
+    def _become_primary(self) -> None:
+        self.role = "primary"
+        self.failovers += 1
+        self.bus.set_alias(self.config.alias, self.name)
+        self.scheduler = FuxiScheduler(self.config.scheduler)
+        self._last_agent_seen = {}
+        self._last_app_seen = {}
+        self._pending_agent_reports = {}
+        self._pending_allocations = {}
+        self._pending_am_holdings = {}
+        self._load_hard_state()
+        self.set_periodic_timer("renew", self.config.renew_interval, self._renew)
+        self.set_periodic_timer("liveness", self.config.liveness_check_interval,
+                                self._check_liveness)
+        self.set_periodic_timer("retransmit", self.config.retransmit_interval,
+                                self.hub.retransmit_pending)
+        # Enter recovery: collect peer state before scheduling anything new.
+        self.recovering = True
+        self.set_timer("recovery", self.config.recovery_window,
+                       self._finish_recovery)
+        for app_id in self._known_app_ids():
+            # Seed liveness tracking so an AM that died while we were not
+            # primary still gets detected and restarted.
+            self._last_app_seen[app_id] = self.loop.now
+            self.send(f"app:{app_id}", msg.MasterHello(self.name, self.failovers))
+
+    def _load_hard_state(self) -> None:
+        """Hard states: quota groups, app configs, cluster blacklist (§4.3.1)."""
+        for _, group in self.checkpoint.items("quota/"):
+            self.scheduler.quota.define_group(QuotaGroup(
+                name=group["name"],
+                min_quota=_vector_from(group.get("min", {})),
+                max_quota=(_vector_from(group["max"]) if group.get("max") else None),
+            ))
+        for _, app in self.checkpoint.items("app/"):
+            self.scheduler.register_app(app["app_id"], app.get("group", DEFAULT_GROUP))
+        snapshot = self.checkpoint.get("blacklist")
+        if snapshot:
+            self.blacklist = ClusterBlacklist.from_snapshot(
+                snapshot, self.config.blacklist)
+
+    def _known_app_ids(self) -> List[str]:
+        return [app["app_id"] for _, app in self.checkpoint.items("app/")]
+
+    def _renew(self) -> None:
+        if not self.locks.renew(self.config.lock_name, self.name,
+                                self.config.lease):
+            # Lost the lease (e.g. after a long stall): step down cleanly.
+            self.role = "standby"
+            self.cancel_all_timers()
+            self._campaign()
+
+    def on_crash(self) -> None:
+        self.role = "candidate"
+        self.scheduler = None
+        self.recovering = False
+
+    def on_restart(self) -> None:
+        self.hub = StreamHub(self)
+        self._campaign()
+
+    def _finish_recovery(self) -> None:
+        """Recovery window over: install buffered reports, resume scheduling."""
+        self.recovering = False
+        self._install_pending_allocations()
+        if self.scheduler is not None:
+            # Tell every AM the authoritative holdings: grants that were in
+            # flight when the old master died reached agents but not their
+            # AMs; the full sync hands them over (or triggers their return).
+            for app_id in self._known_app_ids():
+                self._send_grant_full(app_id)
+            decisions = self.scheduler.schedule_all_machines()
+            self._disseminate(decisions)
+
+    # ------------------------------------------------------------------ #
+    # message dispatch
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, sender: str, message) -> None:
+        if not self.is_primary:
+            return
+        if isinstance(message, msg.Envelope):
+            self.hub.on_envelope(sender, message.inner, self._receiver_factory)
+        elif isinstance(message, msg.Ack):
+            self.hub.on_ack(message)
+        elif isinstance(message, msg.AgentHeartbeat):
+            self._handle_agent_heartbeat(sender, message)
+        elif isinstance(message, msg.AgentFullState):
+            self._handle_agent_full_state(message)
+        elif isinstance(message, msg.ResyncRequest):
+            self._handle_agent_resync_request(sender, message)
+        elif isinstance(message, msg.AppExit):
+            self._handle_app_exit(message.app_id)
+        elif isinstance(message, msg.AppHeartbeat):
+            self._last_app_seen[message.app_id] = self.loop.now
+        elif isinstance(message, msg.SubmitJob):
+            self.submit_job(message.app_id, message.description, message.group)
+        elif isinstance(message, msg.BlacklistReport):
+            self._handle_blacklist_report(message)
+        elif isinstance(message, msg.AppMasterStarted):
+            self._app_master_machine[message.app_id] = message.machine
+            self._last_app_seen[message.app_id] = self.loop.now
+
+    def _receiver_factory(self, peer: str, kind: str):
+        if kind == "req" and peer.startswith("app:"):
+            app_id = peer[len("app:"):]
+            return self.hub.receiver_for(
+                peer, kind,
+                lambda payload: self._apply_app_payload(app_id, payload),
+                lambda state: self._apply_app_full_state(app_id, state),
+            )
+        return None
+
+    # ------------------------------------------------------------------ #
+    # application request stream
+    # ------------------------------------------------------------------ #
+
+    def _apply_app_payload(self, app_id: str, payload) -> None:
+        if self.scheduler is None:
+            return
+        started = _time.perf_counter()
+        decisions: List[Grant] = []
+        if isinstance(payload, msg.DefineUnit):
+            self._ensure_app(app_id)
+            self.scheduler.define_unit(payload.unit)
+        elif isinstance(payload, msg.DemandDelta):
+            self._ensure_app(app_id)
+            if payload.delta.unit_key not in self.scheduler.units:
+                return  # unit definition lost; full sync will restore it
+            if not self.recovering:
+                decisions = self.scheduler.apply_request_delta(payload.delta)
+        elif isinstance(payload, msg.ReturnResource):
+            agent_only: List[Grant] = []
+            try:
+                decisions = self.scheduler.return_resource(
+                    payload.unit_key, payload.machine, payload.count)
+                # The agent must learn the allocation shrank; the returning
+                # AM already debited its own books when it sent the return.
+                agent_only.append(Grant(payload.unit_key, payload.machine,
+                                        -payload.count))
+            except (KeyError, ValueError):
+                decisions = []  # already revoked (e.g. node removed)
+            elapsed_ms = (_time.perf_counter() - started) * 1000.0
+            self.metrics.record("fm.schedule_ms", self.loop.now, elapsed_ms)
+            self.metrics.increment("fm.requests")
+            self._disseminate(decisions, agent_only=agent_only)
+            return
+        else:
+            return
+        elapsed_ms = (_time.perf_counter() - started) * 1000.0
+        self.metrics.record("fm.schedule_ms", self.loop.now, elapsed_ms)
+        self.metrics.increment("fm.requests")
+        self._disseminate(decisions)
+
+    def _ensure_app(self, app_id: str) -> None:
+        if app_id not in self.scheduler.quota._app_group:
+            group = DEFAULT_GROUP
+            record = self.checkpoint.get(f"app/{app_id}")
+            if record:
+                group = record.get("group", DEFAULT_GROUP)
+            self.scheduler.register_app(app_id, group)
+
+    def _apply_app_full_state(self, app_id: str, state: msg.AppFullState) -> None:
+        """Reconcile an AM's full state (failover rebuild or periodic safety)."""
+        if self.scheduler is None:
+            return
+        self._ensure_app(app_id)
+        self._last_app_seen[app_id] = self.loop.now
+        for unit in state.units:
+            self.scheduler.define_unit(unit)
+        # Demands: the AM is the authority on what it wants.
+        decisions: List[Grant] = []
+        for unit_key in sorted(state.demands):
+            demand = WaitingDemand.from_snapshot(state.demands[unit_key])
+            decisions.extend(self._reconcile_demand(unit_key, demand))
+        if self.recovering:
+            # Agents are authoritative for per-machine allocation; AM
+            # holdings only fill in for machines whose agent never reports
+            # (see _install_pending_allocations).
+            for unit_key, machines in state.holdings.items():
+                for machine, count in machines.items():
+                    pending = self._pending_am_holdings.setdefault(machine, {})
+                    pending[unit_key] = max(pending.get(unit_key, 0),
+                                            int(count))
+            self._retry_pending_allocations()
+        elif state.recovering:
+            # The AM restarted and lost its books: send them back wholesale.
+            self._send_grant_full(app_id)
+        elif dict(state.holdings) != self._grant_state(app_id):
+            # Periodic safety sync (§3.1): views drifted — master's books
+            # are authoritative, push them wholesale.
+            self._send_grant_full(app_id)
+        self._disseminate(decisions)
+
+    def _reconcile_demand(self, unit_key: UnitKey, demand: WaitingDemand) -> List[Grant]:
+        existing = self.scheduler.demand_of(unit_key)
+        if existing is not None:
+            demand.submit_seq = existing.submit_seq
+        else:
+            self.scheduler._seq += 1
+            demand.submit_seq = self.scheduler._seq
+        self.scheduler._demands[unit_key] = demand
+        self.scheduler.tree.remove(unit_key)
+        if demand.is_empty():
+            return []
+        if self.recovering:
+            self.scheduler._reindex(unit_key, demand)
+            return []
+        decisions = self.scheduler._place_demand(unit_key, demand)
+        self.scheduler._reindex(unit_key, demand)
+        return decisions
+
+    def _handle_app_exit(self, app_id: str) -> None:
+        if self.scheduler is None:
+            return
+        started = _time.perf_counter()
+        decisions = self.scheduler.unregister_app(app_id)
+        self.metrics.record("fm.schedule_ms", self.loop.now,
+                            (_time.perf_counter() - started) * 1000.0)
+        # Agents must still see the exiting app's revocations to clear their
+        # books; the exited AM itself ignores its grant stream from here on.
+        self._disseminate(decisions)
+        self.checkpoint.delete(f"app/{app_id}")
+        self.blacklist.clear_job(app_id)
+        self._last_app_seen.pop(app_id, None)
+        self._app_master_machine.pop(app_id, None)
+        self.hub.drop_peer(f"app:{app_id}")
+
+    # ------------------------------------------------------------------ #
+    # agents: heartbeats, liveness, failover reports
+    # ------------------------------------------------------------------ #
+
+    def _handle_agent_heartbeat(self, sender: str, beat: msg.AgentHeartbeat) -> None:
+        if self.scheduler is None:
+            return
+        self._last_agent_seen[beat.machine] = self.loop.now
+        score = self.health.record_sample(beat.machine, beat.health_sample,
+                                          self.loop.now)
+        self.metrics.record(f"health.{beat.machine}", self.loop.now, score)
+        if not self.scheduler.pool.has_machine(beat.machine):
+            if self.recovering:
+                # Ask for the full allocation picture before re-adding.
+                self.send(sender, msg.ResyncRequest(self.name, self.failovers))
+                return
+            decisions = self.scheduler.add_machine(beat.machine, beat.rack,
+                                                   beat.capacity)
+            self.blacklist.set_known_machines(len(self.scheduler.pool.machines()))
+            if self.blacklist.is_disabled(beat.machine):
+                self.scheduler.disable_machine(beat.machine)
+            self._disseminate(decisions)
+        elif beat.capacity != self.scheduler.pool.capacity(beat.machine):
+            # "The total virtual resource on each node can be changed at any
+            # time" (§3.2.1): refresh capacity, keeping allocations; growth
+            # may immediately serve the machine's waiting queues.
+            decisions = self.scheduler.add_machine(beat.machine, beat.rack,
+                                                   beat.capacity)
+            self._disseminate(decisions)
+        # Bad-node detection is deliberately NOT done per heartbeat: §3.4
+        # classifies it as heavy-but-not-urgent work handled "at a fixed
+        # time interval ... in a roll-up manner" — see _check_liveness.
+
+    def _handle_agent_resync_request(self, sender: str,
+                                     request: msg.ResyncRequest) -> None:
+        """A restarted agent asks for its allocation books."""
+        if not sender.startswith("agent:") or self.scheduler is None:
+            return
+        machine = sender[len("agent:"):]
+        self._send_alloc_full(machine)
+
+    def _handle_agent_full_state(self, report: msg.AgentFullState) -> None:
+        if self.scheduler is None:
+            return
+        self._last_agent_seen[report.machine] = self.loop.now
+        if self.recovering:
+            self._pending_agent_reports[report.machine] = report
+            pending = self._pending_allocations.setdefault(report.machine, {})
+            for unit_key, count in report.allocations.items():
+                pending[unit_key] = int(count)
+            self._retry_pending_allocations()
+        else:
+            if not self.scheduler.pool.has_machine(report.machine):
+                decisions = self.scheduler.add_machine(
+                    report.machine, report.rack, report.capacity)
+                self._disseminate(decisions)
+
+    def _retry_pending_allocations(self) -> None:
+        """Install buffered (machine, unit, count) entries whose pieces arrived."""
+        for machine, report in list(self._pending_agent_reports.items()):
+            if not self.scheduler.pool.has_machine(machine):
+                self.scheduler.add_machine(machine, report.rack,
+                                           report.capacity, schedule=False)
+                self.blacklist.set_known_machines(
+                    len(self.scheduler.pool.machines()))
+                if self.blacklist.is_disabled(machine):
+                    self.scheduler.disable_machine(machine)
+        for machine, entries in list(self._pending_allocations.items()):
+            if not self.scheduler.pool.has_machine(machine):
+                continue
+            for unit_key in list(entries):
+                if unit_key in self.scheduler.units:
+                    self.scheduler.restore_allocation(unit_key, machine,
+                                                      entries.pop(unit_key))
+            if not entries:
+                del self._pending_allocations[machine]
+
+    def _install_pending_allocations(self) -> None:
+        self._retry_pending_allocations()
+        # AM-holdings fallback: only machines no agent reported on (the
+        # agent may itself be mid-failover) and that the scheduler knows.
+        for machine, entries in self._pending_am_holdings.items():
+            if machine in self._pending_agent_reports:
+                continue
+            if not self.scheduler.pool.has_machine(machine):
+                continue
+            for unit_key, count in entries.items():
+                if unit_key in self.scheduler.units:
+                    self.scheduler.restore_allocation(unit_key, machine,
+                                                      count)
+        self._pending_agent_reports = {}
+        self._pending_allocations = {}
+        self._pending_am_holdings = {}
+
+    def _check_liveness(self) -> None:
+        """Periodic roll-up of the heavy non-urgent work (§3.4): heartbeat
+        timeouts, health-based bad-node detection, AM supervision.  Urgent
+        work (grants, returns, revocations) stays event-triggered."""
+        if self.scheduler is None:
+            return
+        now = self.loop.now
+        # Health-based bad-node detection, rolled up.
+        for machine in sorted(self.health.unavailable_machines(now)):
+            if not self.scheduler.pool.has_machine(machine):
+                continue
+            if self.blacklist.disable_low_health(machine):
+                self.scheduler.disable_machine(machine)
+                self._checkpoint_blacklist()
+                self.metrics.increment("fm.health_disables")
+        # Machines with dead heartbeats: remove + revoke (paper §4.3.2).
+        for machine, seen in list(self._last_agent_seen.items()):
+            if now - seen <= self.config.heartbeat_timeout:
+                continue
+            del self._last_agent_seen[machine]
+            if self.scheduler.pool.has_machine(machine):
+                revocations = self.scheduler.remove_machine(machine)
+                self.metrics.increment("fm.heartbeat_timeouts")
+                self._disseminate(revocations)
+                self.hub.drop_peer(f"agent:{machine}")
+        # Silent application masters: restart them on a fresh agent.
+        for app_id, seen in list(self._last_app_seen.items()):
+            if now - seen <= self.config.app_master_timeout:
+                continue
+            record = self.checkpoint.get(f"app/{app_id}")
+            if record is None:
+                del self._last_app_seen[app_id]
+                continue
+            self._last_app_seen[app_id] = now  # rate-limit restart attempts
+            self._launch_app_master(app_id, record.get("description", {}),
+                                    avoid=self._app_master_machine.get(app_id))
+            self.metrics.increment("fm.am_restarts")
+
+    # ------------------------------------------------------------------ #
+    # job submission / AM supervision
+    # ------------------------------------------------------------------ #
+
+    def submit_job(self, app_id: str, description: dict,
+                   group: str = DEFAULT_GROUP) -> None:
+        """Client entry point: checkpoint the description, launch the AM."""
+        self.checkpoint.put(f"app/{app_id}", {
+            "app_id": app_id, "group": group, "description": description,
+        })
+        if self.scheduler is not None:
+            self._ensure_app(app_id)
+        self._last_app_seen[app_id] = self.loop.now
+        self._launch_app_master(app_id, description)
+
+    def define_quota_group(self, name: str, min_quota=None, max_quota=None) -> None:
+        """Configure a quota group (hard state)."""
+        self.checkpoint.put(f"quota/{name}", {
+            "name": name,
+            "min": min_quota.as_dict() if min_quota is not None else {},
+            "max": max_quota.as_dict() if max_quota is not None else None,
+        })
+        if self.scheduler is not None:
+            self.scheduler.quota.define_group(QuotaGroup(
+                name=name,
+                min_quota=min_quota or _vector_from({}),
+                max_quota=max_quota,
+            ))
+
+    def _launch_app_master(self, app_id: str, description: dict,
+                           avoid: Optional[str] = None) -> None:
+        machine = self._pick_am_machine(avoid)
+        if machine is None:
+            return  # no live agent yet; liveness check will retry
+        self._app_master_machine[app_id] = machine
+        self.send(f"agent:{machine}", msg.LaunchAppMaster(app_id, description))
+
+    def _pick_am_machine(self, avoid: Optional[str] = None) -> Optional[str]:
+        hosted: Dict[str, int] = {}
+        for machine in self._app_master_machine.values():
+            hosted[machine] = hosted.get(machine, 0) + 1
+        candidates = sorted(
+            (m for m in self._last_agent_seen
+             if m != avoid and not self.blacklist.is_disabled(m)),
+            key=lambda m: (hosted.get(m, 0), m),
+        )
+        return candidates[0] if candidates else None
+
+    # ------------------------------------------------------------------ #
+    # blacklist
+    # ------------------------------------------------------------------ #
+
+    def _handle_blacklist_report(self, report: msg.BlacklistReport) -> None:
+        if self.scheduler is None:
+            return
+        if self.blacklist.mark_by_job(report.machine, report.job_id):
+            self.scheduler.disable_machine(report.machine)
+            self._checkpoint_blacklist()
+            self.metrics.increment("fm.blacklist_disables")
+
+    def _checkpoint_blacklist(self) -> None:
+        self.checkpoint.put("blacklist", self.blacklist.snapshot())
+
+    # ------------------------------------------------------------------ #
+    # dissemination
+    # ------------------------------------------------------------------ #
+
+    def _disseminate(self, decisions: List[Grant],
+                     agent_only: Optional[List[Grant]] = None) -> None:
+        """Send decisions to the affected AMs and agents.
+
+        ``agent_only`` entries update agents' allocation books without being
+        echoed to the application (used for returns the AM itself initiated).
+        """
+        if not decisions and not agent_only:
+            return
+        by_app: Dict[str, List[Grant]] = {}
+        by_machine: Dict[str, List[Grant]] = {}
+        for grant in decisions:
+            by_app.setdefault(grant.unit_key.app_id, []).append(grant)
+            by_machine.setdefault(grant.machine, []).append(grant)
+        for grant in agent_only or ():
+            by_machine.setdefault(grant.machine, []).append(grant)
+        for app_id, grants in sorted(by_app.items()):
+            dest = f"app:{app_id}"
+            self.hub.sender(dest, "grant",
+                            full_state=lambda a=app_id: self._grant_state(a))
+            self.hub.send_delta(dest, "grant", msg.GrantBatch(tuple(grants)),
+                                items=len(grants))
+        for machine, grants in sorted(by_machine.items()):
+            if not self.scheduler.pool.has_machine(machine):
+                continue
+            dest = f"agent:{machine}"
+            self.hub.sender(dest, "alloc",
+                            full_state=lambda m=machine: self._alloc_state(m))
+            self.hub.send_delta(dest, "alloc",
+                                msg.AllocationUpdate(tuple(grants)),
+                                items=len(grants))
+        self.metrics.increment("fm.grants", sum(1 for g in decisions if g.count > 0))
+        self.metrics.increment("fm.revocations",
+                               sum(1 for g in decisions if g.count < 0))
+
+    def _grant_state(self, app_id: str) -> Dict[UnitKey, Dict[str, int]]:
+        state: Dict[UnitKey, Dict[str, int]] = {}
+        if self.scheduler is None:
+            return state
+        for unit_key, machine, count in self.scheduler.ledger.entries_for_app(app_id):
+            state.setdefault(unit_key, {})[machine] = count
+        return state
+
+    def _alloc_state(self, machine: str) -> Dict[UnitKey, int]:
+        state: Dict[UnitKey, int] = {}
+        if self.scheduler is None:
+            return state
+        for unit_key, count in self.scheduler.ledger.entries_for_machine(machine):
+            state[unit_key] = count
+        return state
+
+    def _send_grant_full(self, app_id: str) -> None:
+        dest = f"app:{app_id}"
+        self.hub.sender(dest, "grant",
+                        full_state=lambda a=app_id: self._grant_state(a))
+        state = self._grant_state(app_id)
+        self.hub.send_full(dest, "grant", state, items=len(state))
+
+    def _send_alloc_full(self, machine: str) -> None:
+        dest = f"agent:{machine}"
+        self.hub.sender(dest, "alloc",
+                        full_state=lambda m=machine: self._alloc_state(m))
+        state = self._alloc_state(machine)
+        self.hub.send_full(dest, "alloc", state, items=len(state))
+
+
+def _vector_from(dims: Dict[str, float]):
+    from repro.core.resources import ResourceVector
+    return ResourceVector(dims)

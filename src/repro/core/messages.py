@@ -1,0 +1,249 @@
+"""Message types exchanged between Fuxi components.
+
+All messages are plain frozen dataclasses dispatched on type by the actors.
+Demand/grant traffic additionally travels inside protocol envelopes
+(:mod:`repro.core.protocol`) so ordering and idempotency hold under an
+unreliable transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.core.grant import Grant
+from repro.core.request import RequestDelta
+from repro.core.resources import ResourceVector
+from repro.core.units import ScheduleUnit, UnitKey
+
+
+# ------------------------------------------------------------------ #
+# application master -> FuxiMaster (payloads inside protocol envelopes)
+# ------------------------------------------------------------------ #
+
+@dataclass(frozen=True)
+class DefineUnit:
+    """Declare (or redeclare) a ScheduleUnit definition."""
+
+    unit: ScheduleUnit
+
+
+@dataclass(frozen=True)
+class DemandDelta:
+    """Incremental change to demand (the paper's resource request message)."""
+
+    delta: RequestDelta
+
+
+@dataclass(frozen=True)
+class ReturnResource:
+    """Give back ``count`` granted units on ``machine``."""
+
+    unit_key: UnitKey
+    machine: str
+    count: int
+
+
+@dataclass(frozen=True)
+class AppFullState:
+    """Periodic full-state sync from an app master (safety measure, §3.1).
+
+    Also re-sent during FuxiMaster failover: "each application master
+    re-sends its ScheduleUnit configuration, resource request and location
+    preference."
+    """
+
+    app_id: str
+    units: Tuple[ScheduleUnit, ...]
+    demands: Dict[UnitKey, dict]
+    holdings: Dict[UnitKey, Dict[str, int]]
+    recovering: bool = False
+
+
+@dataclass(frozen=True)
+class AppExit:
+    """Application finished; all its resources return to the pool."""
+
+    app_id: str
+
+
+@dataclass(frozen=True)
+class AppHeartbeat:
+    """Lightweight AM liveness signal; FuxiMaster restarts silent AMs."""
+
+    app_id: str
+
+
+@dataclass(frozen=True)
+class SubmitJob:
+    """Client -> FuxiMaster: launch an application (hard state, checkpointed)."""
+
+    app_id: str
+    description: dict
+    group: str = "default"
+
+
+@dataclass(frozen=True)
+class BlacklistReport:
+    """JobMaster -> FuxiMaster: this machine looks bad from where I stand."""
+
+    job_id: str
+    machine: str
+
+
+# ------------------------------------------------------------------ #
+# FuxiMaster -> application master
+# ------------------------------------------------------------------ #
+
+@dataclass(frozen=True)
+class GrantBatch:
+    """Grants/revocations for one application (may mix signs)."""
+
+    grants: Tuple[Grant, ...]
+
+
+@dataclass(frozen=True)
+class MasterHello:
+    """New (or failed-over) FuxiMaster announcing itself; peers must re-sync."""
+
+    master: str
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ResyncRequest:
+    """Failover soft-state recollection: peers must send their full state."""
+
+    master: str
+    epoch: int
+
+
+# ------------------------------------------------------------------ #
+# FuxiAgent <-> FuxiMaster
+# ------------------------------------------------------------------ #
+
+@dataclass(frozen=True)
+class AgentHeartbeat:
+    """Periodic agent report: capacity, load and raw health sample."""
+
+    machine: str
+    rack: str
+    capacity: ResourceVector
+    health_sample: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AgentFullState:
+    """Agent's allocation books, re-sent during FuxiMaster failover."""
+
+    machine: str
+    rack: str
+    capacity: ResourceVector
+    allocations: Dict[UnitKey, int]
+
+
+@dataclass(frozen=True)
+class AllocationUpdate:
+    """FuxiMaster -> agent: the granted amount for units on this machine."""
+
+    grants: Tuple[Grant, ...]
+
+
+@dataclass(frozen=True)
+class LaunchAppMaster:
+    """FuxiMaster -> agent: start an application master process."""
+
+    app_id: str
+    description: dict
+
+
+@dataclass(frozen=True)
+class AppMasterStarted:
+    """Agent -> FuxiMaster: the app master process is up."""
+
+    app_id: str
+    machine: str
+
+
+# ------------------------------------------------------------------ #
+# application master <-> FuxiAgent (work plans), worker <-> masters
+# ------------------------------------------------------------------ #
+
+@dataclass(frozen=True)
+class WorkPlan:
+    """App master -> agent: launch a worker inside a granted container."""
+
+    app_id: str
+    worker_id: str
+    unit_key: UnitKey
+    resources: ResourceVector
+    spec: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StopWorker:
+    """App master -> agent: terminate a worker (resource being returned)."""
+
+    app_id: str
+    worker_id: str
+
+
+@dataclass(frozen=True)
+class WorkerStarted:
+    """Agent -> app master: worker process is running."""
+
+    worker_id: str
+    machine: str
+
+
+@dataclass(frozen=True)
+class WorkerLaunchFailed:
+    """Agent -> app master: process could not be started (bad disk etc.)."""
+
+    worker_id: str
+    machine: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class WorkerExited:
+    """Agent -> app master: worker process ended (crash or kill)."""
+
+    worker_id: str
+    machine: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class WorkerListRequest:
+    """Recovering agent -> app master: which of my workers should exist?"""
+
+    machine: str
+
+
+@dataclass(frozen=True)
+class WorkerListReply:
+    """App master -> recovering agent: expected workers on that machine."""
+
+    app_id: str
+    plans: Tuple[WorkPlan, ...]
+
+
+# ------------------------------------------------------------------ #
+# generic
+# ------------------------------------------------------------------ #
+
+@dataclass(frozen=True)
+class Ack:
+    """Stream acknowledgement for retransmission bookkeeping."""
+
+    stream: str
+    epoch: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Protocol envelope carrier (wraps Delta/FullSync envelopes on the bus)."""
+
+    inner: Any

@@ -1,0 +1,168 @@
+"""Free resource pool: per-machine capacities and remaining free vectors.
+
+One of the two data structures of the FuxiMaster scheduler (paper §3.3); the
+other is the locality tree.  The pool answers "how many units of size *u*
+still fit on machine *m*" and conserves ``free + allocated == capacity`` at
+all times (a property test pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.resources import ResourceVector
+
+
+class FreeResourcePool:
+    """Tracks total and free resources of every schedulable machine."""
+
+    def __init__(self) -> None:
+        self._capacity: Dict[str, ResourceVector] = {}
+        self._free: Dict[str, ResourceVector] = {}
+        self._disabled: set = set()
+        # Machines with any free resource at all.  Placement scans iterate
+        # this set instead of every machine, so a saturated cluster costs
+        # O(1) per request instead of O(machines).
+        self._has_free: set = set()
+
+    def _update_free(self, machine: str, free: ResourceVector) -> None:
+        self._free[machine] = free
+        if free.is_zero():
+            self._has_free.discard(machine)
+        else:
+            self._has_free.add(machine)
+
+    # --------------------------------------------------------------- #
+    # machine membership
+    # --------------------------------------------------------------- #
+
+    def add_machine(self, machine: str, capacity: ResourceVector) -> None:
+        """Register a machine (or refresh its capacity if already present).
+
+        Refreshing preserves the allocated amount: free = new_cap - allocated,
+        clamped at zero if the capacity shrank below what is allocated.
+        """
+        if machine in self._capacity:
+            allocated = self._capacity[machine].monus(self._free[machine])
+            self._capacity[machine] = capacity
+            self._update_free(machine, capacity.monus(allocated))
+        else:
+            self._capacity[machine] = capacity
+            self._update_free(machine, capacity)
+
+    def remove_machine(self, machine: str) -> None:
+        """Drop a machine entirely (node down)."""
+        self._capacity.pop(machine, None)
+        self._free.pop(machine, None)
+        self._disabled.discard(machine)
+        self._has_free.discard(machine)
+
+    def disable(self, machine: str) -> None:
+        """Keep the machine's books but stop offering its resources (blacklist)."""
+        if machine in self._capacity:
+            self._disabled.add(machine)
+
+    def enable(self, machine: str) -> None:
+        self._disabled.discard(machine)
+
+    def is_disabled(self, machine: str) -> bool:
+        return machine in self._disabled
+
+    def has_machine(self, machine: str) -> bool:
+        return machine in self._capacity
+
+    def machines(self) -> List[str]:
+        return sorted(self._capacity)
+
+    def schedulable_machines(self) -> Iterator[str]:
+        for machine in sorted(self._capacity):
+            if machine not in self._disabled:
+                yield machine
+
+    # --------------------------------------------------------------- #
+    # accounting
+    # --------------------------------------------------------------- #
+
+    def capacity(self, machine: str) -> ResourceVector:
+        return self._capacity.get(machine, ResourceVector())
+
+    def free(self, machine: str) -> ResourceVector:
+        return self._free.get(machine, ResourceVector())
+
+    def allocated(self, machine: str) -> ResourceVector:
+        return self.capacity(machine).monus(self.free(machine))
+
+    def total_capacity(self) -> ResourceVector:
+        acc = ResourceVector()
+        for vector in self._capacity.values():
+            acc = acc + vector
+        return acc
+
+    def total_free(self) -> ResourceVector:
+        acc = ResourceVector()
+        for vector in self._free.values():
+            acc = acc + vector
+        return acc
+
+    def total_allocated(self) -> ResourceVector:
+        return self.total_capacity().monus(self.total_free())
+
+    def allocate(self, machine: str, amount: ResourceVector) -> None:
+        """Take ``amount`` from the machine's free vector.  Raises if it doesn't fit."""
+        free = self._free.get(machine)
+        if free is None:
+            raise KeyError(f"unknown machine {machine!r}")
+        if not amount.fits_in(free):
+            raise ValueError(f"{amount!r} does not fit in free {free!r} on {machine}")
+        self._update_free(machine, free - amount)
+
+    def release(self, machine: str, amount: ResourceVector) -> None:
+        """Return ``amount`` to the machine's free vector, clamped at capacity.
+
+        Clamping (rather than raising) matters during failover rebuilds where
+        capacity reports and allocation reports can arrive in either order.
+        """
+        if machine not in self._free:
+            return
+        restored = self._free[machine] + amount
+        capacity = self._capacity[machine]
+        clamped = {n: min(a, capacity.get(n)) for n, a in restored.as_dict().items()}
+        self._update_free(machine, ResourceVector(clamped))
+
+    def fits(self, machine: str, amount: ResourceVector) -> bool:
+        if machine in self._disabled:
+            return False
+        return amount.fits_in(self.free(machine))
+
+    def max_units(self, machine: str, unit_size: ResourceVector) -> int:
+        """Whole units of ``unit_size`` that still fit on ``machine`` (0 if disabled)."""
+        if machine in self._disabled:
+            return 0
+        return unit_size.max_units_in(self.free(machine))
+
+    def utilization(self, dimension: str) -> float:
+        """allocated / capacity along ``dimension`` over all machines (0 if none)."""
+        cap = self.total_capacity().get(dimension)
+        if cap <= 0:
+            return 0.0
+        return self.total_allocated().get(dimension) / cap
+
+    def best_fit_machines(self, unit_size: ResourceVector,
+                          candidates: Optional[Iterator[str]] = None) -> List[Tuple[str, int]]:
+        """Candidate machines ordered most-free-first with unit counts.
+
+        Sorting by descending free units spreads load (the paper's "load
+        balance will also be considered").
+        """
+        if candidates is not None:
+            pool = candidates
+        else:
+            pool = sorted(m for m in self._has_free
+                          if m not in self._disabled)
+        scored = []
+        for machine in pool:
+            units = self.max_units(machine, unit_size)
+            if units > 0:
+                scored.append((machine, units))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored

@@ -1,0 +1,120 @@
+"""Two-level preemption: priority then quota (paper §3.4).
+
+The planner answers: "to free ``needed`` resources on ``machine`` for
+``requester``, which existing grants should be revoked?"  Victims are chosen
+per the paper's two levels:
+
+1. **Priority preemption** — grants of strictly lower-priority units in the
+   *requester's own quota group* are revocable.
+2. **Quota preemption** — when the requester's group sits below its minimum
+   quota, grants of applications in groups using *more* than their minimum
+   are revocable, lowest priority first.
+
+Within each level victims are taken lowest-priority-first, then
+largest-grant-first (fewest revocations), then by name for determinism.
+The planner is pure: it proposes revocations; the scheduler applies them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.grant import AllocationLedger, Grant
+from repro.core.quota import QuotaManager
+from repro.core.resources import ResourceVector
+from repro.core.units import ScheduleUnit, UnitKey
+
+
+@dataclass(frozen=True)
+class PreemptionPlan:
+    """Result of planning: revocations that free at least the needed amount."""
+
+    revocations: List[Grant]
+    freed: ResourceVector
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.revocations
+
+
+class PreemptionPlanner:
+    """Selects victim grants on one machine for one requester."""
+
+    def __init__(self, quota: QuotaManager,
+                 unit_lookup: Callable[[UnitKey], ScheduleUnit]):
+        self._quota = quota
+        self._unit_lookup = unit_lookup
+
+    def plan(self, machine: str, needed: ResourceVector,
+             requester: ScheduleUnit, ledger: AllocationLedger,
+             already_free: ResourceVector) -> Optional[PreemptionPlan]:
+        """Plan revocations on ``machine`` so that ``needed`` fits.
+
+        ``already_free`` is the machine's current free vector; only the gap
+        beyond it must be covered by victims.  Returns None when no
+        permissible victim set covers the gap (never preempts equal or higher
+        priority within the priority level, never drives a donor group below
+        its own minimum within the quota level).
+        """
+        gap = needed.monus(already_free)
+        if gap.is_zero():
+            return PreemptionPlan([], ResourceVector())
+
+        requester_group = self._quota.group_of(requester.app_id)
+        candidates = self._victim_candidates(machine, requester, requester_group, ledger)
+
+        revocations: List[Grant] = []
+        freed = ResourceVector()
+        for unit, machine_name, available in candidates:
+            if gap.fits_in(freed):
+                break
+            still_needed = gap.monus(freed)
+            take = self._units_to_cover(unit.resources, still_needed, available)
+            if take > 0:
+                revocations.append(Grant(unit.key, machine_name, -take))
+                freed = freed + unit.resources * take
+        if not gap.fits_in(freed):
+            return None
+        return PreemptionPlan(revocations, freed)
+
+    # --------------------------------------------------------------- #
+    # internals
+    # --------------------------------------------------------------- #
+
+    def _victim_candidates(self, machine: str, requester: ScheduleUnit,
+                           requester_group: str, ledger: AllocationLedger):
+        """Victims in preemption order: priority level first, quota level second."""
+        priority_victims = []
+        quota_victims = []
+        below_min = self._quota.below_min(requester_group)
+        for unit_key, count in ledger.entries_for_machine(machine):
+            if unit_key.app_id == requester.app_id:
+                continue
+            unit = self._unit_lookup(unit_key)
+            victim_group = self._quota.group_of(unit_key.app_id)
+            if victim_group == requester_group:
+                if unit.priority > requester.priority:
+                    priority_victims.append((unit, machine, count))
+            elif below_min and not self._quota.over_min(victim_group).is_zero():
+                quota_victims.append((unit, machine, count))
+        order = lambda item: (-item[0].priority, -item[2], item[0].key)
+        priority_victims.sort(key=order)
+        quota_victims.sort(key=order)
+        return priority_victims + quota_victims
+
+    @staticmethod
+    def _units_to_cover(unit_size: ResourceVector, gap: ResourceVector,
+                        available: int) -> int:
+        """Fewest whole units of ``unit_size`` that help cover ``gap``."""
+        best = 0
+        freed = ResourceVector()
+        for take in range(1, available + 1):
+            freed = freed + unit_size
+            best = take
+            if gap.fits_in(freed):
+                return take
+        # Even all units don't fully cover the gap; take them all only if
+        # they contribute along some gap dimension at all.
+        contributes = any(unit_size.get(dim) > 0 for dim, _ in gap.items())
+        return best if contributes else 0

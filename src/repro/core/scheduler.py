@@ -1,0 +1,483 @@
+"""The FuxiMaster scheduling core (paper §3).
+
+:class:`FuxiScheduler` is a *synchronous, pure* object: it holds the free
+resource pool, the locality tree, the allocation ledger, quota accounting and
+the preemption planner, and turns supply/demand events into grant decisions.
+It knows nothing about actors, messages or time — :class:`repro.core.master.
+FuxiMaster` wraps it with the incremental protocol and failover.  Keeping the
+core synchronous is what lets the Figure-9 benchmark time a scheduling
+decision directly.
+
+Event → work mapping (the incremental scheduling idea, §3.1):
+
+- ``apply_request_delta`` — fold a demand delta in, then try to place only
+  *that* demand;
+- ``release`` / ``return`` — free resources on one machine, then consult only
+  the three queues on that machine's locality path;
+- machine add/remove — likewise machine-local.
+
+No event ever recomputes the global assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.grant import AllocationLedger, Grant
+from repro.core.locality import LocalityTree
+from repro.core.pool import FreeResourcePool
+from repro.core.preemption import PreemptionPlanner
+from repro.core.quota import DEFAULT_GROUP, QuotaManager
+from repro.core.request import LocalityLevel, RequestDelta, WaitingDemand
+from repro.core.resources import ResourceVector
+from repro.core.units import ScheduleUnit, UnitKey, UnitRegistry
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs for the scheduling core.
+
+    Attributes:
+        enable_preemption: turn the two-level preemption of §3.4 on/off.
+        preemption_scan_limit: how many machines to consider as preemption
+            sites for one starved request (bounds worst-case planning work).
+    """
+
+    enable_preemption: bool = True
+    preemption_scan_limit: int = 20
+    #: stop serving a machine's queues after this many consecutive waiting
+    #: entries that want resources but cannot fit (bounds per-event work
+    #: under pathological unit-size mixes; the zero-free early exit handles
+    #: the common case).
+    schedule_scan_limit: int = 64
+
+
+@dataclass
+class ScheduleStats:
+    """Counters the experiments read."""
+
+    decisions: int = 0
+    grants_issued: int = 0
+    units_granted: int = 0
+    units_revoked: int = 0
+    preemptions: int = 0
+
+    def copy(self) -> "ScheduleStats":
+        return ScheduleStats(**self.__dict__)
+
+
+class FuxiScheduler:
+    """Free pool + locality tree + quota + preemption, driven by events."""
+
+    def __init__(self, config: Optional[SchedulerConfig] = None,
+                 quota: Optional[QuotaManager] = None):
+        self.config = config or SchedulerConfig()
+        self.pool = FreeResourcePool()
+        self.tree = LocalityTree()
+        self.ledger = AllocationLedger()
+        self.units = UnitRegistry()
+        self.quota = quota or QuotaManager()
+        self.stats = ScheduleStats()
+        self._demands: Dict[UnitKey, WaitingDemand] = {}
+        self._rack_machines: Dict[str, List[str]] = {}
+        self._machine_rack: Dict[str, str] = {}
+        self._apps: Set[str] = set()
+        self._seq = 0
+        self._preemption = PreemptionPlanner(self.quota, self.units.get)
+        # (group -> priority -> granted units) so the preemption pre-check
+        # can tell in O(1) whether any lower-priority victim exists at all.
+        self._granted_prio: Dict[str, Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # supply side: machines
+    # ------------------------------------------------------------------ #
+
+    def add_machine(self, machine: str, rack: str, capacity: ResourceVector,
+                    schedule: bool = True) -> List[Grant]:
+        """Register a machine (or refresh capacity); schedules its free space.
+
+        ``schedule=False`` registers without granting — used during failover
+        rebuild, where the machine's space is already owned by processes
+        whose allocations are about to be restored.
+        """
+        self.pool.add_machine(machine, capacity)
+        self.tree.set_machine_rack(machine, rack)
+        self._machine_rack[machine] = rack
+        members = self._rack_machines.setdefault(rack, [])
+        if machine not in members:
+            members.append(machine)
+        if not schedule:
+            return []
+        return self._schedule_machine(machine)
+
+    def remove_machine(self, machine: str) -> List[Grant]:
+        """Node down: drop the machine, revoking everything granted on it."""
+        revocations = self.ledger.drop_machine(machine)
+        for revocation in revocations:
+            unit = self.units.get(revocation.unit_key)
+            self.quota.refund(unit.app_id, unit.resources * (-revocation.count))
+            self._track_units(unit, revocation.count)
+            self.stats.units_revoked += -revocation.count
+        rack = self._machine_rack.pop(machine, None)
+        if rack is not None and machine in self._rack_machines.get(rack, ()):
+            self._rack_machines[rack].remove(machine)
+        self.pool.remove_machine(machine)
+        return revocations
+
+    def disable_machine(self, machine: str) -> None:
+        """Blacklist: stop offering the machine without dropping its books."""
+        self.pool.disable(machine)
+
+    def enable_machine(self, machine: str) -> List[Grant]:
+        """Lift a blacklist disable; the machine's free space is rescheduled."""
+        self.pool.enable(machine)
+        return self._schedule_machine(machine)
+
+    def rack_of(self, machine: str) -> str:
+        """Rack of ``machine``; empty string if unknown."""
+        return self._machine_rack.get(machine, "")
+
+    # ------------------------------------------------------------------ #
+    # demand side: applications
+    # ------------------------------------------------------------------ #
+
+    def register_app(self, app_id: str, group: str = DEFAULT_GROUP) -> None:
+        """Admit an application into a quota group (must precede define_unit)."""
+        self._apps.add(app_id)
+        self.quota.assign_app(app_id, group)
+
+    def unregister_app(self, app_id: str) -> List[Grant]:
+        """Application exit: drop demand and revoke all its grants."""
+        for unit_key in [k for k in self._demands if k.app_id == app_id]:
+            self.tree.remove(unit_key)
+            del self._demands[unit_key]
+        revocations = self.ledger.drop_app(app_id)
+        decisions: List[Grant] = list(revocations)
+        touched = []
+        for revocation in revocations:
+            unit = self.units.get(revocation.unit_key)
+            freed = unit.resources * (-revocation.count)
+            self.pool.release(revocation.machine, freed)
+            self.quota.refund(app_id, freed)
+            self._track_units(unit, revocation.count)
+            self.stats.units_revoked += -revocation.count
+            touched.append(revocation.machine)
+        self.units.drop_app(app_id)
+        self.quota.remove_app(app_id)
+        self._apps.discard(app_id)
+        for machine in sorted(set(touched)):
+            decisions.extend(self._schedule_machine(machine))
+        return decisions
+
+    def define_unit(self, unit: ScheduleUnit) -> None:
+        """Register (or redefine) one of an application's ScheduleUnits."""
+        if unit.app_id not in self._apps:
+            raise KeyError(f"unknown application {unit.app_id!r}")
+        self.units.define(unit)
+
+    def apply_request_delta(self, delta: RequestDelta) -> List[Grant]:
+        """Fold a demand delta in and try to satisfy it immediately (§3.2.2)."""
+        self.stats.decisions += 1
+        demand = self._demands.get(delta.unit_key)
+        if demand is None:
+            self._seq += 1
+            demand = WaitingDemand(submit_seq=self._seq)
+            self._demands[delta.unit_key] = demand
+        demand.apply_delta(delta)
+        if demand.is_empty():
+            self.tree.remove(delta.unit_key)
+            if (not demand.machine_hints and not demand.rack_hints
+                    and not demand.avoid):
+                # nothing worth remembering (an avoid list must survive
+                # even while demand is momentarily zero)
+                self._demands.pop(delta.unit_key, None)
+            return []
+        decisions = self._place_demand(delta.unit_key, demand)
+        self._reindex(delta.unit_key, demand)
+        if not demand.is_empty() and self.config.enable_preemption:
+            decisions.extend(self._try_preemption(delta.unit_key, demand))
+            self._reindex(delta.unit_key, demand)
+        return decisions
+
+    def return_resource(self, unit_key: UnitKey, machine: str, count: int) -> List[Grant]:
+        """Application returns ``count`` granted units on ``machine`` (§3.1 step 5).
+
+        Returns the *new* decisions triggered by the free-up (grants to
+        waiting applications); the return itself is acknowledged implicitly.
+        """
+        if count <= 0:
+            raise ValueError(f"return count must be positive, got {count}")
+        held = self.ledger.count(unit_key, machine)
+        if held < count:
+            raise ValueError(
+                f"app returns {count} of {unit_key!r} on {machine} but holds {held}"
+            )
+        unit = self.units.get(unit_key)
+        freed = unit.resources * count
+        self.ledger.apply(Grant(unit_key, machine, -count))
+        self.pool.release(machine, freed)
+        self.quota.refund(unit_key.app_id, freed)
+        self._track_units(unit, -count)
+        return self._schedule_machine(machine)
+
+    def demand_of(self, unit_key: UnitKey) -> Optional[WaitingDemand]:
+        """The outstanding demand book for a unit, or None."""
+        return self._demands.get(unit_key)
+
+    def waiting_units_total(self) -> int:
+        """Units wanted cluster-wide but not yet granted."""
+        return sum(d.total for d in self._demands.values())
+
+    # ------------------------------------------------------------------ #
+    # failover support (used by FuxiMaster)
+    # ------------------------------------------------------------------ #
+
+    def restore_allocation(self, unit_key: UnitKey, machine: str,
+                           count: int) -> int:
+        """Install an allocation reported by a peer during failover rebuild.
+
+        Unlike a normal grant this bypasses demand bookkeeping — the running
+        processes already exist; only the books are being reconstructed.
+        Reports can over-subscribe a machine when revocations were in flight
+        at crash time; the count is clamped to what fits (the agent's
+        capacity enforcement kills the excess processes, §2.2).  Returns the
+        count actually installed.
+        """
+        unit = self.units.get(unit_key)
+        previous = self.ledger.count(unit_key, machine)
+        if previous:
+            self.pool.release(machine, unit.resources * previous)
+            self.quota.refund(unit_key.app_id, unit.resources * previous)
+            self._track_units(unit, -previous)
+        fit = unit.resources.max_units_in(self.pool.free(machine))
+        count = min(count, fit)
+        self.ledger.set_count(unit_key, machine, count)
+        if count:
+            amount = unit.resources * count
+            self.pool.allocate(machine, amount)
+            self.quota.charge(unit_key.app_id, amount)
+            self._track_units(unit, count)
+        return count
+
+    def schedule_all_machines(self) -> List[Grant]:
+        """One pass over every machine's queues (used after failover rebuild)."""
+        decisions: List[Grant] = []
+        for machine in self.pool.machines():
+            decisions.extend(self._schedule_machine(machine))
+        return decisions
+
+    # ------------------------------------------------------------------ #
+    # core placement machinery
+    # ------------------------------------------------------------------ #
+
+    def _track_units(self, unit: ScheduleUnit, delta: int) -> None:
+        group = self.quota.group_of(unit.app_id)
+        prios = self._granted_prio.setdefault(group, {})
+        new = prios.get(unit.priority, 0) + delta
+        if new > 0:
+            prios[unit.priority] = new
+        else:
+            prios.pop(unit.priority, None)
+
+    def _grant_limit(self, unit: ScheduleUnit, machine: str, wanted: int) -> int:
+        """Units actually grantable: demand ∧ fit ∧ max_count ∧ quota cap."""
+        if wanted <= 0:
+            return 0
+        fit = self.pool.max_units(machine, unit.resources)
+        if fit <= 0:
+            return 0
+        cap = unit.max_count - self.ledger.total_units(unit.key)
+        if cap <= 0:
+            return 0
+        allowed = min(wanted, fit, cap)
+        while allowed > 0 and not self.quota.within_max(
+                unit.app_id, unit.resources * allowed):
+            allowed -= 1
+        return allowed
+
+    def _apply_grant(self, unit: ScheduleUnit, demand: WaitingDemand,
+                     machine: str, count: int) -> Grant:
+        amount = unit.resources * count
+        self.pool.allocate(machine, amount)
+        self.ledger.apply(Grant(unit.key, machine, count))
+        self.quota.charge(unit.app_id, amount)
+        self._track_units(unit, count)
+        demand.consume(machine, self.rack_of(machine), count)
+        self.stats.grants_issued += 1
+        self.stats.units_granted += count
+        return Grant(unit.key, machine, count)
+
+    def _place_demand(self, unit_key: UnitKey, demand: WaitingDemand) -> List[Grant]:
+        """Greedy immediate placement for one demand: hints first, then spread."""
+        unit = self.units.get(unit_key)
+        grants: List[Grant] = []
+        # 1. machine hints, most-wanted first.
+        for machine in sorted(demand.machine_hints,
+                              key=lambda m: (-demand.machine_hints[m], m)):
+            if demand.is_empty():
+                break
+            count = self._grant_limit(unit, machine, demand.wants_machine(machine))
+            if count > 0:
+                grants.append(self._apply_grant(unit, demand, machine, count))
+        # 2. rack hints: machines inside the hinted racks, most-free first.
+        for rack in sorted(demand.rack_hints, key=lambda r: (-demand.rack_hints[r], r)):
+            if demand.is_empty():
+                break
+            members = (m for m in self._rack_machines.get(rack, ())
+                       if not self.pool.is_disabled(m) and m not in demand.avoid)
+            for machine, _ in self.pool.best_fit_machines(unit.resources, members):
+                wanted = demand.wants_rack(rack)
+                if wanted <= 0:
+                    break
+                count = self._grant_limit(unit, machine, wanted)
+                if count > 0:
+                    grants.append(self._apply_grant(unit, demand, machine, count))
+        # 3. anywhere in the cluster, most-free first.
+        if not demand.is_empty():
+            for machine, _ in self.pool.best_fit_machines(unit.resources):
+                if demand.is_empty():
+                    break
+                if machine in demand.avoid:
+                    continue
+                count = self._grant_limit(unit, machine, demand.wants_anywhere())
+                if count > 0:
+                    grants.append(self._apply_grant(unit, demand, machine, count))
+        return grants
+
+    def _schedule_machine(self, machine: str) -> List[Grant]:
+        """Resources freed up on ``machine``: serve its locality-path queues."""
+        if not self.pool.has_machine(machine) or self.pool.is_disabled(machine):
+            return []
+        grants: List[Grant] = []
+        skipped: List[Tuple[UnitKey, WaitingDemand]] = []
+        skip_keys: Set[UnitKey] = set()
+
+        def wants(unit_key: UnitKey, level: LocalityLevel, name: str) -> int:
+            if unit_key in skip_keys:
+                return 0
+            demand = self._demands.get(unit_key)
+            if demand is None or machine in demand.avoid:
+                return 0
+            if level is LocalityLevel.MACHINE:
+                return demand.wants_machine(name)
+            if level is LocalityLevel.RACK:
+                return demand.wants_rack(name)
+            return demand.wants_anywhere()
+
+        consecutive_skips = 0
+        for unit_key, level in self.tree.candidates_for_machine(machine, wants):
+            demand = self._demands[unit_key]
+            unit = self.units.get(unit_key)
+            if level is LocalityLevel.MACHINE:
+                wanted = demand.wants_machine(machine)
+            elif level is LocalityLevel.RACK:
+                wanted = demand.wants_rack(self.rack_of(machine))
+            else:
+                wanted = demand.wants_anywhere()
+            count = self._grant_limit(unit, machine, wanted)
+            if count <= 0:
+                # Wants but cannot be served here now; keep out of this pass.
+                skip_keys.add(unit_key)
+                skipped.append((unit_key, demand))
+                consecutive_skips += 1
+                if consecutive_skips >= self.config.schedule_scan_limit:
+                    break
+                continue
+            consecutive_skips = 0
+            grants.append(self._apply_grant(unit, demand, machine, count))
+            self._reindex(unit_key, demand)
+            if self.pool.free(machine).is_zero():
+                break  # nothing left to hand out on this machine
+        for unit_key, demand in skipped:
+            self._reindex(unit_key, demand)
+        return grants
+
+    def _reindex(self, unit_key: UnitKey, demand: WaitingDemand) -> None:
+        if demand.is_empty():
+            self.tree.remove(unit_key)
+            return
+        unit = self.units.get(unit_key)
+        self.tree.index(unit_key, unit.priority, demand.submit_seq,
+                        demand.machine_hints, demand.rack_hints, demand.total)
+
+    # ------------------------------------------------------------------ #
+    # preemption
+    # ------------------------------------------------------------------ #
+
+    def _try_preemption(self, unit_key: UnitKey, demand: WaitingDemand) -> List[Grant]:
+        """Free space for a starved request via the two-level policy (§3.4)."""
+        unit = self.units.get(unit_key)
+        group = self.quota.group_of(unit.app_id)
+        below_min = self.quota.below_min(group)
+        prios = self._granted_prio.get(group, {})
+        has_lower_victim = any(priority > unit.priority
+                               for priority in prios)
+        if not below_min and not has_lower_victim:
+            # No permissible victim can exist; skip the machine scans.
+            return []
+        decisions: List[Grant] = []
+        sites = self._preemption_sites(demand)
+        for machine in sites:
+            if demand.is_empty():
+                break
+            if machine in demand.avoid or self.pool.is_disabled(machine):
+                continue
+            plan = self._preemption.plan(
+                machine, unit.resources, unit, self.ledger, self.pool.free(machine))
+            if plan is None:
+                continue
+            for revocation in plan.revocations:
+                victim = self.units.get(revocation.unit_key)
+                freed = victim.resources * (-revocation.count)
+                self.ledger.apply(revocation)
+                self.pool.release(machine, freed)
+                self.quota.refund(victim.app_id, freed)
+                self._track_units(victim, revocation.count)
+                self.stats.units_revoked += -revocation.count
+                self.stats.preemptions += 1
+                decisions.append(revocation)
+            count = self._grant_limit(unit, machine, demand.wants_anywhere())
+            if count > 0:
+                decisions.append(self._apply_grant(unit, demand, machine, count))
+        return decisions
+
+    def _preemption_sites(self, demand: WaitingDemand) -> List[str]:
+        """Machines worth planning preemption on, hinted machines first."""
+        sites = [m for m in sorted(demand.machine_hints) if self.pool.has_machine(m)]
+        seen = set(sites)
+        limit = self.config.preemption_scan_limit
+        for machine in self.pool.schedulable_machines():
+            if len(sites) >= limit:
+                break
+            if machine not in seen and self.ledger.count_on_machine(machine) > 0:
+                sites.append(machine)
+                seen.add(machine)
+        return sites
+
+    # ------------------------------------------------------------------ #
+    # invariants & introspection
+    # ------------------------------------------------------------------ #
+
+    def check_conservation(self) -> None:
+        """Assert free + allocated == capacity on every machine (test hook)."""
+        for machine in self.pool.machines():
+            allocated = self.ledger.resources_on_machine(
+                machine, lambda key: self.units.get(key).resources)
+            expected_free = self.pool.capacity(machine).monus(allocated)
+            actual_free = self.pool.free(machine)
+            if expected_free != actual_free:
+                raise AssertionError(
+                    f"conservation violated on {machine}: free={actual_free!r} "
+                    f"expected={expected_free!r}"
+                )
+
+    def snapshot_demands(self) -> Dict[UnitKey, dict]:
+        """Serializable copy of every outstanding demand (failover support)."""
+        return {key: demand.snapshot() for key, demand in self._demands.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FuxiScheduler machines={len(self.pool.machines())} "
+            f"apps={len(self._apps)} waiting={self.waiting_units_total()}>"
+        )

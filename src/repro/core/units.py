@@ -1,0 +1,92 @@
+"""ScheduleUnit: the unit of resource allocation (paper §3.2.2, Figure 4).
+
+A ScheduleUnit is an application-defined bundle such as ``{1 core CPU, 2 GB
+memory}`` with a priority.  All of an application's requests and grants are
+counted in whole units of one of its ScheduleUnits; an application may define
+several units (e.g. one for mappers, one for reducers) with different sizes
+and priorities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class ScheduleUnit:
+    """Unit-size resource description, identified by (app_id, slot_id).
+
+    Attributes:
+        app_id: owning application.
+        slot_id: application-local identifier (the paper's ``slot_id``).
+        resources: per-unit resource vector (the paper's ``slot_def.resource``).
+        priority: scheduling priority; **lower number = higher priority**,
+            matching the paper's examples where P1 outranks P2.
+        max_count: cap on simultaneously granted units (``max_slot_count``).
+    """
+
+    app_id: str
+    slot_id: int
+    resources: ResourceVector
+    priority: int = 100
+    max_count: int = 10 ** 9
+
+    def __post_init__(self) -> None:
+        if self.resources.is_zero():
+            raise ValueError("ScheduleUnit resources must be non-zero")
+        if self.max_count <= 0:
+            raise ValueError(f"max_count must be positive, got {self.max_count}")
+
+    @property
+    def key(self) -> "UnitKey":
+        return UnitKey(self.app_id, self.slot_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduleUnit({self.app_id}#{self.slot_id}, {self.resources!r}, "
+            f"prio={self.priority}, max={self.max_count})"
+        )
+
+
+@dataclass(frozen=True, order=True)
+class UnitKey:
+    """Globally unique ScheduleUnit identifier."""
+
+    app_id: str
+    slot_id: int
+
+    def __repr__(self) -> str:
+        return f"{self.app_id}#{self.slot_id}"
+
+
+@dataclass
+class UnitRegistry:
+    """ScheduleUnit definitions known to a scheduler, keyed by UnitKey."""
+
+    _units: dict = field(default_factory=dict)
+
+    def define(self, unit: ScheduleUnit) -> None:
+        """Register or replace a unit definition."""
+        self._units[unit.key] = unit
+
+    def get(self, key: UnitKey) -> ScheduleUnit:
+        try:
+            return self._units[key]
+        except KeyError:
+            raise KeyError(f"unknown ScheduleUnit {key!r}") from None
+
+    def drop_app(self, app_id: str) -> None:
+        """Remove every unit belonging to ``app_id`` (application exit)."""
+        for key in [k for k in self._units if k.app_id == app_id]:
+            del self._units[key]
+
+    def units_of(self, app_id: str):
+        return [u for k, u in sorted(self._units.items()) if k.app_id == app_id]
+
+    def __contains__(self, key: UnitKey) -> bool:
+        return key in self._units
+
+    def __len__(self) -> int:
+        return len(self._units)

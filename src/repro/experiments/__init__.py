@@ -1,0 +1,25 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes a ``run(config) -> ExperimentReport`` with scaled-down
+defaults; the benchmarks in ``benchmarks/`` call these and print the
+paper-vs-measured comparison, and ``EXPERIMENTS.md`` records the outcomes.
+
+Index (see DESIGN.md §5 for the full mapping):
+
+========================  =============================================
+module                    reproduces
+========================  =============================================
+fig09_scheduling_time     Figure 9 — per-request scheduling time
+fig10_utilization         Figure 10 — planned memory/CPU utilization
+table1_production         Table 1 — production trace statistics
+table2_overheads          Table 2 — scheduling overhead decomposition
+table3_faults             Table 3 + §5.4 — fault-injection slowdowns
+table4_graysort           Table 4 — GraySort comparison (+ PetaSort)
+scale_instances           §4.4 — 100k instances scheduled < 3 s
+ablations                 design ablations (protocol, locality, reuse)
+========================  =============================================
+"""
+
+from repro.experiments.harness import Comparison, ExperimentReport
+
+__all__ = ["Comparison", "ExperimentReport"]

@@ -1,0 +1,88 @@
+"""§4.4 scale claim: "less than 3 seconds is taken to schedule 100 thousand
+instances."
+
+The TaskMaster's instance scheduler is incremental: a pending deque plus a
+per-machine locality index mean one assignment is O(1) amortized, so a bulk
+pass over 100k instances is linear.  We measure wall-clock time for exactly
+that: 100,000 instances, several thousand workers, locality hints on a
+fraction of instances, scheduled to completion in waves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.resources import ResourceVector
+from repro.experiments.harness import ExperimentReport
+from repro.jobs.spec import TaskSpec
+from repro.jobs.taskmaster import TaskMaster
+from repro.sim.rng import SplitRandom
+
+PAPER_SECONDS = 3.0
+PAPER_INSTANCES = 100_000
+
+
+@dataclass
+class ScaleConfig:
+    instances: int = 100_000
+    workers: int = 5_000
+    machines: int = 1_000
+    locality_fraction: float = 0.5
+    seed: int = 31
+
+
+def run(config: Optional[ScaleConfig] = None) -> ExperimentReport:
+    """Run the the §4.4 100k-instance claim experiment; returns an ExperimentReport."""
+    config = config or ScaleConfig()
+    spec = TaskSpec("scale", config.instances, duration=10.0,
+                    resources=ResourceVector.of(cpu=50, memory=2048),
+                    workers=config.workers)
+    master = TaskMaster(spec)
+    rng = SplitRandom(config.seed).stream("scale")
+    machines = [f"m{i:04d}" for i in range(config.machines)]
+    preferred = {
+        index: {rng.choice(machines)}
+        for index in range(config.instances)
+        if rng.random() < config.locality_fraction
+    }
+    master.set_locality(preferred)
+    workers = [(f"w{i:05d}", machines[i % len(machines)])
+               for i in range(config.workers)]
+
+    started = time.perf_counter()
+    scheduled = 0
+    now = 0.0
+    while scheduled < config.instances:
+        assignments = master.bulk_schedule(workers, now)
+        if not assignments:
+            break
+        for worker_id, instance in assignments:
+            master.on_completed(worker_id, instance.instance_id, now + 1.0)
+        scheduled += len(assignments)
+        now += 1.0
+    elapsed = time.perf_counter() - started
+
+    local_hits = sum(
+        1 for instance in master.instances
+        if instance.winning_attempt is not None
+        and instance.preferred_machines
+        and instance.winning_attempt.machine in instance.preferred_machines)
+    with_prefs = sum(1 for i in master.instances if i.preferred_machines)
+
+    report = ExperimentReport(
+        exp_id="scale", title="Schedule 100k instances (§4.4 claim)")
+    report.add_comparison("instances scheduled", PAPER_INSTANCES,
+                          float(scheduled), "", "all of them")
+    report.add_comparison("scheduling wall time", PAPER_SECONDS, elapsed,
+                          "s", "< 3 s")
+    if with_prefs:
+        report.add_comparison("locality hit rate", 100.0,
+                              100.0 * local_hits / with_prefs, "%",
+                              "hinted instances land local when possible")
+    report.notes.append(
+        f"{config.workers} workers over {config.machines} machines, "
+        f"{len(preferred)} instances with locality hints, "
+        f"{scheduled / max(elapsed, 1e-9):,.0f} assignments/second.")
+    return report

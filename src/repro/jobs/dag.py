@@ -1,0 +1,76 @@
+"""DAG analysis: validation and topological task ordering (paper §4.4).
+
+"The JobMaster firstly parses the job description and analyzes the shuffle
+pipes to figure out the task topological order.  Each time only the tasks
+whose input data are ready can be scheduled and then executed."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.jobs.spec import JobSpec, JobSpecError
+
+
+def validate_dag(spec: JobSpec) -> None:
+    """Raise :class:`JobSpecError` if the pipe graph has a cycle."""
+    waves = topological_waves(spec.tasks.keys(), spec.edges)
+    placed = sum(len(wave) for wave in waves)
+    if placed != len(spec.tasks):
+        cyclic = set(spec.tasks) - {t for wave in waves for t in wave}
+        raise JobSpecError(f"job {spec.name!r} has cyclic tasks: {sorted(cyclic)}")
+
+
+def topological_waves(tasks: Iterable[str],
+                      edges: Sequence[Tuple[str, str]]) -> List[List[str]]:
+    """Group tasks into execution waves: wave N+1 depends only on waves <= N.
+
+    Tasks in a wave have no dependency on one another and can run
+    concurrently.  Tasks trapped in cycles are omitted (validate first).
+    """
+    task_list = sorted(set(tasks))
+    indegree: Dict[str, int] = {t: 0 for t in task_list}
+    downstream: Dict[str, List[str]] = {t: [] for t in task_list}
+    for src, dst in edges:
+        if src in indegree and dst in indegree:
+            indegree[dst] += 1
+            downstream[src].append(dst)
+    current = sorted(t for t, d in indegree.items() if d == 0)
+    waves: List[List[str]] = []
+    while current:
+        waves.append(current)
+        next_wave: Set[str] = set()
+        for task in current:
+            for dst in downstream[task]:
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    next_wave.add(dst)
+        current = sorted(next_wave)
+    return waves
+
+
+def ready_tasks(spec: JobSpec, finished: Set[str], started: Set[str]) -> List[str]:
+    """Tasks whose every upstream task has finished and that have not started."""
+    ready = []
+    for task in sorted(spec.tasks):
+        if task in started or task in finished:
+            continue
+        if all(up in finished for up in spec.upstream_of(task)):
+            ready.append(task)
+    return ready
+
+
+def critical_path_length(spec: JobSpec) -> float:
+    """Sum of per-task durations along the heaviest dependency chain.
+
+    A lower bound on job makespan with infinite resources; used by tests and
+    the overhead decomposition in Table 2.
+    """
+    waves = topological_waves(spec.tasks.keys(), spec.edges)
+    longest: Dict[str, float] = {}
+    for wave in waves:
+        for task in wave:
+            upstream = spec.upstream_of(task)
+            base = max((longest.get(u, 0.0) for u in upstream), default=0.0)
+            longest[task] = base + spec.tasks[task].duration
+    return max(longest.values(), default=0.0)

@@ -1,0 +1,141 @@
+"""MapReduce on Fuxi: job builders plus a local execution engine.
+
+Two layers, matching how the examples use them:
+
+- :func:`wordcount_job` / :func:`terasort_job` build DAG :class:`JobSpec`\\ s
+  whose *placement and timing* run on the simulated cluster;
+- :class:`LocalMapReduce` executes the same logical computation with the
+  Streamline operators so examples can verify real outputs (counts, sorted
+  order) next to the scheduling simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.resources import ResourceVector
+from repro.jobs import streamline
+from repro.jobs.spec import BackupSpec, JobSpec, TaskSpec
+
+Record = Tuple[Any, Any]
+
+
+def wordcount_job(name: str, input_mb: float, block_mb: float = 256.0,
+                  reducers: int = 4, input_file: str = "",
+                  resources: ResourceVector = ResourceVector.of(cpu=50, memory=2048),
+                  mb_per_second: float = 64.0) -> JobSpec:
+    """A WordCount-shaped DAG: one mapper per input block.
+
+    Durations derive from data volume: each mapper scans one block at
+    ``mb_per_second``; reducers handle the (much smaller) count stream.
+    """
+    mappers = max(1, int(round(input_mb / block_mb)))
+    map_duration = block_mb / mb_per_second
+    reduce_duration = max(1.0, map_duration * 0.3)
+    tasks = {
+        "map": TaskSpec("map", mappers, map_duration, resources),
+        "reduce": TaskSpec("reduce", reducers, reduce_duration, resources),
+    }
+    return JobSpec(name=name, tasks=tasks, edges=[("map", "reduce")],
+                   input_files=[(input_file, "map")] if input_file else [],
+                   output_files=[])
+
+
+def terasort_job(name: str, data_mb: float, block_mb: float = 256.0,
+                 reducers: int = 8, input_file: str = "",
+                 resources: ResourceVector = ResourceVector.of(cpu=50, memory=2048),
+                 mb_per_second: float = 48.0) -> JobSpec:
+    """A Terasort-shaped DAG: sample → partition/sort maps → merge reduces."""
+    mappers = max(1, int(round(data_mb / block_mb)))
+    map_duration = block_mb / mb_per_second
+    reduce_duration = max(1.0, (data_mb / max(reducers, 1)) / mb_per_second)
+    tasks = {
+        "sample": TaskSpec("sample", 1, max(0.5, map_duration * 0.1), resources),
+        "map": TaskSpec("map", mappers, map_duration, resources),
+        "reduce": TaskSpec("reduce", reducers, reduce_duration, resources,
+                           backup=BackupSpec(normal_duration=reduce_duration * 3)),
+    }
+    return JobSpec(name=name, tasks=tasks,
+                   edges=[("sample", "map"), ("map", "reduce")],
+                   input_files=[(input_file, "sample"),
+                                (input_file, "map")] if input_file else [],
+                   output_files=[])
+
+
+@dataclass
+class MapReduceResult:
+    """Output of a local (in-memory) MapReduce execution."""
+
+    records: List[Record]
+    map_tasks: int
+    reduce_tasks: int
+
+
+class LocalMapReduce:
+    """Executes map/reduce logic with Streamline operators, single-process.
+
+    The map function turns one input item into records; the reduce function
+    folds all values of a key.  Shuffling uses hash partitioning and
+    merge-sort exactly as the distributed workers would.
+    """
+
+    def __init__(self, mapper: Callable[[Any], Iterable[Record]],
+                 reducer: Callable[[Any, List[Any]], Any],
+                 reducers: int = 4):
+        if reducers <= 0:
+            raise ValueError(f"reducers must be positive, got {reducers}")
+        self.mapper = mapper
+        self.reducer = reducer
+        self.reducers = reducers
+
+    def run(self, inputs: Sequence[Any],
+            splits: int = 0) -> MapReduceResult:
+        """Run over ``inputs`` divided into ``splits`` map tasks (0 = one per item)."""
+        chunks = self._split(inputs, splits)
+        # map phase: each chunk produces hash-partitioned, sorted spills
+        spills: List[List[List[Record]]] = [[] for _ in range(self.reducers)]
+        for chunk in chunks:
+            records: List[Record] = []
+            for item in chunk:
+                records.extend(self.mapper(item))
+            for partition, bucket in enumerate(
+                    streamline.hash_partition(records, self.reducers)):
+                spills[partition].append(streamline.sort_records(bucket))
+        # reduce phase: merge-sort the spills, then fold by key
+        output: List[Record] = []
+        for partition in range(self.reducers):
+            merged = streamline.merge_sorted(spills[partition])
+            output.extend(streamline.reduce_by_key(merged, self.reducer))
+        output.sort(key=lambda r: r[0])
+        return MapReduceResult(records=output, map_tasks=len(chunks),
+                               reduce_tasks=self.reducers)
+
+    @staticmethod
+    def _split(inputs: Sequence[Any], splits: int) -> List[Sequence[Any]]:
+        if splits <= 0 or splits >= len(inputs):
+            return [[item] for item in inputs]
+        size = (len(inputs) + splits - 1) // splits
+        return [inputs[i:i + size] for i in range(0, len(inputs), size)]
+
+
+def local_wordcount(texts: Sequence[str], reducers: int = 4) -> Dict[str, int]:
+    """Count words across texts with the MapReduce engine."""
+    engine = LocalMapReduce(
+        mapper=lambda text: streamline.tokenize(text),
+        reducer=lambda _key, values: sum(values),
+        reducers=reducers,
+    )
+    return dict(engine.run(texts).records)
+
+
+def local_terasort(keys: Sequence[Any], reducers: int = 8) -> List[Any]:
+    """Range-partitioned distributed sort of ``keys`` (Terasort logic)."""
+    records = [(k, None) for k in keys]
+    sample = records[:: max(1, len(records) // 100)]
+    boundaries = streamline.sample_boundaries(sample, reducers)
+    buckets = streamline.range_partition(records, boundaries)
+    output: List[Any] = []
+    for bucket in buckets:
+        output.extend(k for k, _ in streamline.sort_records(bucket))
+    return output

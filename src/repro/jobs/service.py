@@ -1,0 +1,284 @@
+"""Long-running services on Fuxi (paper §6: "Other than short task, Fuxi
+also support comprehensive-purpose task models including DAG task, long
+running service etc.").
+
+A :class:`ServiceMaster` is an application master that keeps a target
+number of service replicas running indefinitely: it acquires containers,
+launches one worker per container, replaces replicas lost to machine
+failures or preemption (consulting the same multi-level blacklist), and
+supports live re-scaling.  Unlike a DAG job it never finishes on its own —
+the owner stops it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core import messages as msg
+from repro.core.appmaster import ApplicationMaster, AppMasterConfig
+from repro.core.blacklist import BlacklistConfig, JobBlacklist
+from repro.core.resources import ResourceVector
+from repro.core.units import UnitKey
+from repro.jobs import worker as wmsg
+from repro.sim.events import EventLoop
+
+SERVICE_SLOT_ID = 1
+
+
+@dataclass
+class ServiceSpec:
+    """Description of a replicated service."""
+
+    name: str
+    replicas: int
+    resources: ResourceVector
+    priority: int = 50          # services usually outrank batch
+    max_per_machine: int = 0    # 0 = no spreading constraint
+
+    def to_description(self) -> dict:
+        return {
+            "type": "service",
+            "name": self.name,
+            "Replicas": self.replicas,
+            "Resources": self.resources.as_dict(),
+            "Priority": self.priority,
+            "MaxPerMachine": self.max_per_machine,
+        }
+
+    @staticmethod
+    def from_description(description: dict) -> "ServiceSpec":
+        return ServiceSpec(
+            name=description.get("name", "service"),
+            replicas=int(description.get("Replicas", 1)),
+            resources=ResourceVector(description.get(
+                "Resources", {"CPU": 100, "Memory": 1024})),
+            priority=int(description.get("Priority", 50)),
+            max_per_machine=int(description.get("MaxPerMachine", 0)),
+        )
+
+
+@dataclass
+class _Replica:
+    worker_id: str
+    machine: str
+    state: str = "starting"     # starting | up | gone
+    since: float = 0.0
+    last_seen: float = 0.0
+
+
+class ServiceMaster(ApplicationMaster):
+    """Keeps ``spec.replicas`` service workers alive until stopped."""
+
+    REPLICA_SILENCE_TIMEOUT = 6.0
+
+    def __init__(self, loop: EventLoop, bus, app_id: str, description: dict,
+                 services: Any = None,
+                 config: Optional[AppMasterConfig] = None,
+                 blacklist_config: Optional[BlacklistConfig] = None):
+        self.description = description
+        self.services = services
+        self.spec = ServiceSpec.from_description(description)
+        self.blacklist = JobBlacklist(blacklist_config)
+        self.replicas: Dict[str, _Replica] = {}
+        self._replica_seq = 0
+        self.replacements = 0
+        self.stopping = False
+        super().__init__(loop, bus, app_id, config)
+        self.set_periodic_timer("service-housekeeping", 1.0,
+                                self._housekeeping)
+        self.loop.call_after(0.0, self._bootstrap)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def unit_key(self) -> UnitKey:
+        return UnitKey(self.app_id, SERVICE_SLOT_ID)
+
+    def _bootstrap(self) -> None:
+        self.define_unit(SERVICE_SLOT_ID, self.spec.resources,
+                         priority=self.spec.priority,
+                         max_count=max(self.spec.replicas * 2, 4))
+        self.request(self.unit_key, self.spec.replicas,
+                     avoid=self.blacklist.job_bad_machines())
+
+    def scale_to(self, replicas: int) -> None:
+        """Re-target the replica count at runtime."""
+        if replicas < 0:
+            raise ValueError(f"negative replica target {replicas}")
+        self.spec.replicas = replicas
+        current_cap = self.units[self.unit_key].max_count
+        if replicas * 2 > current_cap:
+            # grow the grant cap (units can be redefined at any time, §3.2.2)
+            self.define_unit(SERVICE_SLOT_ID, self.spec.resources,
+                             priority=self.spec.priority,
+                             max_count=replicas * 2)
+        self._housekeeping()
+
+    def stop_service(self) -> None:
+        """Graceful shutdown: stop every replica and exit the application."""
+        self.stopping = True
+        for replica in list(self.replicas.values()):
+            self._drop_replica(replica)
+        self.exit_application()
+
+    # ------------------------------------------------------------------ #
+    # container flow
+    # ------------------------------------------------------------------ #
+
+    def live_replicas(self) -> List[_Replica]:
+        return [r for r in self.replicas.values() if r.state != "gone"]
+
+    def up_replicas(self) -> List[_Replica]:
+        return [r for r in self.replicas.values() if r.state == "up"]
+
+    def _replicas_on(self, machine: str) -> int:
+        return sum(1 for r in self.live_replicas() if r.machine == machine)
+
+    def on_granted(self, unit_key: UnitKey, machine: str, count: int) -> None:
+        if self.stopping:
+            if self.held_count(unit_key, machine) >= count:
+                self.return_grant(unit_key, machine, count)
+            return
+        for _ in range(count):
+            if len(self.live_replicas()) >= self.spec.replicas:
+                self.return_grant(unit_key, machine, 1)
+                continue
+            if (self.spec.max_per_machine
+                    and self._replicas_on(machine) >= self.spec.max_per_machine):
+                # spreading constraint violated: hand it back and re-ask
+                self.return_grant(unit_key, machine, 1)
+                self.send_avoid(unit_key, [machine])
+                self.request(unit_key, 1)
+                continue
+            self._replica_seq += 1
+            worker_id = f"{self.app_id}.svc.{self._replica_seq}"
+            replica = _Replica(worker_id, machine, since=self.loop.now,
+                               last_seen=self.loop.now)
+            self.replicas[worker_id] = replica
+            self.send_work_plan(worker_id, unit_key, machine,
+                                spec={"service": self.spec.name})
+
+    def on_revoked(self, unit_key: UnitKey, machine: str, count: int) -> None:
+        victims = [r for r in self.live_replicas()
+                   if r.machine == machine][:count]
+        for replica in victims:
+            replica.state = "gone"
+            self.replicas.pop(replica.worker_id, None)
+            self.forget_worker(replica.worker_id)
+        if not self.stopping:
+            self._housekeeping()
+
+    def on_worker_failed(self, worker_id: str, machine: str,
+                         reason: str) -> None:
+        replica = self.replicas.pop(worker_id, None)
+        if replica is None:
+            return
+        replica.state = "gone"
+        self.forget_worker(worker_id)
+        if reason in ("launch-failure", "crashed"):
+            if self.blacklist.mark_job_bad(machine):
+                self.send(self.config.master_address,
+                          msg.BlacklistReport(self.app_id, machine))
+            self.send_avoid(self.unit_key, [machine])
+            held = self.held_count(self.unit_key, machine)
+            if held > 0:
+                self.return_grant(self.unit_key, machine, 1)
+        if not self.stopping:
+            self.replacements += 1
+            self._housekeeping()
+
+    # ------------------------------------------------------------------ #
+    # worker messages
+    # ------------------------------------------------------------------ #
+
+    def handle_app_message(self, sender: str, message) -> None:
+        if isinstance(message, wmsg.WorkerReady):
+            replica = self.replicas.get(message.worker_id)
+            if replica is None:
+                self.send(f"agent:{message.machine}",
+                          msg.StopWorker(self.app_id, message.worker_id))
+                return
+            replica.state = "up"
+            replica.last_seen = self.loop.now
+        elif isinstance(message, wmsg.WorkerStatusReport):
+            replica = self.replicas.get(message.worker_id)
+            if replica is not None:
+                replica.last_seen = self.loop.now
+                if replica.state == "starting":
+                    replica.state = "up"
+
+    # ------------------------------------------------------------------ #
+    # housekeeping: replace, scale, spread
+    # ------------------------------------------------------------------ #
+
+    def _housekeeping(self) -> None:
+        if self.stopping or self.finished:
+            return
+        now = self.loop.now
+        # silent replicas are dead
+        for replica in list(self.live_replicas()):
+            if now - replica.last_seen > self.REPLICA_SILENCE_TIMEOUT:
+                self.on_worker_failed(replica.worker_id, replica.machine,
+                                      "crashed")
+        live = len(self.live_replicas())
+        deficit = self.spec.replicas - live - self.outstanding(self.unit_key)
+        held_spare = self.held_count(self.unit_key) - live
+        if deficit > 0:
+            ask = max(0, deficit - held_spare)
+            if ask > 0:
+                self.request(self.unit_key, ask,
+                             avoid=self.blacklist.job_bad_machines())
+            self._fill_from_spares()
+        elif live > self.spec.replicas:
+            # scale down: stop the newest replicas first
+            for replica in sorted(self.live_replicas(),
+                                  key=lambda r: -r.since)[
+                                      : live - self.spec.replicas]:
+                self._drop_replica(replica)
+
+    def _fill_from_spares(self) -> None:
+        """Launch replicas into containers we already hold but don't use."""
+        per_machine_used: Dict[str, int] = {}
+        for replica in self.live_replicas():
+            per_machine_used[replica.machine] = \
+                per_machine_used.get(replica.machine, 0) + 1
+        for machine, count in sorted(
+                self.holdings.get(self.unit_key, {}).items()):
+            while (count - per_machine_used.get(machine, 0) > 0
+                   and len(self.live_replicas()) < self.spec.replicas):
+                self._replica_seq += 1
+                worker_id = f"{self.app_id}.svc.{self._replica_seq}"
+                self.replicas[worker_id] = _Replica(
+                    worker_id, machine, since=self.loop.now,
+                    last_seen=self.loop.now)
+                per_machine_used[machine] = \
+                    per_machine_used.get(machine, 0) + 1
+                self.send_work_plan(worker_id, self.unit_key, machine,
+                                    spec={"service": self.spec.name})
+
+    def _drop_replica(self, replica: _Replica) -> None:
+        replica.state = "gone"
+        self.replicas.pop(replica.worker_id, None)
+        self.stop_worker(replica.worker_id)
+        self.forget_worker(replica.worker_id)
+        held = self.held_count(self.unit_key, replica.machine)
+        if held > 0:
+            self.return_grant(self.unit_key, replica.machine, 1)
+
+    # ------------------------------------------------------------------ #
+    # monitoring
+    # ------------------------------------------------------------------ #
+
+    def status(self) -> dict:
+        return {
+            "service": self.spec.name,
+            "target": self.spec.replicas,
+            "up": len(self.up_replicas()),
+            "starting": sum(1 for r in self.live_replicas()
+                            if r.state == "starting"),
+            "replacements": self.replacements,
+            "machines": sorted({r.machine for r in self.live_replicas()}),
+        }

@@ -1,0 +1,146 @@
+"""GraySort / PetaSort execution model (paper §5.3, Table 4).
+
+We cannot run 100 TB through real disks, so Table 4 is reproduced with a
+phase-level analytic model driven by each entry's published hardware
+configuration:
+
+- **passes** — if a node's data share fits in (half of) its memory, the sort
+  is one-pass (read + write); otherwise two-pass (4 disk transfers);
+- **disk time** — bytes per node over aggregate per-node disk bandwidth;
+- **network time** — the all-to-all shuffle moves ~all data across NICs;
+- **scheduling overhead** — tasks/waves times a per-framework per-task cost
+  (sub-millisecond for Fuxi's locality-tree scheduler with container reuse;
+  seconds of JVM startup + heartbeat-paced allocation for Hadoop);
+- **framework efficiency** — the fraction of raw bandwidth the stack
+  sustains end to end.  This folds in network oversubscription (large
+  commodity clusters of that era delivered a few percent of NIC line rate
+  cross-rack), pipeline stalls and skew.
+
+Calibration is documented and deliberately minimal: each framework class's
+efficiency is anchored on **one** published entry (Fuxi 2013, Yahoo 2012,
+UCSD 2011, KIT 2009).  The remaining rows — UCSD&VUT 2010 and the PetaSort
+run — are *predictions* from hardware alone and land within a factor ~2,
+which is the fidelity the shape claim needs (who wins, by what rough
+factor, and why: TritonSort is disk-limited, Fuxi/Hadoop are network-
+efficiency-limited, and Fuxi's aggregate hardware is what beats Yahoo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.workloads.graysort import SortClusterConfig
+
+#: fraction of raw bandwidth sustained end-to-end, per framework class;
+#: anchored as described in the module docstring.
+FRAMEWORK_EFFICIENCY: Dict[str, float] = {
+    "fuxi": 0.0355,
+    "hadoop": 0.0549,
+    "tritonsort": 0.880,
+    "custom": 0.695,
+}
+
+#: per-task scheduling + startup cost in seconds (framework software path)
+PER_TASK_OVERHEAD: Dict[str, float] = {
+    "fuxi": 0.005,        # sub-ms scheduling, container reuse
+    "hadoop": 1.5,        # JVM spawn + heartbeat-paced container allocation
+    "tritonsort": 0.01,   # pipeline, effectively no per-task dispatch
+    "custom": 0.05,
+}
+
+#: straggler inflation of the slowest wave
+STRAGGLER_FACTOR: Dict[str, float] = {
+    "fuxi": 1.10,         # backup instances bound the tail
+    "hadoop": 1.20,       # speculative execution, coarser
+    "tritonsort": 1.05,
+    "custom": 1.15,
+}
+
+BLOCK_MB = 256.0
+MEMORY_SORT_FRACTION = 0.5   # usable fraction of RAM for sort buffers
+
+
+@dataclass(frozen=True)
+class SortPrediction:
+    """Model output for one configuration."""
+
+    config: SortClusterConfig
+    passes: int
+    disk_seconds: float
+    net_seconds: float
+    overhead_seconds: float
+    total_seconds: float
+
+    @property
+    def tb_per_min(self) -> float:
+        return self.config.data_tb / (self.total_seconds / 60.0)
+
+    @property
+    def published_ratio(self) -> float:
+        """model / published; 1.0 is a perfect match."""
+        return self.total_seconds / self.config.published_seconds
+
+
+def predict(config: SortClusterConfig,
+            efficiency: float = None,  # type: ignore[assignment]
+            per_task_overhead: float = None,  # type: ignore[assignment]
+            straggler: float = None,  # type: ignore[assignment]
+            ) -> SortPrediction:
+    """Predict end-to-end sort time for a cluster configuration."""
+    eff = efficiency if efficiency is not None else \
+        FRAMEWORK_EFFICIENCY[config.framework]
+    task_cost = per_task_overhead if per_task_overhead is not None else \
+        PER_TASK_OVERHEAD[config.framework]
+    tail = straggler if straggler is not None else \
+        STRAGGLER_FACTOR[config.framework]
+
+    data_mb = config.data_tb * 1e6
+    data_per_node = data_mb / config.nodes
+    memory_mb = config.memory_gb_per_node * 1024.0
+    passes = 1 if data_per_node <= MEMORY_SORT_FRACTION * memory_mb else 2
+
+    disk_bytes_per_node = 2.0 * passes * data_per_node   # read+write per pass
+    disk_seconds = disk_bytes_per_node / (config.disk_bw_node * eff)
+    net_seconds = data_per_node / (config.net_mb_s * eff)
+
+    # scheduling / startup: map + reduce tasks dispatched over all slots
+    tasks = 2.0 * data_mb / BLOCK_MB
+    slots = config.nodes * config.cores_per_node
+    overhead_seconds = tasks * task_cost / slots
+
+    total = (max(disk_seconds, net_seconds) + overhead_seconds) * tail
+    return SortPrediction(config=config, passes=passes,
+                          disk_seconds=disk_seconds, net_seconds=net_seconds,
+                          overhead_seconds=overhead_seconds,
+                          total_seconds=total)
+
+
+def predict_all(configs: List[SortClusterConfig]) -> List[SortPrediction]:
+    """Predict every configuration in order."""
+    return [predict(config) for config in configs]
+
+
+def bottleneck_of(prediction: SortPrediction) -> str:
+    """Which resource limits this configuration?"""
+    if prediction.disk_seconds >= prediction.net_seconds:
+        return "disk"
+    return "network"
+
+
+def improvement_factor(winner: SortPrediction, loser: SortPrediction) -> float:
+    """Throughput ratio winner/loser in TB/min (the paper's 66.5% claim)."""
+    return winner.tb_per_min / loser.tb_per_min
+
+
+def swap_framework(config: SortClusterConfig,
+                   framework: str) -> SortClusterConfig:
+    """Same hardware, different software stack (used by the ablation bench)."""
+    return SortClusterConfig(
+        name=f"{config.name} [{framework}]", year=config.year,
+        framework=framework, nodes=config.nodes,
+        cores_per_node=config.cores_per_node,
+        memory_gb_per_node=config.memory_gb_per_node,
+        disks_per_node=config.disks_per_node, disk_mb_s=config.disk_mb_s,
+        net_mb_s=config.net_mb_s, data_tb=config.data_tb,
+        published_seconds=config.published_seconds)

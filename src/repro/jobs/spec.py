@@ -1,0 +1,225 @@
+"""Job description: the JSON DAG format of Figure 6.
+
+A job is a set of named **Tasks** plus **Pipes** connecting task access
+points (``"T1:toT2"``) or file patterns (``"pangu://..."``).  We extend each
+task entry with the simulation-relevant fields a real description carries in
+its binary/parameters: instance count, per-instance duration model, per
+worker resources and desired parallelism.
+
+Example::
+
+    {
+      "Tasks": {
+        "map":    {"Instances": 100, "Duration": 4.0,
+                   "Resources": {"CPU": 50, "Memory": 2048}, "Workers": 20},
+        "reduce": {"Instances": 10,  "Duration": 8.0,
+                   "Resources": {"CPU": 100, "Memory": 4096}}
+      },
+      "Pipes": [
+        {"Source": {"FilePattern": "pangu://input"},
+         "Destination": {"AccessPoint": "map:input"}},
+        {"Source": {"AccessPoint": "map:out"},
+         "Destination": {"AccessPoint": "reduce:in"}},
+        {"Source": {"AccessPoint": "reduce:out"},
+         "Destination": {"FilePattern": "pangu://output"}}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.resources import ResourceVector
+
+
+class JobSpecError(ValueError):
+    """Raised for malformed job descriptions."""
+
+
+@dataclass(frozen=True)
+class BackupSpec:
+    """Backup-instance (speculative execution) settings for a task (§4.3.2).
+
+    Attributes:
+        enabled: turn the scheme on.
+        finished_fraction: fraction of instances that must have finished
+            before long-tail judgement is meaningful (paper: ~90 %).
+        slowdown_factor: an instance must have run this many times the
+            average finished-instance time to be a long-tail suspect.
+        normal_duration: user-declared normal running time — instances with
+            skewed input legitimately run long; only instances exceeding
+            this too are backed up.
+    """
+
+    enabled: bool = True
+    finished_fraction: float = 0.9
+    slowdown_factor: float = 2.0
+    normal_duration: float = 60.0
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One task of the DAG."""
+
+    name: str
+    instances: int
+    duration: float
+    resources: ResourceVector
+    workers: int = 0                    # 0 → min(instances, default cap)
+    priority: int = 100
+    duration_sigma: float = 0.1         # lognormal spread of instance times
+    max_attempts: int = 4
+    backup: BackupSpec = field(default_factory=BackupSpec)
+
+    def worker_target(self, default_cap: int = 50) -> int:
+        """Concurrent containers to ask for."""
+        if self.workers > 0:
+            return min(self.workers, self.instances)
+        return min(self.instances, default_cap)
+
+
+@dataclass
+class JobSpec:
+    """Parsed job: tasks, edges, and file endpoints."""
+
+    name: str
+    tasks: Dict[str, TaskSpec]
+    edges: List[Tuple[str, str]]
+    input_files: List[Tuple[str, str]]    # (file pattern, task)
+    output_files: List[Tuple[str, str]]   # (task, file pattern)
+
+    def upstream_of(self, task: str) -> List[str]:
+        return sorted({src for src, dst in self.edges if dst == task})
+
+    def downstream_of(self, task: str) -> List[str]:
+        return sorted({dst for src, dst in self.edges if src == task})
+
+    def inputs_of(self, task: str) -> List[str]:
+        return sorted(f for f, t in self.input_files if t == task)
+
+    def total_instances(self) -> int:
+        return sum(t.instances for t in self.tasks.values())
+
+    def to_description(self) -> dict:
+        """Serializable description (what gets checkpointed by FuxiMaster)."""
+        return {
+            "type": "dag",
+            "name": self.name,
+            "Tasks": {
+                name: {
+                    "Instances": task.instances,
+                    "Duration": task.duration,
+                    "DurationSigma": task.duration_sigma,
+                    "Resources": task.resources.as_dict(),
+                    "Workers": task.workers,
+                    "Priority": task.priority,
+                    "MaxAttempts": task.max_attempts,
+                    "Backup": {
+                        "Enabled": task.backup.enabled,
+                        "FinishedFraction": task.backup.finished_fraction,
+                        "SlowdownFactor": task.backup.slowdown_factor,
+                        "NormalDuration": task.backup.normal_duration,
+                    },
+                }
+                for name, task in self.tasks.items()
+            },
+            "Pipes": (
+                [{"Source": {"FilePattern": f},
+                  "Destination": {"AccessPoint": f"{t}:input"}}
+                 for f, t in self.input_files]
+                + [{"Source": {"AccessPoint": f"{src}:out"},
+                    "Destination": {"AccessPoint": f"{dst}:in"}}
+                   for src, dst in self.edges]
+                + [{"Source": {"AccessPoint": f"{t}:out"},
+                    "Destination": {"FilePattern": f}}
+                   for t, f in self.output_files]
+            ),
+        }
+
+
+def parse_job_description(description: dict, name: str = "job") -> JobSpec:
+    """Parse the Figure-6 JSON shape into a :class:`JobSpec`."""
+    if "Tasks" not in description:
+        raise JobSpecError('job description must have a "Tasks" field')
+    raw_tasks = description["Tasks"]
+    if not isinstance(raw_tasks, dict) or not raw_tasks:
+        raise JobSpecError('"Tasks" must be a non-empty object')
+    tasks: Dict[str, TaskSpec] = {}
+    for task_name, raw in raw_tasks.items():
+        tasks[task_name] = _parse_task(task_name, raw or {})
+    edges: List[Tuple[str, str]] = []
+    input_files: List[Tuple[str, str]] = []
+    output_files: List[Tuple[str, str]] = []
+    for pipe in description.get("Pipes", ()):
+        source = pipe.get("Source", {})
+        destination = pipe.get("Destination", {})
+        src_task = _access_point_task(source)
+        dst_task = _access_point_task(destination)
+        if src_task is not None and dst_task is not None:
+            for task_name in (src_task, dst_task):
+                if task_name not in tasks:
+                    raise JobSpecError(f"pipe references unknown task {task_name!r}")
+            edges.append((src_task, dst_task))
+        elif "FilePattern" in source and dst_task is not None:
+            if dst_task not in tasks:
+                raise JobSpecError(f"pipe references unknown task {dst_task!r}")
+            input_files.append((source["FilePattern"], dst_task))
+        elif src_task is not None and "FilePattern" in destination:
+            if src_task not in tasks:
+                raise JobSpecError(f"pipe references unknown task {src_task!r}")
+            output_files.append((src_task, destination["FilePattern"]))
+        else:
+            raise JobSpecError(f"unintelligible pipe: {pipe!r}")
+    return JobSpec(
+        name=description.get("name", name),
+        tasks=tasks,
+        edges=edges,
+        input_files=input_files,
+        output_files=output_files,
+    )
+
+
+def parse_job_json(text: str, name: str = "job") -> JobSpec:
+    """Parse a JSON string job description."""
+    return parse_job_description(json.loads(text), name=name)
+
+
+def _parse_task(name: str, raw: dict) -> TaskSpec:
+    instances = int(raw.get("Instances", 1))
+    if instances <= 0:
+        raise JobSpecError(f"task {name!r}: Instances must be positive")
+    duration = float(raw.get("Duration", 1.0))
+    if duration <= 0:
+        raise JobSpecError(f"task {name!r}: Duration must be positive")
+    resources = ResourceVector(raw.get("Resources", {"CPU": 100, "Memory": 1024}))
+    backup_raw = raw.get("Backup", {})
+    backup = BackupSpec(
+        enabled=bool(backup_raw.get("Enabled", True)),
+        finished_fraction=float(backup_raw.get("FinishedFraction", 0.9)),
+        slowdown_factor=float(backup_raw.get("SlowdownFactor", 2.0)),
+        normal_duration=float(backup_raw.get("NormalDuration", 60.0)),
+    )
+    return TaskSpec(
+        name=name,
+        instances=instances,
+        duration=duration,
+        resources=resources,
+        workers=int(raw.get("Workers", 0)),
+        priority=int(raw.get("Priority", 100)),
+        duration_sigma=float(raw.get("DurationSigma", 0.1)),
+        max_attempts=int(raw.get("MaxAttempts", 4)),
+        backup=backup,
+    )
+
+
+def _access_point_task(endpoint: dict) -> Optional[str]:
+    access_point = endpoint.get("AccessPoint")
+    if access_point is None:
+        return None
+    task, _, _ = access_point.partition(":")
+    if not task:
+        raise JobSpecError(f"bad access point {access_point!r}")
+    return task

@@ -1,0 +1,119 @@
+"""Streamline: the data-shuffle operator library (paper §4.1).
+
+"For data shuffle, we encapsulate the common data operators like sort,
+merge-sort, reduce into a library named Streamline along with the released
+SDK."
+
+These are real, executable operators over in-memory record streams — the
+example applications use them to compute actual results (word counts,
+sorted runs) while the cluster simulation models the *placement and timing*
+of the tasks running them.  Records are ``(key, value)`` tuples.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Sequence,
+                    Tuple)
+
+Record = Tuple[Any, Any]
+
+
+def sort_records(records: Iterable[Record]) -> List[Record]:
+    """Sort a run of records by key (stable)."""
+    return sorted(records, key=lambda r: r[0])
+
+
+def merge_sorted(runs: Sequence[Iterable[Record]]) -> Iterator[Record]:
+    """Merge already-sorted runs into one sorted stream (k-way merge)."""
+    return heapq.merge(*runs, key=lambda r: r[0])
+
+
+def hash_partition(records: Iterable[Record], partitions: int) -> List[List[Record]]:
+    """Split records into ``partitions`` buckets by key hash (map-side shuffle)."""
+    if partitions <= 0:
+        raise ValueError(f"partitions must be positive, got {partitions}")
+    buckets: List[List[Record]] = [[] for _ in range(partitions)]
+    for record in records:
+        buckets[hash(record[0]) % partitions].append(record)
+    return buckets
+
+
+def range_partition(records: Iterable[Record], boundaries: Sequence[Any]) -> List[List[Record]]:
+    """Split records into len(boundaries)+1 buckets by key range (Terasort-style).
+
+    ``boundaries`` must be sorted; bucket *i* receives keys in
+    ``(boundaries[i-1], boundaries[i]]``.
+    """
+    buckets: List[List[Record]] = [[] for _ in range(len(boundaries) + 1)]
+    for record in records:
+        buckets[_bucket_index(record[0], boundaries)].append(record)
+    return buckets
+
+
+def _bucket_index(key: Any, boundaries: Sequence[Any]) -> int:
+    lo, hi = 0, len(boundaries)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key <= boundaries[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def sample_boundaries(records: Sequence[Record], partitions: int) -> List[Any]:
+    """Pick range-partition boundaries from a sample (the Terasort sampler)."""
+    if partitions <= 1:
+        return []
+    keys = sorted(r[0] for r in records)
+    if not keys:
+        return []
+    step = len(keys) / partitions
+    return [keys[min(int(step * i) - 1, len(keys) - 1)]
+            for i in range(1, partitions)]
+
+
+def reduce_by_key(sorted_records: Iterable[Record],
+                  reducer: Callable[[Any, List[Any]], Any]) -> Iterator[Record]:
+    """Group a *sorted* stream by key and apply ``reducer(key, values)``."""
+    current_key: Any = _SENTINEL
+    values: List[Any] = []
+    for key, value in sorted_records:
+        if key != current_key:
+            if current_key is not _SENTINEL:
+                yield current_key, reducer(current_key, values)
+            current_key = key
+            values = []
+        values.append(value)
+    if current_key is not _SENTINEL:
+        yield current_key, reducer(current_key, values)
+
+
+def combine_counts(records: Iterable[Record]) -> Dict[Any, int]:
+    """Map-side combiner for counting (the WordCount inner loop)."""
+    counts: Dict[Any, int] = {}
+    for key, value in records:
+        counts[key] = counts.get(key, 0) + int(value)
+    return counts
+
+
+def tokenize(text: str) -> Iterator[Record]:
+    """Turn text into (word, 1) records."""
+    for word in text.split():
+        cleaned = word.strip(".,;:!?\"'()[]{}").lower()
+        if cleaned:
+            yield cleaned, 1
+
+
+def is_sorted(records: Sequence[Record]) -> bool:
+    """True if the records are non-decreasing by key."""
+    return all(records[i][0] <= records[i + 1][0]
+               for i in range(len(records) - 1))
+
+
+class _Sentinel:
+    __slots__ = ()
+
+
+_SENTINEL = _Sentinel()

@@ -1,0 +1,289 @@
+"""TaskMaster: fine-grained instance scheduling (paper §4.4, Figure 8).
+
+One TaskMaster exists per running task.  It owns the task's instances and
+decides which idle worker executes which instance, taking into account:
+
+a) **data locality** — instances go to workers on machines holding their
+   input blocks when possible;
+b) **load balance** — idle workers are served round-robin, so instances
+   spread uniformly;
+c) **incremental scheduling** — only unassigned instances are scanned per
+   decision, via a pending queue plus a per-machine locality index, which is
+   what makes "schedule 100 thousand instances in less than 3 seconds"
+   possible (the ``bench_scale_instances`` benchmark measures exactly this).
+
+It also runs the per-task parts of fault tolerance: retry with blacklist
+consultation, and the backup-instance policy for long tails.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.blacklist import JobBlacklist
+from repro.jobs.backup import BackupPolicy
+from repro.jobs.instance import Instance, InstanceState
+from repro.jobs.spec import TaskSpec
+
+
+@dataclass
+class CompletionResult:
+    """What happened when a worker reported completion."""
+
+    won: bool                       # this attempt finished the instance
+    duplicate: bool                 # instance was already finished
+    cancel_workers: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FailureResult:
+    """What happened when an attempt failed."""
+
+    terminal: bool                  # instance exhausted its attempts
+    requeued: bool
+    escalations: List[str] = field(default_factory=list)
+
+
+class TaskMaster:
+    """Instance scheduler for one task."""
+
+    def __init__(self, spec: TaskSpec, blacklist: Optional[JobBlacklist] = None,
+                 durations: Optional[List[float]] = None):
+        self.spec = spec
+        self.blacklist = blacklist or JobBlacklist()
+        self.instances: List[Instance] = []
+        for index in range(spec.instances):
+            duration = spec.duration
+            if durations is not None:
+                duration = durations[index % len(durations)]
+            self.instances.append(Instance(spec.name, index, duration))
+        self._by_id: Dict[str, Instance] = {
+            i.instance_id: i for i in self.instances
+        }
+        self._pending: Deque[int] = deque(range(spec.instances))
+        self._pending_set: Set[int] = set(self._pending)
+        self._locality_index: Dict[str, Deque[int]] = {}
+        self._assignment: Dict[str, str] = {}   # worker_id -> instance_id
+        self.backup_policy = BackupPolicy(spec.backup)
+        self.backups_launched = 0
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+
+    def set_locality(self, preferred: Dict[int, Set[str]]) -> None:
+        """Record preferred machines per instance index and build the index."""
+        for index, machines in preferred.items():
+            if 0 <= index < len(self.instances):
+                self.instances[index].preferred_machines = set(machines)
+        self._locality_index = {}
+        for index, instance in enumerate(self.instances):
+            for machine in instance.preferred_machines:
+                self._locality_index.setdefault(machine, deque()).append(index)
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+
+    def next_assignment(self, worker_id: str, machine: str,
+                        now: float) -> Optional[Instance]:
+        """Pick an instance for an idle worker; None when nothing suits.
+
+        Local instances first; falls back to the global pending queue.  Only
+        unassigned instances are touched (incremental scan).
+        """
+        if worker_id in self._assignment:
+            return None  # already busy by our books
+        index = self._pop_local(machine, worker_id)
+        if index is None:
+            index = self._pop_global(machine, worker_id)
+        if index is None:
+            return None
+        instance = self.instances[index]
+        instance.start_attempt(worker_id, machine, now)
+        self._assignment[worker_id] = instance.instance_id
+        return instance
+
+    def _pop_local(self, machine: str, worker_id: str) -> Optional[int]:
+        queue = self._locality_index.get(machine)
+        if not queue:
+            return None
+        while queue:
+            index = queue.popleft()
+            if index in self._pending_set and self._allowed(index, machine):
+                self._pending_set.discard(index)
+                return index
+        return None
+
+    def _pop_global(self, machine: str, worker_id: str) -> Optional[int]:
+        scanned = 0
+        limit = len(self._pending)
+        while self._pending and scanned < limit:
+            index = self._pending.popleft()
+            if index not in self._pending_set:
+                continue  # stale entry (taken via locality index)
+            if not self._allowed(index, machine):
+                self._pending.append(index)
+                scanned += 1
+                continue
+            self._pending_set.discard(index)
+            return index
+        return None
+
+    def _allowed(self, index: int, machine: str) -> bool:
+        instance = self.instances[index]
+        return self.blacklist.allowed(self.spec.name, instance.instance_id, machine)
+
+    def bulk_schedule(self, workers: List[Tuple[str, str]],
+                      now: float) -> List[Tuple[str, Instance]]:
+        """Assign many idle workers in one pass (the §4.4 scale path)."""
+        assignments = []
+        for worker_id, machine in workers:
+            instance = self.next_assignment(worker_id, machine, now)
+            if instance is not None:
+                assignments.append((worker_id, instance))
+        return assignments
+
+    # ------------------------------------------------------------------ #
+    # completion / failure
+    # ------------------------------------------------------------------ #
+
+    def on_completed(self, worker_id: str, instance_id: str,
+                     now: float) -> CompletionResult:
+        """Fold in a completion report; detects duplicates and cancels twins."""
+        instance = self._by_id.get(instance_id)
+        # A late duplicate report must not clobber the worker's *current*
+        # assignment; only clear the pairing this report is about.
+        if self._assignment.get(worker_id) == instance_id:
+            self._assignment.pop(worker_id, None)
+        if instance is None:
+            return CompletionResult(won=False, duplicate=True)
+        if instance.state == InstanceState.FINISHED:
+            return CompletionResult(won=False, duplicate=True)
+        attempt = instance.complete(worker_id, now)
+        if attempt is None:
+            return CompletionResult(won=False, duplicate=True)
+        cancelled = instance.abandon_others(worker_id, now)
+        cancel_workers = []
+        for twin in cancelled:
+            self._assignment.pop(twin.worker_id, None)
+            cancel_workers.append(twin.worker_id)
+        return CompletionResult(won=True, duplicate=False,
+                                cancel_workers=cancel_workers)
+
+    def on_failed(self, worker_id: str, instance_id: str, machine: str,
+                  now: float) -> FailureResult:
+        """Fold in a failure: blacklist bookkeeping, retry or terminal verdict."""
+        instance = self._by_id.get(instance_id)
+        if self._assignment.get(worker_id) == instance_id:
+            self._assignment.pop(worker_id, None)
+        if instance is None or instance.state == InstanceState.FINISHED:
+            return FailureResult(terminal=False, requeued=False)
+        escalations = self.blacklist.record_failure(
+            self.spec.name, instance_id, machine)
+        instance.fail_attempt(worker_id, now)
+        if instance.failures >= self.spec.max_attempts:
+            instance.state = InstanceState.FAILED
+            return FailureResult(terminal=True, requeued=False,
+                                 escalations=escalations)
+        if not instance.running_attempts:
+            self._requeue(instance.index)
+        return FailureResult(terminal=False, requeued=True,
+                             escalations=escalations)
+
+    def release_worker(self, worker_id: str, now: float) -> Optional[str]:
+        """Worker vanished (machine down / container revoked).
+
+        Its running attempt fails without blaming the machine via the
+        blacklist (the cluster level handles dead machines).  Returns the
+        instance id that went back to pending, if any.
+        """
+        instance_id = self._assignment.pop(worker_id, None)
+        if instance_id is None:
+            return None
+        instance = self._by_id[instance_id]
+        instance.fail_attempt(worker_id, now)
+        if (instance.state not in (InstanceState.FINISHED, InstanceState.FAILED)
+                and not instance.running_attempts):
+            self._requeue(instance.index)
+        return instance_id
+
+    def _requeue(self, index: int) -> None:
+        instance = self.instances[index]
+        instance.state = InstanceState.WAITING
+        if index not in self._pending_set:
+            self._pending_set.add(index)
+            self._pending.append(index)
+            for machine in instance.preferred_machines:
+                if machine not in self.blacklist.task_avoids(self.spec.name):
+                    self._locality_index.setdefault(machine, deque()).append(index)
+
+    # ------------------------------------------------------------------ #
+    # backup instances
+    # ------------------------------------------------------------------ #
+
+    def backup_candidates(self, now: float) -> List[Instance]:
+        """Instances the §4.3.2 policy wants duplicated right now."""
+        return [d.instance
+                for d in self.backup_policy.candidates(self.instances, now)]
+
+    def start_backup(self, instance: Instance, worker_id: str, machine: str,
+                     now: float) -> bool:
+        """Run a backup attempt on an idle worker."""
+        if worker_id in self._assignment:
+            return False
+        if not self.blacklist.allowed(self.spec.name, instance.instance_id, machine):
+            return False
+        if instance.state != InstanceState.RUNNING:
+            return False
+        running = instance.running_attempts
+        if running and running[0].machine == machine:
+            return False  # a backup on the same machine is pointless
+        instance.start_attempt(worker_id, machine, now, is_backup=True)
+        self._assignment[worker_id] = instance.instance_id
+        self.backups_launched += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # progress
+    # ------------------------------------------------------------------ #
+
+    @property
+    def finished_count(self) -> int:
+        return sum(1 for i in self.instances
+                   if i.state == InstanceState.FINISHED)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for i in self.instances if i.state == InstanceState.FAILED)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending_set)
+
+    @property
+    def running_count(self) -> int:
+        return sum(1 for i in self.instances
+                   if i.state == InstanceState.RUNNING)
+
+    def is_complete(self) -> bool:
+        """True when every instance has finished."""
+        return self.finished_count == len(self.instances)
+
+    def has_terminal_failure(self) -> bool:
+        """True if any instance exhausted its attempts."""
+        return self.failed_count > 0
+
+    def instance(self, instance_id: str) -> Instance:
+        """Look up an instance by id."""
+        return self._by_id[instance_id]
+
+    def assignment_of(self, worker_id: str) -> Optional[str]:
+        """Instance id the worker is currently believed to run, or None."""
+        return self._assignment.get(worker_id)
+
+    def snapshot(self) -> List[dict]:
+        """Lightweight per-instance status records (JobMaster snapshot)."""
+        return [i.snapshot() for i in self.instances]

@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a heap-based :class:`~repro.sim.events.EventLoop`
+with a simulated clock, generator-based :class:`~repro.sim.process.Process`
+coroutines layered on top of it, and an :class:`~repro.sim.actor.Actor` base
+class that gives every simulated component (FuxiMaster, FuxiAgent, job
+masters, workers) a mailbox and timer helpers.
+
+Everything in the repository that "runs" — schedulers, failovers, fault
+injection, GraySort — executes on this kernel, so a single seed makes every
+experiment deterministic.
+"""
+
+from repro.sim.events import Event, EventLoop
+from repro.sim.process import Process, sleep
+from repro.sim.actor import Actor
+from repro.sim.rng import SplitRandom
+
+__all__ = ["Event", "EventLoop", "Process", "sleep", "Actor", "SplitRandom"]

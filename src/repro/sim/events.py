@@ -1,0 +1,153 @@
+"""Heap-based discrete-event loop with a simulated clock.
+
+The loop is the single source of time for the whole simulation.  Events are
+callbacks scheduled at absolute simulated times; ties are broken by a
+monotonically increasing sequence number so execution order is deterministic
+for equal timestamps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`EventLoop.call_at` / :meth:`EventLoop.call_after`
+    and can be cancelled.  A cancelled event stays in the heap but is skipped
+    when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state} {self.callback!r}>"
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler.
+
+    Typical use::
+
+        loop = EventLoop()
+        loop.call_after(1.0, my_callback, arg1)
+        loop.run_until(100.0)
+
+    The clock only moves when :meth:`run`, :meth:`run_until` or :meth:`step`
+    execute events; there is no wall-clock coupling.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before current time {self._now}"
+            )
+        event = Event(when, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def stop(self) -> None:
+        """Make the currently running :meth:`run` loop return after this event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_executed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, :meth:`stop` is called, or ``max_events`` fire."""
+        if self._running:
+            raise SimulationError("event loop is already running")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+
+    def run_until(self, until: float) -> None:
+        """Run events with ``time <= until``, then set the clock to ``until``."""
+        if until < self._now:
+            raise SimulationError(f"cannot run until {until}, already at {self._now}")
+        if self._running:
+            raise SimulationError("event loop is already running")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                if not self._heap:
+                    break
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if nxt.time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if self._now < until:
+            self._now = until
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still scheduled."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventLoop now={self._now:.3f} pending={self.pending()}>"

@@ -1,0 +1,143 @@
+"""Generator-based processes on top of the event loop.
+
+A process is a Python generator that yields *commands* to the kernel:
+
+- ``yield sleep(dt)`` — suspend for ``dt`` simulated seconds;
+- ``yield some_process`` — wait for another :class:`Process` to finish and
+  receive its return value;
+- ``yield waiter`` — wait on a :class:`Waiter`, a one-shot condition another
+  component triggers with a value.
+
+This mirrors the simpy style without the dependency.  Actors mostly use plain
+callbacks; processes are used where sequential flows read better (job
+lifecycles, fault scripts, sort phases).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim.events import EventLoop, SimulationError
+
+
+class Sleep:
+    """Command object: suspend the yielding process for ``delay`` seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative sleep {delay}")
+        self.delay = delay
+
+
+def sleep(delay: float) -> Sleep:
+    """Convenience constructor for ``yield sleep(dt)``."""
+    return Sleep(delay)
+
+
+class Waiter:
+    """One-shot condition a process can wait on.
+
+    Another component calls :meth:`trigger` (optionally with a value); every
+    process waiting on it resumes with that value.  Triggering twice is an
+    error — create a new Waiter per event occurrence.
+    """
+
+    __slots__ = ("loop", "triggered", "value", "_waiting")
+
+    def __init__(self, loop: EventLoop):
+        self.loop = loop
+        self.triggered = False
+        self.value: Any = None
+        self._waiting: List["Process"] = []
+
+    def trigger(self, value: Any = None) -> None:
+        if self.triggered:
+            raise SimulationError("Waiter triggered twice")
+        self.triggered = True
+        self.value = value
+        waiting, self._waiting = self._waiting, []
+        for proc in waiting:
+            self.loop.call_after(0.0, proc._resume, value)
+
+    def add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            self.loop.call_after(0.0, proc._resume, self.value)
+        else:
+            self._waiting.append(proc)
+
+
+class Process:
+    """A running generator coroutine bound to an event loop.
+
+    The generator's ``return`` value becomes :attr:`result`; exceptions
+    propagate out of the event loop (a deliberately loud failure mode — a
+    crashed simulation component is a bug in the model, not a modelled fault;
+    modelled faults are injected through :mod:`repro.cluster.faults`).
+    """
+
+    def __init__(self, loop: EventLoop, gen: Generator, name: str = "process"):
+        self.loop = loop
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._done_waiters: List["Process"] = []
+        self._interrupted: Optional[BaseException] = None
+        loop.call_after(0.0, self._resume, None)
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Throw ``exc`` (default :class:`Interrupted`) into the generator."""
+        if self.finished:
+            return
+        self._interrupted = exc if exc is not None else Interrupted(self.name)
+        self.loop.call_after(0.0, self._resume, None)
+
+    def add_done_waiter(self, proc: "Process") -> None:
+        if self.finished:
+            self.loop.call_after(0.0, proc._resume, self.result)
+        else:
+            self._done_waiters.append(proc)
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        waiters, self._done_waiters = self._done_waiters, []
+        for proc in waiters:
+            self.loop.call_after(0.0, proc._resume, result)
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            if self._interrupted is not None:
+                exc, self._interrupted = self._interrupted, None
+                command = self.gen.throw(exc)
+            else:
+                command = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except Interrupted:
+            self._finish(None)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Sleep):
+            self.loop.call_after(command.delay, self._resume, None)
+        elif isinstance(command, Process):
+            command.add_done_waiter(self)
+        elif isinstance(command, Waiter):
+            command.add_waiter(self)
+        else:
+            raise SimulationError(f"process {self.name!r} yielded {command!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Interrupted(Exception):
+    """Raised inside a process generator when :meth:`Process.interrupt` is called."""

@@ -1,0 +1,28 @@
+"""Workload generators for the evaluation experiments.
+
+- :mod:`repro.workloads.synthetic` — the §5.2 mix of WordCount/Terasort jobs
+  at six (map, reduce) scales, with 10 s–10 min execution times and
+  {0.5 core, 2 GB} per-instance requests;
+- :mod:`repro.workloads.production` — a Table-1-shaped trace generator
+  (heavy-tailed instances/workers/tasks per job);
+- :mod:`repro.workloads.graysort` — the GraySort/PetaSort cluster
+  configurations of Table 4.
+"""
+
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    SyntheticWorkloadConfig,
+    mapreduce_job,
+)
+from repro.workloads.production import ProductionTraceConfig, generate_trace
+from repro.workloads.graysort import GRAYSORT_ENTRIES, SortClusterConfig
+
+__all__ = [
+    "SyntheticWorkload",
+    "SyntheticWorkloadConfig",
+    "mapreduce_job",
+    "ProductionTraceConfig",
+    "generate_trace",
+    "GRAYSORT_ENTRIES",
+    "SortClusterConfig",
+]

@@ -1,0 +1,85 @@
+"""GraySort / PetaSort cluster configurations (Table 4 and §5.3).
+
+Each entry records the published hardware configuration and result; the sort
+execution model in :mod:`repro.jobs.sortmodel` predicts end-to-end times
+from these configurations, so the Table-4 bench can check that the model
+reproduces the published *ordering and ratios*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SortClusterConfig:
+    """Hardware and framework parameters of one sort-benchmark entry."""
+
+    name: str
+    year: int
+    framework: str             # "fuxi" | "hadoop" | "tritonsort" | "custom"
+    nodes: int
+    cores_per_node: int
+    memory_gb_per_node: float
+    disks_per_node: int
+    disk_mb_s: float           # per-disk sequential bandwidth
+    net_mb_s: float            # per-node usable network bandwidth
+    data_tb: float
+    published_seconds: float   # the record the entry reported
+
+    @property
+    def published_tb_per_min(self) -> float:
+        return self.data_tb / (self.published_seconds / 60.0)
+
+    @property
+    def disk_bw_node(self) -> float:
+        return self.disks_per_node * self.disk_mb_s
+
+
+# Table 4 entries (hardware per the paper's Configurations column; per-disk
+# and network bandwidths use the era-typical values for those parts).
+GRAYSORT_ENTRIES: Tuple[SortClusterConfig, ...] = (
+    SortClusterConfig(
+        name="Fuxi", year=2013, framework="fuxi",
+        nodes=5000, cores_per_node=12, memory_gb_per_node=96,
+        disks_per_node=12, disk_mb_s=110.0, net_mb_s=2 * 125.0,
+        data_tb=100.0, published_seconds=2538.0),
+    SortClusterConfig(
+        name="Yahoo! Inc.", year=2012, framework="hadoop",
+        nodes=2100, cores_per_node=12, memory_gb_per_node=64,
+        disks_per_node=12, disk_mb_s=120.0, net_mb_s=2 * 125.0,
+        data_tb=102.5, published_seconds=4328.0),
+    SortClusterConfig(
+        name="UCSD", year=2011, framework="tritonsort",
+        nodes=52, cores_per_node=8, memory_gb_per_node=24,
+        disks_per_node=16, disk_mb_s=90.0, net_mb_s=1250.0,
+        data_tb=100.0, published_seconds=6395.0),
+    SortClusterConfig(
+        name="UCSD&VUT", year=2010, framework="tritonsort",
+        nodes=47, cores_per_node=8, memory_gb_per_node=24,
+        disks_per_node=16, disk_mb_s=80.0, net_mb_s=1250.0,
+        data_tb=100.0, published_seconds=10318.0),
+    SortClusterConfig(
+        name="KIT", year=2009, framework="custom",
+        nodes=195, cores_per_node=8, memory_gb_per_node=16,
+        disks_per_node=4, disk_mb_s=80.0, net_mb_s=1000.0,
+        data_tb=100.0, published_seconds=10628.0),
+)
+
+
+# §5.3: "the PetaSort benchmark in a 2,800 nodes cluster with 33,600 disks
+# ... 1 Petabyte ... elapsed time is 6 hours."
+PETASORT_ENTRY = SortClusterConfig(
+    name="Fuxi PetaSort", year=2013, framework="fuxi",
+    nodes=2800, cores_per_node=12, memory_gb_per_node=96,
+    disks_per_node=12, disk_mb_s=110.0, net_mb_s=2 * 125.0,
+    data_tb=1000.0, published_seconds=6 * 3600.0)
+
+
+def entry_by_name(name: str) -> SortClusterConfig:
+    """Look up a published sort entry by its Table-4 name."""
+    for entry in GRAYSORT_ENTRIES + (PETASORT_ENTRY,):
+        if entry.name == name:
+            return entry
+    raise KeyError(f"no sort entry named {name!r}")

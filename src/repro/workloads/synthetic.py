@@ -1,0 +1,113 @@
+"""Synthetic workload of §5.2.
+
+"We keep 1,000 jobs concurrently running by starting a new job when one job
+finishes.  To simplify the experiment, we use WordCount and Terasort with
+the following specifications evenly distributed.  The number of map instance
+and reduce instance are (10,10), (100,10), (100,100), (1k,100), (1k,1k) and
+(10k,5k) in each type respectively.  The average execution time ranges from
+10 seconds to 10 minutes and each instance resource request is configured as
+0.5 core CPU with 2GB memory."
+
+The generator reproduces that mix; a ``scale`` knob shrinks instance counts
+and durations proportionally so the experiments run on laptop-sized
+simulations while keeping the distributional shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.core.resources import ResourceVector
+from repro.jobs.spec import BackupSpec, JobSpec, TaskSpec
+from repro.sim.rng import SplitRandom, bounded_lognormal
+
+#: the paper's six (map instances, reduce instances) shapes
+PAPER_SHAPES: Tuple[Tuple[int, int], ...] = (
+    (10, 10), (100, 10), (100, 100), (1_000, 100), (1_000, 1_000),
+    (10_000, 5_000),
+)
+
+#: "0.5 core CPU with 2GB memory" per instance
+PAPER_INSTANCE_RESOURCES = ResourceVector.of(cpu=50, memory=2048)
+
+
+def mapreduce_job(name: str, mappers: int, reducers: int,
+                  map_duration: float = 4.0, reduce_duration: float = 6.0,
+                  resources: ResourceVector = PAPER_INSTANCE_RESOURCES,
+                  workers_per_task: int = 0,
+                  input_file: str = "", output_file: str = "",
+                  backup: BackupSpec = BackupSpec()) -> JobSpec:
+    """A two-task map→reduce DAG job."""
+    tasks = {
+        "map": TaskSpec(name="map", instances=mappers, duration=map_duration,
+                        resources=resources, workers=workers_per_task,
+                        backup=backup),
+        "reduce": TaskSpec(name="reduce", instances=reducers,
+                           duration=reduce_duration, resources=resources,
+                           workers=workers_per_task, backup=backup),
+    }
+    input_files = [(input_file, "map")] if input_file else []
+    output_files = [("reduce", output_file)] if output_file else []
+    return JobSpec(name=name, tasks=tasks, edges=[("map", "reduce")],
+                   input_files=input_files, output_files=output_files)
+
+
+@dataclass
+class SyntheticWorkloadConfig:
+    """Scaled-down knobs for the §5.2 mix.
+
+    ``scale`` divides instance counts (min 2) and compresses durations:
+    scale=100 turns the (10k, 5k) job into (100, 50).  ``concurrent_jobs``
+    is the closed-loop population (paper: 1,000).
+    """
+
+    concurrent_jobs: int = 20
+    scale: int = 100
+    min_duration: float = 1.0
+    max_duration: float = 60.0
+    mean_duration: float = 6.0
+    workers_cap: int = 30
+    seed_stream: str = "synthetic"
+
+
+class SyntheticWorkload:
+    """Closed-loop job source: a new job starts whenever one finishes."""
+
+    def __init__(self, config: SyntheticWorkloadConfig,
+                 rng: SplitRandom) -> None:
+        self.config = config
+        self._rng = rng.stream(config.seed_stream)
+        self._seq = 0
+
+    def next_job(self) -> JobSpec:
+        """Draw the next job from the paper's mix (shape and kind uniform)."""
+        self._seq += 1
+        shape = PAPER_SHAPES[(self._seq - 1) % len(PAPER_SHAPES)]
+        kind = "wordcount" if self._rng.random() < 0.5 else "terasort"
+        mappers = max(2, shape[0] // self.config.scale)
+        reducers = max(1, shape[1] // self.config.scale)
+        duration = bounded_lognormal(
+            self._rng,
+            mean=_log_mean(self.config.mean_duration), sigma=0.6,
+            low=self.config.min_duration, high=self.config.max_duration)
+        return mapreduce_job(
+            name=f"{kind}-{self._seq:05d}",
+            mappers=mappers, reducers=reducers,
+            map_duration=duration,
+            reduce_duration=duration * 1.5,
+            workers_per_task=min(self.config.workers_cap, mappers),
+        )
+
+    def initial_batch(self) -> List[JobSpec]:
+        return [self.next_job() for _ in range(self.config.concurrent_jobs)]
+
+    def jobs(self, count: int) -> Iterator[JobSpec]:
+        for _ in range(count):
+            yield self.next_job()
+
+
+def _log_mean(mean: float) -> float:
+    """Location parameter so the lognormal's median sits near ``mean``."""
+    import math
+    return math.log(max(mean, 1e-9))

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.agent import FuxiAgentConfig
+from repro.core.resources import ResourceVector
+from repro.runtime import FuxiCluster
+
+
+def small_topology(racks: int = 2, machines_per_rack: int = 3,
+                   cpu: float = 400, memory: float = 8192) -> ClusterTopology:
+    return ClusterTopology.build(
+        racks, machines_per_rack,
+        capacity=ResourceVector.of(cpu=cpu, memory=memory))
+
+
+def make_cluster(racks: int = 2, machines_per_rack: int = 3, seed: int = 1,
+                 **kwargs) -> FuxiCluster:
+    cluster = FuxiCluster(small_topology(racks, machines_per_rack),
+                          seed=seed,
+                          agent_config=kwargs.pop(
+                              "agent_config",
+                              FuxiAgentConfig(worker_start_delay=0.2)),
+                          **kwargs)
+    cluster.warm_up()
+    return cluster
+
+
+@pytest.fixture
+def cluster() -> FuxiCluster:
+    return make_cluster()

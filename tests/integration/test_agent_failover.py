@@ -1,0 +1,98 @@
+"""Integration: FuxiAgent transparent failover (paper §4.3.1).
+
+"During its failover, FuxiAgent firstly collects running processes started
+previously, and then requests the full worker lists from each corresponding
+application master.  With the full granted resource amount from FuxiMaster
+for each applications, FuxiAgent finally rebuilds the complete states."
+"""
+
+from repro.workloads.synthetic import mapreduce_job
+from tests.conftest import make_cluster
+
+
+def busy_machine(cluster):
+    """A machine with at least one live worker, plus its worker names."""
+    for machine in cluster.topology.machines():
+        workers = cluster.workers_on(machine)
+        if workers:
+            return machine, {w.name for w in workers}
+    raise AssertionError("no busy machine found")
+
+
+def test_workers_survive_agent_bounce():
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=18, reducers=2, map_duration=20.0, reduce_duration=2.0,
+        workers_per_task=9))
+    cluster.run_for(5)
+    machine, workers_before = busy_machine(cluster)
+    cluster.restart_agent(machine)
+    cluster.run_for(3)
+    workers_after = {w.name for w in cluster.workers_on(machine)}
+    assert workers_before <= workers_after
+
+
+def test_agent_rebuilds_allocation_books():
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=18, reducers=2, map_duration=20.0, reduce_duration=2.0,
+        workers_per_task=9))
+    cluster.run_for(5)
+    machine, _ = busy_machine(cluster)
+    agent = cluster.agents[machine]
+    books_before = dict(agent.allocations)
+    assert books_before
+    cluster.restart_agent(machine)
+    cluster.run_for(3)
+    assert agent.allocations == books_before
+
+
+def test_agent_readopts_worker_plans():
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=18, reducers=2, map_duration=20.0, reduce_duration=2.0,
+        workers_per_task=9))
+    cluster.run_for(5)
+    machine, workers = busy_machine(cluster)
+    agent = cluster.agents[machine]
+    plans_before = set(agent.workers)
+    cluster.restart_agent(machine)
+    cluster.run_for(3)
+    assert plans_before <= set(agent.workers)
+
+
+def test_job_completes_through_agent_bounce():
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=20, reducers=4, map_duration=4.0, reduce_duration=3.0,
+        workers_per_task=8))
+    cluster.run_for(4)
+    machine, _ = busy_machine(cluster)
+    cluster.restart_agent(machine)
+    assert cluster.run_until_complete([app], timeout=600)
+    assert cluster.job_results[app].success
+
+
+def test_agent_bounce_does_not_trigger_heartbeat_timeout():
+    cluster = make_cluster()
+    cluster.run_for(2)
+    machine = cluster.topology.machines()[0]
+    cluster.restart_agent(machine)
+    cluster.run_for(8)
+    assert cluster.metrics.counter("fm.heartbeat_timeouts") == 0
+    assert cluster.primary_master.scheduler.pool.has_machine(machine)
+
+
+def test_books_consistent_with_master_after_bounce():
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=18, reducers=2, map_duration=30.0, reduce_duration=2.0,
+        workers_per_task=9))
+    cluster.run_for(5)
+    machine, _ = busy_machine(cluster)
+    cluster.restart_agent(machine)
+    cluster.run_for(3)
+    agent = cluster.agents[machine]
+    master_view = dict(
+        cluster.primary_master.scheduler.ledger.entries_for_machine(machine))
+    assert agent.allocations == master_view

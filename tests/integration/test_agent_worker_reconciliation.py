@@ -1,0 +1,70 @@
+"""Integration: agent/AM worker-list reconciliation after agent failover.
+
+"FuxiAgent firstly collects running processes started previously, and then
+requests the full worker lists from each corresponding application master"
+— workers the AM no longer expects must be killed, expected ones adopted.
+"""
+
+from repro.core import messages as msg
+from repro.workloads.synthetic import mapreduce_job
+from tests.conftest import make_cluster
+
+
+def busy_machine(cluster, am):
+    for machine in cluster.topology.machines():
+        if am.workers_on(machine):
+            return machine
+    raise AssertionError("no busy machine")
+
+
+def test_unexpected_worker_killed_on_agent_recovery():
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=18, reducers=2, map_duration=30.0, reduce_duration=2.0,
+        workers_per_task=9))
+    cluster.run_for(5)
+    am = cluster.app_masters[app]
+    machine = busy_machine(cluster, am)
+    victim_worker = sorted(am.workers_on(machine))[0]
+    # the AM forgets one worker (simulating divergence during the outage)
+    am.forget_worker(victim_worker)
+    tm = am.task_masters["map"]
+    released = tm.release_worker(victim_worker, cluster.loop.now)
+    am._workers.pop(victim_worker, None)
+    cluster.restart_agent(machine)
+    cluster.run_for(5)
+    # the recovered agent asked for the expected list and killed the orphan
+    agent = cluster.agents[machine]
+    assert victim_worker not in agent.workers
+    live_names = {w.plan.worker_id for w in cluster.workers_on(machine)}
+    assert victim_worker not in live_names
+
+
+def test_expected_workers_survive_reconciliation():
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=18, reducers=2, map_duration=30.0, reduce_duration=2.0,
+        workers_per_task=9))
+    cluster.run_for(5)
+    am = cluster.app_masters[app]
+    machine = busy_machine(cluster, am)
+    expected = set(am.workers_on(machine))
+    cluster.restart_agent(machine)
+    cluster.run_for(5)
+    live_names = {w.plan.worker_id for w in cluster.workers_on(machine)}
+    assert expected <= live_names
+
+
+def test_job_finishes_after_reconciliation():
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=24, reducers=4, map_duration=4.0, reduce_duration=2.0,
+        workers_per_task=8))
+    cluster.run_for(4)
+    am = cluster.app_masters[app]
+    machine = busy_machine(cluster, am)
+    cluster.restart_agent(machine)
+    assert cluster.run_until_complete([app], timeout=600)
+    assert cluster.job_results[app].success
+    cluster.run_for(10)
+    cluster.primary_master.scheduler.check_conservation()

@@ -1,0 +1,77 @@
+"""Integration: runtime capacity changes and early container release."""
+
+from repro.core.resources import ResourceVector
+from repro.jobs.spec import JobSpec, TaskSpec
+from repro.workloads.synthetic import mapreduce_job
+from tests.conftest import make_cluster
+
+SLOT = ResourceVector.of(cpu=100, memory=2048)
+
+
+def test_capacity_growth_is_picked_up_from_heartbeats(cluster):
+    """'The total virtual resource on each node can be changed at any time.'"""
+    machine = cluster.topology.machines()[0]
+    scheduler = cluster.primary_master.scheduler
+    old_capacity = scheduler.pool.capacity(machine)
+    bigger = old_capacity + ResourceVector.of(ASortResource=5)
+    # the agent reports whatever the machine spec says
+    spec = cluster.topology.spec(machine)
+    object.__setattr__(spec, "capacity", bigger)
+    cluster.run_for(3)
+    assert scheduler.pool.capacity(machine).get("ASortResource") == 5
+
+
+def test_capacity_growth_serves_waiting_demand(cluster):
+    # saturate, then grow one machine and watch the queue drain into it
+    spec = JobSpec("big", {"t": TaskSpec("t", 60, 60.0, SLOT, workers=30)},
+                   [], [], [])
+    app = cluster.submit_job(spec)
+    cluster.run_for(5)
+    scheduler = cluster.primary_master.scheduler
+    waiting_before = scheduler.waiting_units_total()
+    assert waiting_before > 0
+    machine = cluster.topology.machines()[0]
+    mspec = cluster.topology.spec(machine)
+    object.__setattr__(mspec, "capacity", mspec.capacity + SLOT * 2)
+    cluster.run_for(3)
+    assert scheduler.waiting_units_total() == waiting_before - 2
+
+
+def test_capacity_shrink_keeps_books_consistent(cluster):
+    machine = cluster.topology.machines()[0]
+    mspec = cluster.topology.spec(machine)
+    object.__setattr__(mspec, "capacity",
+                       ResourceVector.of(cpu=100, memory=2048))
+    cluster.run_for(3)
+    scheduler = cluster.primary_master.scheduler
+    assert scheduler.pool.capacity(machine).cpu == 100
+    scheduler.check_conservation()
+
+
+def test_surplus_containers_returned_before_task_end(cluster):
+    """A task with a shrinking tail releases idle containers early."""
+    # 12 workers for 14 instances: after the first wave, 2 remain -> most
+    # containers go idle and should be returned before the task finishes
+    spec = JobSpec("tail", {"t": TaskSpec("t", 14, 6.0, SLOT, workers=12)},
+                   [], [], [])
+    app = cluster.submit_job(spec)
+    cluster.run_for(13)   # first wave (12) done, tail of 2 running
+    scheduler = cluster.primary_master.scheduler
+    am = cluster.app_masters[app]
+    unit_key = next(iter(am.units))
+    held = scheduler.ledger.total_units(unit_key)
+    assert held <= 4   # 2 busy + at most 1 spare (+1 for timing slack)
+    assert cluster.run_until_complete([app], timeout=300)
+    assert cluster.job_results[app].success
+
+
+def test_early_release_feeds_other_jobs(cluster):
+    slow = cluster.submit_job(JobSpec(
+        "tail", {"t": TaskSpec("t", 13, 8.0, SLOT, workers=12)}, [], [], []))
+    cluster.run_for(12)   # tail of 1 instance holds few containers now
+    fast = cluster.submit_job(mapreduce_job("fast", mappers=12, reducers=2,
+                                            map_duration=1.0,
+                                            reduce_duration=1.0,
+                                            workers_per_task=12))
+    assert cluster.run_until_complete([fast], timeout=120)
+    assert cluster.run_until_complete([slow], timeout=300)

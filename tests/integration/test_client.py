@@ -1,0 +1,66 @@
+"""Integration: wire-level job submission through the Client actor."""
+
+from repro.core.client import Client
+from repro.workloads.synthetic import mapreduce_job
+from tests.conftest import make_cluster
+
+
+def make_client(cluster):
+    return Client(cluster.loop, cluster.bus)
+
+
+def test_client_submission_runs_job(cluster):
+    client = make_client(cluster)
+    description = mapreduce_job("wired", mappers=6, reducers=2,
+                                map_duration=1.0,
+                                reduce_duration=1.0).to_description()
+    app_id = client.submit(description)
+    cluster.run_for(60)
+    assert app_id in cluster.job_results
+    assert cluster.job_results[app_id].success
+
+
+def test_client_ids_are_unique(cluster):
+    client = make_client(cluster)
+    description = mapreduce_job("a", 2, 1).to_description()
+    ids = {client.submit(description, app_id=None) for _ in range(5)}
+    assert len(ids) == 5
+
+
+def test_submission_respects_quota_group(cluster):
+    cluster.primary_master.define_quota_group("tenants")
+    client = make_client(cluster)
+    description = mapreduce_job("g", mappers=4, reducers=1,
+                                map_duration=30.0,
+                                reduce_duration=1.0).to_description()
+    app_id = client.submit(description, group="tenants")
+    cluster.run_for(5)   # job still running; group assignment is live
+    assert cluster.primary_master.scheduler.quota.group_of(app_id) == "tenants"
+    record = cluster.checkpoint.get(f"app/{app_id}")
+    assert record["group"] == "tenants"
+
+
+def test_submission_after_failover_reaches_new_primary(cluster):
+    cluster.crash_primary_master()
+    cluster.run_for(8)   # standby takes the alias
+    client = make_client(cluster)
+    description = mapreduce_job("late", mappers=4, reducers=1,
+                                map_duration=1.0,
+                                reduce_duration=1.0).to_description()
+    app_id = client.submit(description)
+    cluster.run_for(60)
+    assert cluster.job_results[app_id].success
+
+
+def test_resubmit_is_idempotent(cluster):
+    client = make_client(cluster)
+    description = mapreduce_job("dup", mappers=4, reducers=1,
+                                map_duration=2.0,
+                                reduce_duration=1.0).to_description()
+    app_id = client.submit(description)
+    cluster.run_for(1)
+    client.resubmit(app_id)
+    cluster.run_for(60)
+    assert cluster.job_results[app_id].success
+    # only one AM was ever created for it
+    assert list(cluster.app_masters).count(app_id) == 1

@@ -1,0 +1,133 @@
+"""Integration: FuxiMaster hot-standby failover (paper §4.3.1, Figure 7)."""
+
+from repro.workloads.synthetic import mapreduce_job
+from tests.conftest import make_cluster
+
+
+def test_standby_takes_over_after_primary_crash():
+    cluster = make_cluster()
+    old_primary = cluster.primary_master
+    assert old_primary.name == "fuxi-master-0"
+    cluster.crash_primary_master()
+    cluster.run_for(10)
+    new_primary = cluster.primary_master
+    assert new_primary is not None
+    assert new_primary.name == "fuxi-master-1"
+
+
+def test_job_survives_master_failover():
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=20, reducers=4, map_duration=4.0, reduce_duration=3.0,
+        workers_per_task=8))
+    cluster.run_for(4)
+    cluster.crash_primary_master()
+    assert cluster.run_until_complete([app], timeout=600)
+    assert cluster.job_results[app].success
+
+
+def test_running_workers_not_disturbed_by_failover():
+    """'keeping all resource allocation and existing processes stable'."""
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=16, reducers=2, map_duration=30.0, reduce_duration=2.0,
+        workers_per_task=6))
+    cluster.run_for(6)
+    workers_before = {w.name for m in cluster.topology.machines()
+                      for w in cluster.workers_on(m)}
+    assert workers_before
+    cluster.crash_primary_master()
+    cluster.run_for(8)   # recovery window passes
+    workers_after = {w.name for m in cluster.topology.machines()
+                     for w in cluster.workers_on(m)}
+    assert workers_before <= workers_after
+
+
+def test_ledger_rebuilt_matches_pre_crash():
+    """Soft-state reconstruction: the rebuilt books equal the old ones."""
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=16, reducers=2, map_duration=60.0, reduce_duration=2.0,
+        workers_per_task=6))
+    cluster.run_for(6)
+    old = cluster.primary_master
+    before = old.scheduler.ledger.copy()
+    assert len(before) > 0
+    cluster.crash_primary_master()
+    cluster.run_for(10)
+    new = cluster.primary_master
+    assert new.name != old.name
+    assert new.scheduler.ledger.equals(before)
+    new.scheduler.check_conservation()
+
+
+def test_demands_recollected_from_app_masters():
+    cluster = make_cluster(racks=1, machines_per_rack=1)  # starve: 4 slots
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=30, reducers=2, map_duration=20.0, reduce_duration=2.0,
+        workers_per_task=12))
+    cluster.run_for(5)
+    before_waiting = cluster.primary_master.scheduler.waiting_units_total()
+    assert before_waiting > 0
+    cluster.crash_primary_master()
+    cluster.run_for(10)
+    after_waiting = cluster.primary_master.scheduler.waiting_units_total()
+    assert after_waiting == before_waiting
+
+
+def test_hard_state_loaded_from_checkpoint():
+    cluster = make_cluster()
+    primary = cluster.primary_master
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=8, reducers=2, map_duration=30.0, reduce_duration=2.0))
+    cluster.run_for(3)
+    assert cluster.checkpoint.get(f"app/{app}") is not None
+    cluster.crash_primary_master()
+    cluster.run_for(8)
+    new = cluster.primary_master
+    assert app in new._known_app_ids()
+
+
+def test_double_failover():
+    """Crash the primary, restart it, crash the new primary."""
+    cluster = make_cluster()
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=16, reducers=4, map_duration=5.0, reduce_duration=3.0,
+        workers_per_task=6))
+    cluster.run_for(3)
+    cluster.crash_primary_master()          # -> master-1
+    cluster.run_for(8)
+    cluster.restart_master("fuxi-master-0")  # standby again
+    cluster.run_for(3)
+    cluster.crash_primary_master()          # -> master-0 again
+    assert cluster.run_until_complete([app], timeout=900)
+    assert cluster.job_results[app].success
+    assert cluster.primary_master.name == "fuxi-master-0"
+
+
+def test_failover_cost_is_small():
+    """§5.4: killing FuxiMaster costs ~seconds, not a re-run."""
+    def run_once(kill):
+        cluster = make_cluster(seed=9)
+        app = cluster.submit_job(mapreduce_job(
+            "wc", mappers=24, reducers=4, map_duration=4.0,
+            reduce_duration=3.0, workers_per_task=8))
+        if kill:
+            cluster.loop.call_after(5.0, cluster.crash_primary_master)
+        assert cluster.run_until_complete([app], timeout=900)
+        return cluster.job_results[app].makespan
+
+    baseline = run_once(kill=False)
+    with_kill = run_once(kill=True)
+    assert with_kill - baseline < 30.0
+
+
+def test_checkpoint_only_written_on_job_boundaries():
+    """Hard-state writes happen at submit/stop, not per scheduling event."""
+    cluster = make_cluster()
+    writes_before = cluster.checkpoint.writes
+    app = cluster.submit_job(mapreduce_job(
+        "wc", mappers=12, reducers=2, map_duration=2.0, reduce_duration=1.0))
+    assert cluster.run_until_complete([app], timeout=300)
+    writes = cluster.checkpoint.writes - writes_before
+    assert writes <= 3   # submit + delete (+ blacklist at most)

@@ -1,0 +1,101 @@
+"""Integration: long-running replicated services (paper §6's service model)."""
+
+from repro.core.resources import ResourceVector
+from repro.jobs.service import ServiceSpec
+from tests.conftest import make_cluster
+
+SLOT = ResourceVector.of(cpu=100, memory=2048)
+
+
+def service_spec(replicas=4, max_per_machine=0):
+    return ServiceSpec(name="web", replicas=replicas, resources=SLOT,
+                       max_per_machine=max_per_machine)
+
+
+def get_master(cluster, app_id):
+    return cluster.app_masters[app_id]
+
+
+def test_service_reaches_target_replicas(cluster):
+    app_id = cluster.submit_service(service_spec(replicas=4))
+    cluster.run_for(8)
+    master = get_master(cluster, app_id)
+    assert master.status()["up"] == 4
+
+
+def test_service_keeps_running_indefinitely(cluster):
+    app_id = cluster.submit_service(service_spec(replicas=3))
+    cluster.run_for(60)
+    master = get_master(cluster, app_id)
+    assert master.alive and not master.finished
+    assert master.status()["up"] == 3
+    assert app_id not in cluster.job_results
+
+
+def test_replica_replaced_after_node_down(cluster):
+    app_id = cluster.submit_service(service_spec(replicas=4))
+    cluster.run_for(8)
+    master = get_master(cluster, app_id)
+    victim = master.status()["machines"][0]
+    cluster.faults.node_down(victim)
+    cluster.run_for(25)
+    status = master.status()
+    assert status["up"] == 4
+    assert victim not in status["machines"]
+
+
+def test_scale_up_and_down(cluster):
+    app_id = cluster.submit_service(service_spec(replicas=2))
+    cluster.run_for(6)
+    master = get_master(cluster, app_id)
+    assert master.status()["up"] == 2
+    master.scale_to(5)
+    cluster.run_for(10)
+    assert master.status()["up"] == 5
+    master.scale_to(1)
+    cluster.run_for(10)
+    assert master.status()["up"] == 1
+    cluster.primary_master.scheduler.check_conservation()
+
+
+def test_spreading_constraint(cluster):
+    app_id = cluster.submit_service(service_spec(replicas=4,
+                                                 max_per_machine=1))
+    cluster.run_for(15)
+    master = get_master(cluster, app_id)
+    status = master.status()
+    assert status["up"] == 4
+    assert len(status["machines"]) == 4   # one per machine
+
+
+def test_stop_service_returns_everything(cluster):
+    app_id = cluster.submit_service(service_spec(replicas=3))
+    cluster.run_for(8)
+    master = get_master(cluster, app_id)
+    master.stop_service()
+    cluster.run_for(10)
+    scheduler = cluster.primary_master.scheduler
+    scheduler.check_conservation()
+    assert scheduler.ledger.total_units(master.unit_key) == 0
+    assert cluster.live_workers() == 0
+
+
+def test_service_survives_master_failover(cluster):
+    app_id = cluster.submit_service(service_spec(replicas=3))
+    cluster.run_for(6)
+    cluster.crash_primary_master()
+    cluster.run_for(15)
+    master = get_master(cluster, app_id)
+    assert master.status()["up"] == 3
+    cluster.primary_master.scheduler.check_conservation()
+
+
+def test_service_coexists_with_batch_jobs(cluster):
+    from repro.workloads.synthetic import mapreduce_job
+    svc = cluster.submit_service(service_spec(replicas=3))
+    job = cluster.submit_job(mapreduce_job("batch", mappers=12, reducers=2,
+                                           map_duration=2.0,
+                                           reduce_duration=2.0))
+    assert cluster.run_until_complete([job], timeout=300)
+    cluster.run_for(5)
+    assert get_master(cluster, svc).status()["up"] == 3

@@ -1,0 +1,76 @@
+"""Property tests on whole-cluster behaviour: determinism and conservation
+under randomized workloads and fault schedules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.agent import FuxiAgentConfig
+from repro.core.resources import ResourceVector
+from repro.runtime import FuxiCluster
+from repro.workloads.synthetic import mapreduce_job
+
+CAP = ResourceVector.of(cpu=400, memory=8192)
+
+
+def build(seed):
+    cluster = FuxiCluster(
+        ClusterTopology.build(2, 3, capacity=CAP), seed=seed,
+        agent_config=FuxiAgentConfig(worker_start_delay=0.2))
+    cluster.warm_up()
+    return cluster
+
+
+job_strategy = st.lists(
+    st.tuples(st.integers(min_value=2, max_value=12),   # mappers
+              st.integers(min_value=1, max_value=4),    # reducers
+              st.integers(min_value=1, max_value=4)),   # duration (s)
+    min_size=1, max_size=4)
+
+
+@settings(max_examples=10, deadline=None)
+@given(job_strategy, st.integers(min_value=0, max_value=10_000))
+def test_every_random_workload_completes_with_clean_books(jobs, seed):
+    cluster = build(seed)
+    apps = [
+        cluster.submit_job(mapreduce_job(
+            f"j{i}", mappers=m, reducers=r, map_duration=float(d),
+            reduce_duration=float(d), workers_per_task=8))
+        for i, (m, r, d) in enumerate(jobs)
+    ]
+    assert cluster.run_until_complete(apps, timeout=900)
+    assert all(cluster.job_results[a].success for a in apps)
+    cluster.run_for(10)
+    scheduler = cluster.primary_master.scheduler
+    scheduler.check_conservation()
+    assert len(scheduler.ledger) == 0
+    assert cluster.live_workers() == 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000))
+def test_simulation_is_deterministic(seed):
+    makespans = []
+    for _ in range(2):
+        cluster = build(seed)
+        app = cluster.submit_job(mapreduce_job(
+            "det", mappers=10, reducers=2, map_duration=2.0,
+            reduce_duration=2.0, workers_per_task=6))
+        assert cluster.run_until_complete([app], timeout=600)
+        makespans.append(cluster.job_results[app].makespan)
+    assert makespans[0] == makespans[1]
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=5),      # machine index to kill
+       st.integers(min_value=2, max_value=8),      # kill time
+       st.integers(min_value=0, max_value=10_000))
+def test_single_node_down_never_blocks_completion(victim_index, kill_at, seed):
+    cluster = build(seed)
+    app = cluster.submit_job(mapreduce_job(
+        "survive", mappers=16, reducers=2, map_duration=3.0,
+        reduce_duration=2.0, workers_per_task=8))
+    victim = cluster.topology.machines()[victim_index]
+    cluster.loop.call_after(float(kill_at), cluster.faults.node_down, victim)
+    assert cluster.run_until_complete([app], timeout=900)
+    assert cluster.job_results[app].success
+    cluster.primary_master.scheduler.check_conservation()

@@ -1,0 +1,148 @@
+"""Unit tests for the Actor base class (timers, crash/restart, messaging)."""
+
+from repro.cluster.network import MessageBus, NetworkConfig
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.rng import SplitRandom
+
+
+class Recorder(Actor):
+    def __init__(self, loop, name, bus=None):
+        super().__init__(loop, name, bus)
+        self.received = []
+        self.crashes = 0
+        self.restarts = 0
+
+    def handle_message(self, sender, message):
+        self.received.append((sender, message))
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_restart(self):
+        self.restarts += 1
+
+
+def make_bus(loop):
+    return MessageBus(loop, SplitRandom(0), NetworkConfig(latency=0.001,
+                                                          jitter=0.0))
+
+
+def test_one_shot_timer_fires_once():
+    loop = EventLoop()
+    actor = Recorder(loop, "a")
+    fired = []
+    actor.set_timer("t", 1.0, lambda: fired.append(loop.now))
+    loop.run_until(10.0)
+    assert fired == [1.0]
+
+
+def test_timer_rearm_replaces_previous():
+    loop = EventLoop()
+    actor = Recorder(loop, "a")
+    fired = []
+    actor.set_timer("t", 1.0, lambda: fired.append("first"))
+    actor.set_timer("t", 2.0, lambda: fired.append("second"))
+    loop.run_until(10.0)
+    assert fired == ["second"]
+
+
+def test_periodic_timer_repeats():
+    loop = EventLoop()
+    actor = Recorder(loop, "a")
+    fired = []
+    actor.set_periodic_timer("hb", 1.0, lambda: fired.append(loop.now))
+    loop.run_until(5.5)
+    assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_cancel_stops_periodic_timer():
+    loop = EventLoop()
+    actor = Recorder(loop, "a")
+    fired = []
+
+    def tick():
+        fired.append(loop.now)
+        if len(fired) == 2:
+            actor.cancel_timer("hb")
+
+    actor.set_periodic_timer("hb", 1.0, tick)
+    loop.run_until(10.0)
+    assert fired == [1.0, 2.0]
+
+
+def test_crash_stops_timers():
+    loop = EventLoop()
+    actor = Recorder(loop, "a")
+    fired = []
+    actor.set_periodic_timer("hb", 1.0, lambda: fired.append(loop.now))
+    loop.run_until(2.5)
+    actor.crash()
+    loop.run_until(10.0)
+    assert fired == [1.0, 2.0]
+    assert actor.crashes == 1
+
+
+def test_crashed_actor_drops_messages():
+    loop = EventLoop()
+    bus = make_bus(loop)
+    receiver = Recorder(loop, "r", bus)
+    sender = Recorder(loop, "s", bus)
+    receiver.crash()
+    sender.send("r", "hello")
+    loop.run()
+    assert receiver.received == []
+
+
+def test_restart_allows_messages_again():
+    loop = EventLoop()
+    bus = make_bus(loop)
+    receiver = Recorder(loop, "r", bus)
+    sender = Recorder(loop, "s", bus)
+    receiver.crash()
+    receiver.restart()
+    sender.send("r", "hello")
+    loop.run()
+    assert receiver.received == [("s", "hello")]
+    assert receiver.restarts == 1
+
+
+def test_restart_of_alive_actor_is_noop():
+    loop = EventLoop()
+    actor = Recorder(loop, "a")
+    actor.restart()
+    assert actor.restarts == 0
+
+
+def test_stale_timer_after_crash_restart_does_not_fire():
+    loop = EventLoop()
+    actor = Recorder(loop, "a")
+    fired = []
+    actor.set_timer("t", 5.0, lambda: fired.append("stale"))
+    loop.run_until(1.0)
+    actor.crash()
+    actor.restart()
+    loop.run_until(10.0)
+    assert fired == []
+
+
+def test_dead_actor_cannot_send():
+    loop = EventLoop()
+    bus = make_bus(loop)
+    receiver = Recorder(loop, "r", bus)
+    sender = Recorder(loop, "s", bus)
+    sender.crash()
+    sender.send("r", "hello")
+    loop.run()
+    assert receiver.received == []
+
+
+def test_message_roundtrip_orders_by_latency():
+    loop = EventLoop()
+    bus = make_bus(loop)
+    receiver = Recorder(loop, "r", bus)
+    sender = Recorder(loop, "s", bus)
+    sender.send("r", 1)
+    sender.send("r", 2)
+    loop.run()
+    assert [m for _, m in receiver.received] == [1, 2]

@@ -1,0 +1,179 @@
+"""Unit tests for the ApplicationMaster base actor against a real master."""
+
+import pytest
+
+from repro.cluster.lockservice import LockService
+from repro.cluster.network import MessageBus, NetworkConfig
+from repro.core import messages as msg
+from repro.core.appmaster import ApplicationMaster, AppMasterConfig
+from repro.core.checkpoint import CheckpointStore
+from repro.core.master import FuxiMaster, FuxiMasterConfig
+from repro.core.resources import ResourceVector
+from repro.core.units import UnitKey
+from repro.sim.events import EventLoop
+from repro.sim.rng import SplitRandom
+
+CAP = ResourceVector.of(cpu=400, memory=8192)
+SLOT = ResourceVector.of(cpu=100, memory=2048)
+
+
+class RecordingAM(ApplicationMaster):
+    def __init__(self, loop, bus, app_id):
+        self.granted_events = []
+        self.revoked_events = []
+        super().__init__(loop, bus, app_id,
+                         AppMasterConfig(full_sync_interval=1000.0))
+
+    def on_granted(self, unit_key, machine, count):
+        self.granted_events.append((unit_key, machine, count))
+
+    def on_revoked(self, unit_key, machine, count):
+        self.revoked_events.append((unit_key, machine, count))
+
+
+def setup(machines=2):
+    loop = EventLoop()
+    bus = MessageBus(loop, SplitRandom(0), NetworkConfig(latency=0.001,
+                                                         jitter=0.0))
+    locks = LockService(loop)
+    master = FuxiMaster(loop, bus, "fuxi-master-0", locks, CheckpointStore(),
+                        FuxiMasterConfig(recovery_window=0.2,
+                                         heartbeat_timeout=1e9,
+                                         app_master_timeout=1e9))
+    loop.run_until(0.5)
+    for i in range(machines):
+        master.deliver(f"agent:m{i}", msg.AgentHeartbeat(
+            f"m{i}", f"r{i % 2}", CAP, {}))
+    am = RecordingAM(loop, bus, "a1")
+    return loop, bus, master, am
+
+
+def test_define_and_request_yields_grants():
+    loop, bus, master, am = setup()
+    unit = am.define_unit(1, SLOT)
+    am.request(unit.key, 3)
+    loop.run_until(1.0)
+    assert am.held_count(unit.key) == 3
+    assert sum(c for _, _, c in am.granted_events) == 3
+    assert am.outstanding(unit.key) == 0
+
+
+def test_demand_mirrors_master_bookkeeping():
+    loop, bus, master, am = setup(machines=1)
+    unit = am.define_unit(1, SLOT)
+    am.request(unit.key, 10)   # only 4 fit
+    loop.run_until(1.0)
+    assert am.held_count(unit.key) == 4
+    assert am.outstanding(unit.key) == 6
+    assert master.scheduler.demand_of(unit.key).total == 6
+
+
+def test_return_grant_updates_both_sides():
+    loop, bus, master, am = setup()
+    unit = am.define_unit(1, SLOT)
+    am.request(unit.key, 2)
+    loop.run_until(1.0)
+    machine = next(iter(am.holdings[unit.key]))
+    am.return_grant(unit.key, machine, 1)
+    loop.run_until(2.0)
+    assert am.held_count(unit.key) == 1
+    assert master.scheduler.ledger.total_units(unit.key) == 1
+
+
+def test_return_more_than_held_raises():
+    loop, bus, master, am = setup()
+    unit = am.define_unit(1, SLOT)
+    am.request(unit.key, 1)
+    loop.run_until(1.0)
+    machine = next(iter(am.holdings[unit.key]))
+    with pytest.raises(ValueError):
+        am.return_grant(unit.key, machine, 5)
+
+
+def test_exit_returns_everything():
+    loop, bus, master, am = setup()
+    unit = am.define_unit(1, SLOT)
+    am.request(unit.key, 4)
+    loop.run_until(1.0)
+    am.exit_application()
+    loop.run_until(2.0)
+    assert master.scheduler.ledger.total_units(unit.key) == 0
+    master.scheduler.check_conservation()
+
+
+def test_send_avoid_reaches_master():
+    loop, bus, master, am = setup(machines=2)
+    unit = am.define_unit(1, SLOT)
+    am.send_avoid(unit.key, ["m0"])
+    am.request(unit.key, 4)
+    loop.run_until(1.0)
+    assert set(am.holdings.get(unit.key, {})) == {"m1"}
+
+
+def test_grant_full_sync_reconciles_holdings():
+    loop, bus, master, am = setup()
+    unit = am.define_unit(1, SLOT)
+    am.request(unit.key, 2)
+    loop.run_until(1.0)
+    # corrupt the AM's local view, then push the master's authoritative one
+    am.holdings = {}
+    am._apply_grant_full(master._grant_state("a1"))
+    assert am.held_count(unit.key) == 2
+    # original grant + the resync both fired hooks
+    assert sum(c for _, _, c in am.granted_events) >= 4
+
+
+def test_am_restart_recovers_holdings_from_master():
+    loop, bus, master, am = setup()
+    unit = am.define_unit(1, SLOT)
+    am.request(unit.key, 3)
+    loop.run_until(1.0)
+    am.crash()
+    assert am.holdings == {}
+    am.units[unit.key] = unit   # recover_state hook would rebuild this
+    am.restart()
+    loop.run_until(2.0)
+    assert am.held_count(unit.key) == 3
+
+
+def test_periodic_full_sync_heals_master_demand_drift():
+    loop, bus, master, am = setup(machines=1)
+    unit = am.define_unit(1, SLOT)
+    am.request(unit.key, 10)
+    loop.run_until(1.0)
+    # corrupt the master's demand book behind the protocol's back
+    master.scheduler._demands[unit.key].total = 0
+    am._periodic_full_sync()
+    loop.run_until(2.0)
+    assert master.scheduler.demand_of(unit.key).total == 6
+
+
+def test_workers_on_tracking():
+    loop, bus, master, am = setup()
+    unit = am.define_unit(1, SLOT)
+    am.request(unit.key, 1)
+    loop.run_until(1.0)
+    machine = next(iter(am.holdings[unit.key]))
+    am.send_work_plan("w1", unit.key, machine)
+    assert am.workers_on(machine) == {"w1"}
+    am.forget_worker("w1")
+    assert am.workers_on(machine) == set()
+
+
+def test_worker_list_request_answered():
+    loop, bus, master, am = setup()
+    unit = am.define_unit(1, SLOT)
+    am.request(unit.key, 1)
+    loop.run_until(1.0)
+    machine = next(iter(am.holdings[unit.key]))
+    am.send_work_plan("w1", unit.key, machine)
+
+    class AgentProbe:
+        pass
+
+    from tests.unit.test_master_actor import Probe
+    probe = Probe(loop, "probe", bus)
+    am.deliver("probe", msg.WorkerListRequest(machine))
+    loop.run_until(2.0)
+    replies = probe.of_type(msg.WorkerListReply)
+    assert replies and [p.worker_id for p in replies[0].plans] == ["w1"]

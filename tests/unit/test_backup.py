@@ -1,0 +1,84 @@
+"""Unit tests for the backup-instance policy's three criteria (paper §4.3.2)."""
+
+from repro.jobs.backup import BackupPolicy
+from repro.jobs.instance import Instance
+from repro.jobs.spec import BackupSpec
+
+
+def make_instances(total=10, finished=9, straggler_started=0.0):
+    """finished instances take 10s; one straggler still runs."""
+    instances = []
+    for i in range(finished):
+        instance = Instance("t", i, duration=10.0)
+        instance.start_attempt(f"w{i}", f"m{i}", now=0.0)
+        instance.complete(f"w{i}", now=10.0)
+        instances.append(instance)
+    for i in range(finished, total):
+        instance = Instance("t", i, duration=10.0)
+        instance.start_attempt(f"w{i}", f"m{i}", now=straggler_started)
+        instances.append(instance)
+    return instances
+
+
+def policy(finished_fraction=0.9, slowdown=2.0, normal=15.0,
+           enabled=True) -> BackupPolicy:
+    return BackupPolicy(BackupSpec(enabled=enabled,
+                                   finished_fraction=finished_fraction,
+                                   slowdown_factor=slowdown,
+                                   normal_duration=normal))
+
+
+def test_all_criteria_met_triggers_backup():
+    instances = make_instances(total=10, finished=9)
+    # straggler has run 30s: > 2 x 10s average, > 15s normal, 90% finished
+    decisions = policy().candidates(instances, now=30.0)
+    assert len(decisions) == 1
+    assert decisions[0].instance.index == 9
+    assert decisions[0].average_finished == 10.0
+
+
+def test_criterion1_not_enough_finished():
+    instances = make_instances(total=10, finished=5)
+    assert policy().candidates(instances, now=100.0) == []
+
+
+def test_criterion2_not_slow_enough():
+    instances = make_instances(total=10, finished=9)
+    # straggler at 18s: above normal 15 but below 2 x avg (20)
+    assert policy().candidates(instances, now=18.0) == []
+
+
+def test_criterion3_input_skew_protection():
+    """Instances below the user-declared normal time are skew, not stragglers."""
+    instances = make_instances(total=10, finished=9)
+    skew_policy = policy(normal=50.0)
+    assert skew_policy.candidates(instances, now=30.0) == []
+    assert skew_policy.candidates(instances, now=60.0) != []
+
+
+def test_disabled_policy_never_fires():
+    instances = make_instances(total=10, finished=9)
+    assert policy(enabled=False).candidates(instances, now=1000.0) == []
+
+
+def test_instance_with_existing_backup_skipped():
+    instances = make_instances(total=10, finished=9)
+    straggler = instances[-1]
+    straggler.start_attempt("w-backup", "m-other", now=25.0, is_backup=True)
+    assert policy().candidates(instances, now=30.0) == []
+
+
+def test_no_finished_instances_no_average():
+    instance = Instance("t", 0, duration=10.0)
+    instance.start_attempt("w0", "m0", now=0.0)
+    assert policy(finished_fraction=0.0).candidates([instance], now=100.0) == []
+
+
+def test_average_finished_time():
+    instances = make_instances(total=3, finished=3)
+    assert policy().average_finished_time(instances) == 10.0
+    assert policy().average_finished_time([]) is None
+
+
+def test_empty_instance_list():
+    assert policy().candidates([], now=10.0) == []

@@ -1,0 +1,189 @@
+"""Unit tests for the YARN / Mesos / Hadoop-1.0 baseline schedulers."""
+
+from repro.baselines.hadoop10 import Hadoop10Scheduler, SlotRequest
+from repro.baselines.mesos import MesosFramework, MesosMaster
+from repro.baselines.yarn import YarnRequest, YarnScheduler
+from repro.core.resources import ResourceVector
+
+SLOT = ResourceVector.of(cpu=100, memory=1024)
+NODE = SLOT * 4
+
+
+# ------------------------------ YARN --------------------------------- #
+
+def make_yarn(nodes=2):
+    yarn = YarnScheduler()
+    for i in range(nodes):
+        yarn.add_node(f"m{i}", NODE)
+    return yarn
+
+
+def test_yarn_nothing_granted_before_heartbeat():
+    yarn = make_yarn()
+    yarn.submit_request(YarnRequest("app", SLOT, 2))
+    assert yarn.pending_count() == 2
+    assert yarn.containers_granted == 0
+
+
+def test_yarn_heartbeat_allocates_from_global_list():
+    yarn = make_yarn()
+    yarn.submit_request(YarnRequest("app", SLOT, 3))
+    granted = yarn.on_node_heartbeat("m0")
+    assert len(granted) == 3
+    assert yarn.pending_count() == 0
+    assert yarn.free_on("m0") == SLOT
+
+
+def test_yarn_priority_order():
+    yarn = make_yarn(nodes=1)
+    yarn.submit_request(YarnRequest("low", SLOT, 4, priority=200))
+    yarn.submit_request(YarnRequest("high", SLOT, 4, priority=50))
+    granted = yarn.on_node_heartbeat("m0")
+    assert all(c.app_id == "high" for c in granted)
+
+
+def test_yarn_reclaim_on_task_completion():
+    """The no-container-reuse behaviour the paper criticizes."""
+    yarn = make_yarn(nodes=1)
+    yarn.submit_request(YarnRequest("app", SLOT, 1))
+    container = yarn.on_node_heartbeat("m0")[0]
+    yarn.task_completed(container.container_id)
+    assert yarn.free_on("m0") == NODE
+    # next task needs a fresh request + heartbeat round
+    yarn.submit_request(YarnRequest("app", SLOT, 1))
+    assert yarn.pending_count() == 1
+    assert yarn.reschedule_rounds == 1
+
+
+def test_yarn_unknown_container_completion_raises():
+    import pytest
+    with pytest.raises(KeyError):
+        make_yarn().task_completed(999)
+
+
+def test_yarn_release_app_frees_everything():
+    yarn = make_yarn(nodes=1)
+    yarn.submit_request(YarnRequest("app", SLOT, 4))
+    yarn.on_node_heartbeat("m0")
+    yarn.release_app("app")
+    assert yarn.free_on("m0") == NODE
+
+
+def test_yarn_scan_counter_grows_with_pending():
+    yarn = make_yarn(nodes=1)
+    for i in range(5):
+        yarn.submit_request(YarnRequest(f"app{i}", NODE * 2, 1))  # unsatisfiable
+    yarn.on_node_heartbeat("m0")
+    assert yarn.requests_scanned == 5
+
+
+# ------------------------------ Mesos -------------------------------- #
+
+def make_mesos(nodes=4):
+    master = MesosMaster()
+    for i in range(nodes):
+        master.add_node(f"m{i}", NODE)
+    return master
+
+
+def test_mesos_offers_rotate_among_frameworks():
+    master = make_mesos(nodes=2)
+    f1 = MesosFramework("f1", SLOT, demand=2)
+    f2 = MesosFramework("f2", SLOT, demand=2)
+    master.register(f1)
+    master.register(f2)
+    master.offer_round()
+    assert f1.offers_received >= 1
+    assert f2.offers_received >= 1
+
+
+def test_mesos_demand_eventually_satisfied():
+    master = make_mesos(nodes=2)
+    f1 = MesosFramework("f1", SLOT, demand=4)
+    f2 = MesosFramework("f2", SLOT, demand=4)
+    master.register(f1)
+    master.register(f2)
+    rounds = master.run_until_satisfied()
+    assert f1.demand == 0 and f2.demand == 0
+    assert rounds >= 1
+
+
+def test_mesos_framework_declines_when_satisfied():
+    master = make_mesos(nodes=1)
+    framework = MesosFramework("f", SLOT, demand=0)
+    master.register(framework)
+    master.offer_round()
+    assert framework.offers_declined == framework.offers_received >= 1
+
+
+def test_mesos_waiting_time_depends_on_contention():
+    """More competing frameworks -> later first allocation for the last one
+    (the §1 criticism of offer-based scheduling)."""
+    lone = MesosMaster()
+    lone.add_node("m0", SLOT * 16)
+    solo = MesosFramework("solo", SLOT, demand=4)
+    lone.register(solo)
+    lone.run_until_satisfied()
+
+    crowded = MesosMaster()
+    crowded.add_node("m0", SLOT * 16)
+    frameworks = [MesosFramework(f"f{i}", SLOT, demand=4) for i in range(4)]
+    for framework in frameworks:
+        crowded.register(framework)
+    crowded.run_until_satisfied()
+    last_round = max(f.first_allocation_round for f in frameworks)
+    assert last_round > solo.first_allocation_round
+
+
+def test_mesos_release_returns_resources():
+    master = make_mesos(nodes=1)
+    framework = MesosFramework("f", SLOT, demand=1)
+    master.register(framework)
+    master.run_until_satisfied()
+    task = framework.tasks[0]
+    master.release(task)
+    assert master._free["m0"] == NODE
+
+
+# ------------------------------ Hadoop 1.0 --------------------------- #
+
+def test_hadoop10_assigns_on_submit():
+    scheduler = Hadoop10Scheduler()
+    scheduler.add_node("m0", NODE)
+    scheduler.submit(SlotRequest("app", SLOT, 2))
+    assert len(scheduler.assignments) == 2
+    assert scheduler.pending_count() == 0
+
+
+def test_hadoop10_release_triggers_global_pass():
+    scheduler = Hadoop10Scheduler()
+    scheduler.add_node("m0", SLOT)
+    scheduler.submit(SlotRequest("a", SLOT, 2))
+    assert scheduler.pending_count() == 1
+    scheduler.release("m0", SLOT)
+    assert scheduler.pending_count() == 0
+
+
+def test_hadoop10_scan_cost_scales_with_cluster():
+    small = Hadoop10Scheduler()
+    for i in range(4):
+        small.add_node(f"m{i}", SLOT)
+    big = Hadoop10Scheduler()
+    for i in range(40):
+        big.add_node(f"m{i}", SLOT)
+    for scheduler in (small, big):
+        for a in range(10):
+            scheduler.submit(SlotRequest(f"app{a}", SLOT * 100, 1))  # starves
+        scheduler.release("m0", SLOT)
+    assert big.scan_operations > small.scan_operations
+
+
+def test_hadoop10_priority_order():
+    scheduler = Hadoop10Scheduler()
+    scheduler.add_node("m0", SLOT)
+    scheduler.submit(SlotRequest("low", SLOT, 1, priority=200))
+    # nothing free for high yet: make room then watch order
+    scheduler.add_node("m1", SLOT)
+    scheduler.submit(SlotRequest("high", SLOT, 1, priority=10))
+    assert ("low", "m0") in scheduler.assignments
+    assert ("high", "m1") in scheduler.assignments

@@ -1,0 +1,135 @@
+"""Unit tests for the multi-level blacklist (paper §4.3.2)."""
+
+from repro.core.blacklist import (BlacklistConfig, ClusterBlacklist,
+                                  JobBlacklist)
+
+CONFIG = BlacklistConfig(instances_per_task=2, tasks_per_job=2,
+                         jobs_per_cluster=2, max_disabled_fraction=0.5)
+
+
+# ------------------------------ job levels --------------------------- #
+
+def test_instance_level_avoid_after_one_failure():
+    blacklist = JobBlacklist(CONFIG)
+    blacklist.record_failure("t1", "t1/0", "m1")
+    assert not blacklist.allowed("t1", "t1/0", "m1")
+    assert blacklist.allowed("t1", "t1/1", "m1")   # other instances still may
+
+
+def test_task_level_after_enough_distinct_instances():
+    blacklist = JobBlacklist(CONFIG)
+    assert blacklist.record_failure("t1", "t1/0", "m1") == []
+    escalations = blacklist.record_failure("t1", "t1/1", "m1")
+    assert "task" in escalations
+    assert not blacklist.allowed("t1", "t1/99", "m1")
+    assert blacklist.allowed("t2", "t2/0", "m1")   # other tasks unaffected
+
+
+def test_same_instance_repeated_failures_do_not_escalate():
+    blacklist = JobBlacklist(CONFIG)
+    for _ in range(5):
+        escalations = blacklist.record_failure("t1", "t1/0", "m1")
+    assert escalations == []
+
+
+def test_job_level_after_enough_tasks():
+    blacklist = JobBlacklist(CONFIG)
+    blacklist.record_failure("t1", "t1/0", "m1")
+    blacklist.record_failure("t1", "t1/1", "m1")
+    blacklist.record_failure("t2", "t2/0", "m1")
+    escalations = blacklist.record_failure("t2", "t2/1", "m1")
+    assert "job" in escalations
+    assert "m1" in blacklist.job_bad_machines()
+    # machine is bad for every task of the job now
+    assert not blacklist.allowed("t3", "t3/0", "m1")
+
+
+def test_mark_job_bad_directly():
+    blacklist = JobBlacklist(CONFIG)
+    assert blacklist.mark_job_bad("m1")
+    assert not blacklist.mark_job_bad("m1")   # already marked
+    assert "m1" in blacklist.task_avoids("anything")
+
+
+def test_task_avoids_includes_job_level():
+    blacklist = JobBlacklist(CONFIG)
+    blacklist.mark_job_bad("m9")
+    blacklist.record_failure("t1", "t1/0", "m1")
+    blacklist.record_failure("t1", "t1/1", "m1")
+    assert blacklist.task_avoids("t1") == {"m1", "m9"}
+
+
+# ------------------------------ cluster level ------------------------ #
+
+def test_cluster_disable_after_jobs_threshold():
+    blacklist = ClusterBlacklist(CONFIG)
+    blacklist.set_known_machines(10)
+    assert not blacklist.mark_by_job("m1", "job1")
+    assert blacklist.mark_by_job("m1", "job2")
+    assert blacklist.is_disabled("m1")
+
+
+def test_same_job_marking_twice_counts_once():
+    blacklist = ClusterBlacklist(CONFIG)
+    blacklist.set_known_machines(10)
+    assert not blacklist.mark_by_job("m1", "job1")
+    assert not blacklist.mark_by_job("m1", "job1")
+
+
+def test_disable_cap_limits_job_driven_disables():
+    blacklist = ClusterBlacklist(CONFIG)
+    blacklist.set_known_machines(4)   # cap = 2 machines
+    for machine in ("m1", "m2", "m3"):
+        blacklist.mark_by_job(machine, "job1")
+        blacklist.mark_by_job(machine, "job2")
+    disabled = blacklist.disabled_machines()
+    assert len(disabled) == 2
+    assert not blacklist.is_disabled("m3")
+
+
+def test_heartbeat_disable_ignores_cap():
+    blacklist = ClusterBlacklist(CONFIG)
+    blacklist.set_known_machines(2)   # cap = 1
+    blacklist.mark_by_job("m1", "job1")
+    blacklist.mark_by_job("m1", "job2")
+    assert blacklist.disable_heartbeat_timeout("m2")
+    assert blacklist.is_disabled("m2")
+
+
+def test_low_health_disable():
+    blacklist = ClusterBlacklist(CONFIG)
+    assert blacklist.disable_low_health("m1")
+    assert not blacklist.disable_low_health("m1")
+    assert blacklist.disabled_machines()["m1"] == "health"
+
+
+def test_enable_clears_marks():
+    blacklist = ClusterBlacklist(CONFIG)
+    blacklist.set_known_machines(10)
+    blacklist.mark_by_job("m1", "job1")
+    blacklist.mark_by_job("m1", "job2")
+    blacklist.enable("m1")
+    assert not blacklist.is_disabled("m1")
+    assert not blacklist.mark_by_job("m1", "job3")   # marks restarted
+
+
+def test_clear_job_removes_its_marks():
+    blacklist = ClusterBlacklist(CONFIG)
+    blacklist.set_known_machines(10)
+    blacklist.mark_by_job("m1", "job1")
+    blacklist.clear_job("job1")
+    assert not blacklist.mark_by_job("m1", "job2")   # needs 2 again
+
+
+def test_snapshot_roundtrip():
+    blacklist = ClusterBlacklist(CONFIG)
+    blacklist.set_known_machines(10)
+    blacklist.mark_by_job("m1", "job1")
+    blacklist.mark_by_job("m1", "job2")
+    blacklist.disable_heartbeat_timeout("m2")
+    restored = ClusterBlacklist.from_snapshot(blacklist.snapshot(), CONFIG)
+    assert restored.is_disabled("m1")
+    assert restored.is_disabled("m2")
+    restored.set_known_machines(10)
+    assert not restored.mark_by_job("m3", "job1")
+    assert restored.mark_by_job("m3", "job9")

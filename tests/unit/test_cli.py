@@ -1,0 +1,90 @@
+"""Unit tests for the fuxi-sim command line tools."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_submit_runs_job_from_json(tmp_path, capsys):
+    description = {
+        "name": "cli-job",
+        "Tasks": {
+            "map": {"Instances": 8, "Duration": 1.0,
+                    "Resources": {"CPU": 50, "Memory": 2048}},
+            "reduce": {"Instances": 2, "Duration": 1.0,
+                       "Resources": {"CPU": 50, "Memory": 2048}},
+        },
+        "Pipes": [{"Source": {"AccessPoint": "map:o"},
+                   "Destination": {"AccessPoint": "reduce:i"}}],
+    }
+    job_file = tmp_path / "job.json"
+    job_file.write_text(json.dumps(description))
+    code = main(["submit", str(job_file), "--machines", "6", "--racks", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "SUCCESS" in out
+    assert "cli-job" in out
+
+
+def test_submit_watch_prints_progress(tmp_path, capsys):
+    description = {"Tasks": {"t": {"Instances": 6, "Duration": 4.0,
+                                   "Resources": {"CPU": 50,
+                                                 "Memory": 2048}}}}
+    job_file = tmp_path / "job.json"
+    job_file.write_text(json.dumps(description))
+    code = main(["submit", str(job_file), "--machines", "4", "--racks", "2",
+                 "--watch"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "t=" in out
+
+
+def test_submit_rejects_bad_description(tmp_path):
+    job_file = tmp_path / "bad.json"
+    job_file.write_text(json.dumps({"Pipes": []}))
+    with pytest.raises(Exception):
+        main(["submit", str(job_file)])
+
+
+def test_demo_prints_summary(capsys):
+    code = main(["demo", "--machines", "8", "--racks", "2", "--jobs", "4",
+                 "--duration", "30"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "jobs completed" in out
+    assert "avg scheduling ms" in out
+
+
+def test_trace_prints_table1(capsys):
+    code = main(["trace", "--jobs", "1000"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Instance Number" in out
+    assert "Task Number" in out
+
+
+def test_sortbench_prints_table4(capsys):
+    code = main(["sortbench"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Yahoo" in out
+    assert "Fuxi" in out
+
+
+def test_experiment_subcommand(capsys):
+    code = main(["experiment", "ablation-reuse"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Container reuse" in out
+
+
+def test_experiment_rejects_unknown_name():
+    with pytest.raises(SystemExit):
+        main(["experiment", "nope"])

@@ -1,0 +1,154 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.events import EventLoop, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert EventLoop().now == 0.0
+
+
+def test_clock_custom_start():
+    assert EventLoop(start_time=5.0).now == 5.0
+
+
+def test_call_after_executes_in_time_order():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(2.0, seen.append, "b")
+    loop.call_after(1.0, seen.append, "a")
+    loop.call_after(3.0, seen.append, "c")
+    loop.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_break_by_scheduling_order():
+    loop = EventLoop()
+    seen = []
+    for tag in ("first", "second", "third"):
+        loop.call_at(1.0, seen.append, tag)
+    loop.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    loop = EventLoop()
+    times = []
+    loop.call_after(1.5, lambda: times.append(loop.now))
+    loop.run()
+    assert times == [1.5]
+
+
+def test_cannot_schedule_in_the_past():
+    loop = EventLoop()
+    loop.call_after(1.0, lambda: None)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        EventLoop().call_after(-1.0, lambda: None)
+
+
+def test_cancel_skips_callback():
+    loop = EventLoop()
+    seen = []
+    event = loop.call_after(1.0, seen.append, "x")
+    event.cancel()
+    loop.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    event = loop.call_after(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    loop.run()
+
+
+def test_run_until_stops_at_boundary():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(1.0, seen.append, 1)
+    loop.call_after(5.0, seen.append, 5)
+    loop.run_until(3.0)
+    assert seen == [1]
+    assert loop.now == 3.0
+    loop.run_until(6.0)
+    assert seen == [1, 5]
+
+
+def test_run_until_includes_boundary_events():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(3.0, seen.append, "edge")
+    loop.run_until(3.0)
+    assert seen == ["edge"]
+
+
+def test_run_until_backwards_rejected():
+    loop = EventLoop()
+    loop.run_until(5.0)
+    with pytest.raises(SimulationError):
+        loop.run_until(1.0)
+
+
+def test_stop_from_inside_callback():
+    loop = EventLoop()
+    seen = []
+
+    def stopper():
+        seen.append("stop")
+        loop.stop()
+
+    loop.call_after(1.0, stopper)
+    loop.call_after(2.0, seen.append, "late")
+    loop.run()
+    assert seen == ["stop"]
+    assert loop.pending() == 1
+
+
+def test_events_scheduled_during_run_execute():
+    loop = EventLoop()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            loop.call_after(1.0, chain, n + 1)
+
+    loop.call_after(0.0, chain, 1)
+    loop.run()
+    assert seen == [1, 2, 3]
+    assert loop.now == 2.0
+
+
+def test_max_events_bound():
+    loop = EventLoop()
+    seen = []
+    for i in range(10):
+        loop.call_after(float(i), seen.append, i)
+    loop.run(max_events=4)
+    assert seen == [0, 1, 2, 3]
+
+
+def test_pending_excludes_cancelled():
+    loop = EventLoop()
+    keep = loop.call_after(1.0, lambda: None)
+    drop = loop.call_after(2.0, lambda: None)
+    drop.cancel()
+    assert loop.pending() == 1
+    keep.cancel()
+    assert loop.pending() == 0
+
+
+def test_events_executed_counter():
+    loop = EventLoop()
+    for i in range(5):
+        loop.call_after(float(i), lambda: None)
+    loop.run()
+    assert loop.events_executed == 5

@@ -1,0 +1,92 @@
+"""Unit tests for the fault injector against the runtime control surface."""
+
+import pytest
+
+from repro.cluster.faults import (FaultEvent, FaultInjector, FaultPlan,
+                                  MASTER_FAILURE, NODE_DOWN,
+                                  PARTIAL_WORKER_FAILURE, SLOW_MACHINE)
+from repro.sim.rng import SplitRandom
+from tests.conftest import make_cluster
+
+
+def test_node_down_flips_state_and_crashes_agent(cluster):
+    machine = cluster.topology.machines()[0]
+    cluster.faults.node_down(machine)
+    assert cluster.topology.state(machine).down
+    assert not cluster.agents[machine].alive
+
+
+def test_partial_worker_failure_sets_flags(cluster):
+    machine = cluster.topology.machines()[0]
+    cluster.faults.partial_worker_failure(machine)
+    state = cluster.topology.state(machine)
+    assert state.launch_failures
+    assert state.disk_errors > 0
+    assert cluster.agents[machine].alive   # the agent itself stays up
+
+
+def test_slow_machine_sets_factor_and_load(cluster):
+    machine = cluster.topology.machines()[0]
+    cluster.faults.slow_machine(machine, factor=4.0)
+    state = cluster.topology.state(machine)
+    assert state.slow_factor == 4.0
+    assert state.load1 > 0
+
+
+def test_master_failure_kills_primary(cluster):
+    old = cluster.primary_master.name
+    cluster.faults.master_failure()
+    cluster.run_for(8)
+    assert cluster.primary_master.name != old
+
+
+def test_unknown_fault_kind_raises(cluster):
+    with pytest.raises(ValueError):
+        cluster.faults._fire(FaultEvent(0.0, "Gremlins", "m1"))
+
+
+def test_injected_log(cluster):
+    machine = cluster.topology.machines()[0]
+    cluster.faults.slow_machine(machine)
+    cluster.faults.partial_worker_failure(machine)
+    assert [e.kind for e in cluster.faults.injected] == [
+        SLOW_MACHINE, PARTIAL_WORKER_FAILURE]
+
+
+def test_plan_events_sorted_by_time():
+    machines = [f"m{i}" for i in range(50)]
+    plan = FaultPlan.table3(machines, 0.2, SplitRandom(1), window=100.0)
+    times = [e.at for e in plan.events]
+    assert times == sorted(times)
+
+
+def test_plan_victims_distinct():
+    machines = [f"m{i}" for i in range(50)]
+    plan = FaultPlan.table3(machines, 0.2, SplitRandom(1))
+    victims = [e.machine for e in plan.events]
+    assert len(victims) == len(set(victims))
+
+
+def test_with_master_failure_appends_event():
+    machines = [f"m{i}" for i in range(20)]
+    plan = FaultPlan.table3(machines, 0.1, SplitRandom(1))
+    extended = plan.with_master_failure(at=1.0)
+    assert extended.count(MASTER_FAILURE) == 1
+    assert plan.count(MASTER_FAILURE) == 0   # original untouched
+
+
+def test_plan_mix_proportions_for_generic_ratio():
+    machines = [f"m{i}" for i in range(100)]
+    plan = FaultPlan.table3(machines, 0.2, SplitRandom(2))
+    total = len(plan.events)
+    assert total == 20
+    assert plan.count(NODE_DOWN) >= 1
+    assert plan.count(PARTIAL_WORKER_FAILURE) >= 1
+    assert plan.count(SLOW_MACHINE) > plan.count(NODE_DOWN)
+
+
+def test_plan_deterministic_per_seed():
+    machines = [f"m{i}" for i in range(40)]
+    a = FaultPlan.table3(machines, 0.1, SplitRandom(5))
+    b = FaultPlan.table3(machines, 0.1, SplitRandom(5))
+    assert a.events == b.events

@@ -1,0 +1,137 @@
+"""Unit tests for the locality tree's ordering rules (paper §3.3)."""
+
+from repro.core.locality import LocalityTree
+from repro.core.request import LocalityLevel
+from repro.core.units import UnitKey
+
+A = UnitKey("a", 1)
+B = UnitKey("b", 1)
+C = UnitKey("c", 1)
+
+
+def make_tree():
+    tree = LocalityTree({"m1": "r1", "m2": "r1", "m3": "r2"})
+    return tree
+
+
+def drain(tree, machine, wants):
+    """Collect candidate order, consuming each candidate fully."""
+    result = []
+    remaining = dict(wants)
+
+    def wants_fn(unit_key, level, name):
+        return remaining.get(unit_key, 0)
+
+    for unit_key, level in tree.candidates_for_machine(machine, wants_fn):
+        result.append((unit_key, level))
+        remaining[unit_key] = 0
+    return result
+
+
+def test_priority_orders_candidates():
+    tree = make_tree()
+    tree.index(A, priority=200, seq=1, machine_hints={}, rack_hints={}, total=5)
+    tree.index(B, priority=100, seq=2, machine_hints={}, rack_hints={}, total=5)
+    order = drain(tree, "m1", {A: 5, B: 5})
+    assert [u for u, _ in order] == [B, A]
+
+
+def test_fifo_within_same_priority():
+    tree = make_tree()
+    tree.index(A, priority=100, seq=1, machine_hints={}, rack_hints={}, total=5)
+    tree.index(B, priority=100, seq=2, machine_hints={}, rack_hints={}, total=5)
+    order = drain(tree, "m1", {A: 5, B: 5})
+    assert [u for u, _ in order] == [A, B]
+
+
+def test_machine_waiters_beat_rack_and_cluster_at_equal_priority():
+    tree = make_tree()
+    tree.index(A, priority=100, seq=1, machine_hints={}, rack_hints={}, total=5)
+    tree.index(B, priority=100, seq=2, machine_hints={"m1": 2},
+               rack_hints={}, total=2)
+    tree.index(C, priority=100, seq=3, machine_hints={},
+               rack_hints={"r1": 2}, total=2)
+    order = drain(tree, "m1", {A: 5, B: 2, C: 2})
+    assert order[0] == (B, LocalityLevel.MACHINE)
+    assert order[1] == (C, LocalityLevel.RACK)
+    assert order[2] == (A, LocalityLevel.CLUSTER)
+
+
+def test_higher_priority_beats_locality_precedence():
+    """Priority is the principal consideration (§3.3)."""
+    tree = make_tree()
+    tree.index(A, priority=50, seq=5, machine_hints={}, rack_hints={}, total=5)
+    tree.index(B, priority=100, seq=1, machine_hints={"m1": 2},
+               rack_hints={}, total=2)
+    order = drain(tree, "m1", {A: 5, B: 2})
+    assert [u for u, _ in order] == [A, B]
+
+
+def test_only_machines_path_queues_consulted():
+    tree = make_tree()
+    tree.index(A, priority=100, seq=1, machine_hints={"m3": 2},
+               rack_hints={}, total=2)
+    # m3 is in r2; freeing resources on m1 (r1) must not serve A's
+    # machine/rack entries... but A also waits at cluster level.
+    order = drain(tree, "m1", {A: 2})
+    assert order == [(A, LocalityLevel.CLUSTER)]
+
+
+def test_stale_entries_dropped_lazily():
+    tree = make_tree()
+    tree.index(A, priority=100, seq=1, machine_hints={}, rack_hints={}, total=5)
+    order = drain(tree, "m1", {A: 0})   # demand vanished
+    assert order == []
+    assert tree.waiting_anywhere() == 0
+
+
+def test_remove_clears_everywhere():
+    tree = make_tree()
+    tree.index(A, priority=100, seq=1, machine_hints={"m1": 1},
+               rack_hints={"r1": 1}, total=3)
+    tree.remove(A)
+    assert drain(tree, "m1", {A: 3}) == []
+
+
+def test_reindex_after_partial_consume():
+    tree = make_tree()
+    tree.index(A, priority=100, seq=1, machine_hints={}, rack_hints={}, total=5)
+    seen = []
+    remaining = {A: 5}
+
+    def wants_fn(unit_key, level, name):
+        return remaining.get(unit_key, 0)
+
+    iterator = tree.candidates_for_machine("m1", wants_fn)
+    unit_key, _ = next(iterator)
+    seen.append(unit_key)
+    remaining[A] = 2
+    tree.index(A, priority=100, seq=1, machine_hints={}, rack_hints={}, total=2)
+    unit_key, _ = next(iterator)
+    seen.append(unit_key)
+    remaining[A] = 0
+    assert seen == [A, A]
+
+
+def test_queue_sizes_reporting():
+    tree = make_tree()
+    tree.index(A, priority=100, seq=1, machine_hints={"m1": 1},
+               rack_hints={"r2": 1}, total=4)
+    sizes = tree.queue_sizes()
+    assert sizes["m1"] == 1
+    assert sizes["r2"] == 1
+    assert sizes[""] == 1
+
+
+def test_duplicate_index_is_single_entry():
+    tree = make_tree()
+    for _ in range(5):
+        tree.index(A, priority=100, seq=1, machine_hints={}, rack_hints={},
+                   total=3)
+    order = drain(tree, "m1", {A: 3})
+    assert order == [(A, LocalityLevel.CLUSTER)]
+
+
+def test_unknown_machine_maps_to_cluster_rack():
+    tree = LocalityTree()
+    assert tree.rack_of("mystery") == ""

@@ -1,0 +1,82 @@
+"""Unit tests for MapReduce job builders and the local execution engine."""
+
+import pytest
+
+from repro.jobs.mapreduce import (LocalMapReduce, local_terasort,
+                                  local_wordcount, terasort_job,
+                                  wordcount_job)
+from repro.jobs import streamline
+from repro.jobs.dag import topological_waves, validate_dag
+
+
+def test_wordcount_job_shape():
+    spec = wordcount_job("wc", input_mb=1024.0, block_mb=256.0, reducers=4)
+    assert spec.tasks["map"].instances == 4
+    assert spec.tasks["reduce"].instances == 4
+    assert spec.edges == [("map", "reduce")]
+    validate_dag(spec)
+
+
+def test_wordcount_duration_scales_with_block():
+    fast = wordcount_job("wc", 256.0, mb_per_second=256.0)
+    slow = wordcount_job("wc", 256.0, mb_per_second=64.0)
+    assert slow.tasks["map"].duration > fast.tasks["map"].duration
+
+
+def test_terasort_job_has_three_phases():
+    spec = terasort_job("ts", data_mb=2048.0, reducers=8)
+    waves = topological_waves(spec.tasks.keys(), spec.edges)
+    assert waves == [["sample"], ["map"], ["reduce"]]
+    assert spec.tasks["map"].instances == 8
+
+
+def test_input_file_wired_into_spec():
+    spec = wordcount_job("wc", 512.0, input_file="pangu://logs")
+    assert spec.input_files == [("pangu://logs", "map")]
+
+
+def test_local_wordcount_counts_correctly():
+    counts = local_wordcount(["the cat sat", "the dog", "THE end."])
+    assert counts["the"] == 3
+    assert counts["cat"] == 1
+    assert counts["end"] == 1
+
+
+def test_local_wordcount_matches_naive_count():
+    texts = ["a b c a", "b b a", "c"]
+    counts = local_wordcount(texts, reducers=3)
+    assert counts == {"a": 3, "b": 3, "c": 2}
+
+
+def test_local_terasort_sorts():
+    keys = [5, 3, 9, 1, 1, 7, 0, 2]
+    assert local_terasort(keys, reducers=3) == sorted(keys)
+
+
+def test_local_terasort_large_random():
+    import random
+    rng = random.Random(7)
+    keys = [rng.randint(0, 10 ** 6) for _ in range(5000)]
+    assert local_terasort(keys, reducers=16) == sorted(keys)
+
+
+def test_engine_reports_task_counts():
+    engine = LocalMapReduce(lambda x: [(x % 3, 1)],
+                            lambda k, vs: sum(vs), reducers=3)
+    result = engine.run(list(range(12)), splits=4)
+    assert result.map_tasks == 4
+    assert result.reduce_tasks == 3
+    assert sum(v for _, v in result.records) == 12
+
+
+def test_engine_validates_reducers():
+    with pytest.raises(ValueError):
+        LocalMapReduce(lambda x: [], lambda k, vs: None, reducers=0)
+
+
+def test_engine_output_sorted_by_key():
+    engine = LocalMapReduce(lambda text: streamline.tokenize(text),
+                            lambda k, vs: sum(vs), reducers=4)
+    result = engine.run(["z y x", "a b z"])
+    keys = [k for k, _ in result.records]
+    assert keys == sorted(keys)

@@ -1,0 +1,213 @@
+"""Unit tests for the FuxiMaster actor: election, heartbeats, supervision.
+
+Integration coverage exercises full failovers; these tests pin the actor's
+individual behaviours against hand-driven messages.
+"""
+
+from repro.cluster.lockservice import LockService
+from repro.cluster.network import MessageBus, NetworkConfig
+from repro.core import messages as msg
+from repro.core.checkpoint import CheckpointStore
+from repro.core.master import FuxiMaster, FuxiMasterConfig
+from repro.core.resources import ResourceVector
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.rng import SplitRandom
+
+CAP = ResourceVector.of(cpu=400, memory=8192)
+
+
+class Probe(Actor):
+    def __init__(self, loop, name, bus):
+        super().__init__(loop, name, bus)
+        self.received = []
+
+    def handle_message(self, sender, message):
+        self.received.append(message)
+
+    def of_type(self, cls):
+        return [m for m in self.received if isinstance(m, cls)]
+
+
+def setup(standby=False, config=None):
+    loop = EventLoop()
+    bus = MessageBus(loop, SplitRandom(0), NetworkConfig(latency=0.001,
+                                                         jitter=0.0))
+    locks = LockService(loop, default_lease=4.0)
+    checkpoint = CheckpointStore()
+    config = config or FuxiMasterConfig(recovery_window=0.5,
+                                        heartbeat_timeout=3.0)
+    masters = [FuxiMaster(loop, bus, "fuxi-master-0", locks, checkpoint,
+                          config)]
+    if standby:
+        masters.append(FuxiMaster(loop, bus, "fuxi-master-1", locks,
+                                  checkpoint, config))
+    return loop, bus, locks, checkpoint, masters
+
+
+def beat(machine="m1", rack="r1"):
+    return msg.AgentHeartbeat(machine=machine, rack=rack, capacity=CAP,
+                              health_sample={})
+
+
+def test_first_master_becomes_primary_immediately():
+    loop, bus, locks, checkpoint, masters = setup(standby=True)
+    assert masters[0].is_primary
+    assert masters[1].role == "standby"
+    assert bus.resolve("fuxi-master") == "fuxi-master-0"
+
+
+def test_standby_does_not_process_traffic():
+    loop, bus, locks, checkpoint, masters = setup(standby=True)
+    standby = masters[1]
+    standby.deliver("agent:m1", beat())
+    assert standby.scheduler is None
+
+
+def test_heartbeat_registers_machine_after_recovery_window():
+    loop, bus, locks, checkpoint, masters = setup()
+    primary = masters[0]
+    loop.run_until(1.0)   # recovery window (0.5s) passes
+    primary.deliver("agent:m1", beat())
+    assert primary.scheduler.pool.has_machine("m1")
+
+
+def test_heartbeat_during_recovery_asks_for_full_state():
+    loop, bus, locks, checkpoint, masters = setup()
+    agent_probe = Probe(loop, "agent:m1", bus)
+    primary = masters[0]
+    assert primary.recovering
+    primary.deliver("agent:m1", beat())
+    loop.run_until(0.2)
+    assert agent_probe.of_type(msg.ResyncRequest)
+    assert not primary.scheduler.pool.has_machine("m1")
+
+
+def test_heartbeat_timeout_removes_machine():
+    loop, bus, locks, checkpoint, masters = setup()
+    primary = masters[0]
+    loop.run_until(1.0)
+    primary.deliver("agent:m1", beat())
+    assert primary.scheduler.pool.has_machine("m1")
+    loop.run_until(6.0)   # timeout 3s, no more beats
+    assert not primary.scheduler.pool.has_machine("m1")
+    assert primary.metrics.counter("fm.heartbeat_timeouts") == 1
+
+
+def test_steady_heartbeats_keep_machine():
+    loop, bus, locks, checkpoint, masters = setup()
+    primary = masters[0]
+
+    def keep_beating():
+        if primary.alive:
+            primary.deliver("agent:m1", beat())
+            loop.call_after(1.0, keep_beating)
+
+    loop.call_after(1.0, keep_beating)
+    loop.run_until(8.0)
+    assert primary.scheduler.pool.has_machine("m1")
+
+
+def test_lock_expiry_promotes_standby():
+    loop, bus, locks, checkpoint, masters = setup(standby=True)
+    masters[0].crash()
+    loop.run_until(6.0)   # lease 4s expires
+    assert masters[1].is_primary
+    assert bus.resolve("fuxi-master") == "fuxi-master-1"
+
+
+def test_submit_job_checkpoints_hard_state():
+    loop, bus, locks, checkpoint, masters = setup()
+    loop.run_until(1.0)
+    masters[0].deliver("agent:m1", beat())
+    masters[0].submit_job("j1", {"type": "dag", "Tasks": {"t": {}}},
+                          group="default")
+    record = checkpoint.get("app/j1")
+    assert record["app_id"] == "j1"
+    assert record["description"]["Tasks"] == {"t": {}}
+
+
+def test_submit_job_launches_am_on_live_agent():
+    loop, bus, locks, checkpoint, masters = setup()
+    agent_probe = Probe(loop, "agent:m1", bus)
+    loop.run_until(1.0)
+    masters[0].deliver("agent:m1", beat())
+    masters[0].submit_job("j1", {"Tasks": {"t": {}}})
+    loop.run_until(1.2)
+    launches = agent_probe.of_type(msg.LaunchAppMaster)
+    assert launches and launches[0].app_id == "j1"
+
+
+def test_silent_am_restarted_elsewhere():
+    config = FuxiMasterConfig(recovery_window=0.5, heartbeat_timeout=30.0,
+                              app_master_timeout=2.0)
+    loop, bus, locks, checkpoint, masters = setup(config=config)
+    probes = {m: Probe(loop, f"agent:{m}", bus) for m in ("m1", "m2")}
+    primary = masters[0]
+    loop.run_until(1.0)
+
+    def keep_beating():
+        for machine in ("m1", "m2"):
+            primary.deliver(f"agent:{machine}", beat(machine))
+        if primary.alive:
+            loop.call_after(1.0, keep_beating)
+
+    keep_beating()
+    primary.submit_job("j1", {"Tasks": {"t": {}}})
+    loop.run_until(8.0)   # no AppHeartbeat ever arrives
+    launches = [m for p in probes.values()
+                for m in p.of_type(msg.LaunchAppMaster)]
+    assert len(launches) >= 2
+    assert primary.metrics.counter("fm.am_restarts") >= 1
+
+
+def test_blacklist_report_escalation_disables_machine():
+    loop, bus, locks, checkpoint, masters = setup()
+    primary = masters[0]
+    loop.run_until(1.0)
+    for machine in ("m1", "m2", "m3", "m4", "m5"):
+        primary.deliver(f"agent:{machine}", beat(machine))
+    primary.deliver("app:j1", msg.BlacklistReport("j1", "m1"))
+    assert not primary.blacklist.is_disabled("m1")
+    primary.deliver("app:j2", msg.BlacklistReport("j2", "m1"))
+    assert primary.blacklist.is_disabled("m1")
+    assert primary.scheduler.pool.is_disabled("m1")
+    assert checkpoint.get("blacklist") is not None
+
+
+def test_low_health_disables_machine():
+    config = FuxiMasterConfig(recovery_window=0.2, health_threshold=0.6,
+                              health_grace=2.0, heartbeat_timeout=60.0)
+    loop, bus, locks, checkpoint, masters = setup(config=config)
+    primary = masters[0]
+    loop.run_until(0.5)
+    sick = msg.AgentHeartbeat("m1", "r1", CAP, {
+        "disk_errors": 100, "load1": 50, "cores": 4, "net_errors": 500})
+    primary.deliver("agent:m1", sick)
+    loop.run_until(1.0)
+    assert not primary.scheduler.pool.is_disabled("m1")
+    loop.run_until(3.5)
+    primary.deliver("agent:m1", sick)   # still sick past the grace period
+    assert primary.scheduler.pool.is_disabled("m1")
+    assert primary.metrics.counter("fm.health_disables") == 1
+
+
+def test_app_exit_clears_books_and_checkpoint():
+    loop, bus, locks, checkpoint, masters = setup()
+    primary = masters[0]
+    loop.run_until(1.0)
+    primary.deliver("agent:m1", beat())
+    primary.submit_job("j1", {"Tasks": {"t": {}}})
+    primary.deliver("app:j1", msg.AppExit("j1"))
+    assert checkpoint.get("app/j1") is None
+
+
+def test_quota_group_definition_survives_failover():
+    loop, bus, locks, checkpoint, masters = setup(standby=True)
+    masters[0].define_quota_group(
+        "gold", min_quota=ResourceVector.of(cpu=100))
+    masters[0].crash()
+    loop.run_until(6.0)
+    new = masters[1]
+    assert new.is_primary
+    assert "gold" in [g.name for g in new.scheduler.quota.groups()]

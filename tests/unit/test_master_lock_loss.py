@@ -1,0 +1,62 @@
+"""Unit tests for lease-loss handling (a stalled primary must step down)."""
+
+from repro.cluster.lockservice import LockService
+from repro.cluster.network import MessageBus, NetworkConfig
+from repro.core.checkpoint import CheckpointStore
+from repro.core.master import FuxiMaster, FuxiMasterConfig
+from repro.sim.events import EventLoop
+from repro.sim.rng import SplitRandom
+
+
+def setup():
+    loop = EventLoop()
+    bus = MessageBus(loop, SplitRandom(0), NetworkConfig(latency=0.001,
+                                                         jitter=0.0))
+    locks = LockService(loop, default_lease=4.0)
+    checkpoint = CheckpointStore()
+    config = FuxiMasterConfig(recovery_window=0.3)
+    m0 = FuxiMaster(loop, bus, "fuxi-master-0", locks, checkpoint, config)
+    m1 = FuxiMaster(loop, bus, "fuxi-master-1", locks, checkpoint, config)
+    return loop, bus, locks, m0, m1
+
+
+def test_primary_steps_down_when_lease_stolen():
+    loop, bus, locks, m0, m1 = setup()
+    assert m0.is_primary
+    # simulate a long GC pause: the lease expires and the standby takes it
+    locks.release("fuxi-master-lock", "fuxi-master-0")
+    locks.try_acquire("fuxi-master-lock", "fuxi-master-1")
+    m1._become_primary()
+    loop.run_until(2.0)   # m0's renew fails, it steps down
+    assert m0.role == "standby"
+    assert m1.is_primary
+    assert bus.resolve("fuxi-master") == "fuxi-master-1"
+
+
+def test_stepped_down_master_returns_as_standby_then_primary():
+    loop, bus, locks, m0, m1 = setup()
+    locks.release("fuxi-master-lock", "fuxi-master-0")
+    locks.try_acquire("fuxi-master-lock", "fuxi-master-1")
+    m1._become_primary()
+    loop.run_until(2.0)
+    assert m0.role == "standby"
+    # the new primary dies; the demoted one must be able to come back
+    m1.crash()
+    loop.run_until(10.0)
+    assert m0.is_primary
+
+
+def test_only_one_primary_at_any_time():
+    loop, bus, locks, m0, m1 = setup()
+    for _ in range(3):
+        primary = [m for m in (m0, m1) if m.alive and m.is_primary]
+        assert len(primary) == 1
+        primary[0].crash()
+        loop.run_until(loop.now + 8.0)
+        survivor = [m for m in (m0, m1) if m.alive and m.is_primary]
+        assert len(survivor) == 1
+        # restart the dead one as standby for the next round
+        dead = m0 if not m0.alive else m1
+        dead.restart()
+        loop.run_until(loop.now + 1.0)
+        assert sum(1 for m in (m0, m1) if m.is_primary) == 1

@@ -1,0 +1,83 @@
+"""Unit tests for metrics collection and table formatting."""
+
+import pytest
+
+from repro.cluster.metrics import MetricsCollector, Series, format_table
+
+
+def test_counter_increment():
+    metrics = MetricsCollector()
+    metrics.increment("x")
+    metrics.increment("x", 2.5)
+    assert metrics.counter("x") == 3.5
+    assert metrics.counter("missing") == 0.0
+
+
+def test_series_record_and_stats():
+    metrics = MetricsCollector()
+    for t, v in [(0, 1.0), (1, 3.0), (2, 2.0)]:
+        metrics.record("s", t, v)
+    series = metrics.series("s")
+    assert series.mean() == 2.0
+    assert series.max() == 3.0
+    assert series.min() == 1.0
+    assert len(series) == 3
+
+
+def test_empty_series_stats_are_zero():
+    series = Series("empty")
+    assert series.mean() == 0.0
+    assert series.max() == 0.0
+    assert series.percentile(99) == 0.0
+
+
+def test_percentile_interpolates():
+    series = Series("p")
+    for i in range(1, 101):
+        series.append(float(i), float(i))
+    assert series.percentile(0) == 1.0
+    assert series.percentile(100) == 100.0
+    assert series.percentile(50) == pytest.approx(50.5)
+
+
+def test_percentile_single_point():
+    series = Series("p")
+    series.append(0.0, 7.0)
+    assert series.percentile(99) == 7.0
+
+
+def test_resample_buckets_means():
+    series = Series("r")
+    series.append(0.0, 1.0)
+    series.append(5.0, 3.0)
+    series.append(12.0, 10.0)
+    assert series.resample(10.0) == [(0.0, 2.0), (10.0, 10.0)]
+
+
+def test_gauges_sampled_into_series():
+    metrics = MetricsCollector()
+    value = {"v": 1.0}
+    metrics.register_gauge("g", lambda: value["v"])
+    metrics.sample_gauges(0.0)
+    value["v"] = 2.0
+    metrics.sample_gauges(1.0)
+    assert metrics.series("g").points == [(0.0, 1.0), (1.0, 2.0)]
+
+
+def test_series_names_and_has_series():
+    metrics = MetricsCollector()
+    metrics.record("b", 0, 0)
+    metrics.record("a", 0, 0)
+    assert metrics.series_names() == ["a", "b"]
+    assert metrics.has_series("a")
+    assert not metrics.has_series("c")
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"],
+                         [["x", 1], ["longer-name", 22]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    assert all(len(line) <= len(max(lines, key=len)) for line in lines)

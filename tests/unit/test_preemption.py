@@ -1,0 +1,159 @@
+"""Unit tests for two-level preemption planning (paper §3.4)."""
+
+from repro.core.grant import AllocationLedger, Grant
+from repro.core.preemption import PreemptionPlanner
+from repro.core.quota import QuotaGroup, QuotaManager
+from repro.core.resources import ResourceVector
+from repro.core.units import ScheduleUnit, UnitKey
+
+SLOT = ResourceVector.of(cpu=100, memory=1024)
+
+
+class Setup:
+    def __init__(self):
+        self.quota = QuotaManager()
+        self.quota.define_group(QuotaGroup("g1", min_quota=SLOT * 4))
+        self.quota.define_group(QuotaGroup("g2"))
+        self.units = {}
+        self.ledger = AllocationLedger()
+        self.planner = PreemptionPlanner(self.quota, self.units.__getitem__)
+
+    def add_app(self, app_id, group, priority, slot_id=1, unit_size=SLOT):
+        self.quota.assign_app(app_id, group)
+        unit = ScheduleUnit(app_id, slot_id, unit_size, priority=priority)
+        self.units[unit.key] = unit
+        return unit
+
+    def grant(self, unit, machine, count):
+        self.ledger.apply(Grant(unit.key, machine, count))
+        self.quota.charge(unit.app_id, unit.resources * count)
+
+
+def test_no_preemption_needed_when_space_free():
+    s = Setup()
+    requester = s.add_app("high", "g1", priority=10)
+    plan = s.planner.plan("m1", SLOT, requester, s.ledger, already_free=SLOT)
+    assert plan is not None
+    assert plan.is_empty
+
+
+def test_priority_preemption_within_same_group():
+    s = Setup()
+    requester = s.add_app("high", "g1", priority=10)
+    victim = s.add_app("low", "g1", priority=200)
+    s.grant(victim, "m1", 4)
+    plan = s.planner.plan("m1", SLOT, requester, s.ledger,
+                          already_free=ResourceVector())
+    assert plan is not None
+    assert plan.revocations == [Grant(victim.key, "m1", -1)]
+
+
+def test_equal_priority_not_preempted():
+    s = Setup()
+    requester = s.add_app("a", "g1", priority=100)
+    other = s.add_app("b", "g1", priority=100)
+    s.grant(other, "m1", 4)
+    plan = s.planner.plan("m1", SLOT, requester, s.ledger,
+                          already_free=ResourceVector())
+    assert plan is None
+
+
+def test_higher_priority_never_victim():
+    s = Setup()
+    requester = s.add_app("low", "g1", priority=200)
+    other = s.add_app("high", "g1", priority=10)
+    s.grant(other, "m1", 4)
+    plan = s.planner.plan("m1", SLOT, requester, s.ledger,
+                          already_free=ResourceVector())
+    assert plan is None
+
+
+def test_quota_preemption_when_below_min():
+    s = Setup()
+    # g1 has min 4 slots but uses 0; g2 uses beyond its (zero) min.
+    requester = s.add_app("starved", "g1", priority=100)
+    hog = s.add_app("hog", "g2", priority=100)
+    s.grant(hog, "m1", 4)
+    plan = s.planner.plan("m1", SLOT, requester, s.ledger,
+                          already_free=ResourceVector())
+    assert plan is not None
+    assert plan.revocations[0].unit_key == hog.key
+
+
+def test_no_quota_preemption_when_requester_group_satisfied():
+    s = Setup()
+    requester = s.add_app("sated", "g1", priority=100)
+    s.grant(requester, "m9", 4)  # group g1 at its min already
+    hog = s.add_app("hog", "g2", priority=100)
+    s.grant(hog, "m1", 4)
+    plan = s.planner.plan("m1", SLOT, requester, s.ledger,
+                          already_free=ResourceVector())
+    assert plan is None
+
+
+def test_priority_victims_preferred_over_quota_victims():
+    s = Setup()
+    requester = s.add_app("starved", "g1", priority=10)
+    same_group_low = s.add_app("low", "g1", priority=200)
+    other_group = s.add_app("hog", "g2", priority=300)
+    s.grant(same_group_low, "m1", 2)
+    s.grant(other_group, "m1", 2)
+    plan = s.planner.plan("m1", SLOT, requester, s.ledger,
+                          already_free=ResourceVector())
+    assert plan.revocations[0].unit_key == same_group_low.key
+
+
+def test_lowest_priority_victim_chosen_first():
+    s = Setup()
+    requester = s.add_app("req", "g1", priority=10)
+    mid = s.add_app("mid", "g1", priority=100, slot_id=1)
+    low = s.add_app("low", "g1", priority=300, slot_id=1)
+    s.grant(mid, "m1", 2)
+    s.grant(low, "m1", 2)
+    plan = s.planner.plan("m1", SLOT, requester, s.ledger,
+                          already_free=ResourceVector())
+    assert plan.revocations[0].unit_key == low.key
+
+
+def test_partial_free_reduces_victims():
+    s = Setup()
+    requester = s.add_app("req", "g1", priority=10)
+    victim = s.add_app("low", "g1", priority=200)
+    s.grant(victim, "m1", 4)
+    # needs 2 slots, 1 already free -> revoke only 1
+    plan = s.planner.plan("m1", SLOT * 2, requester, s.ledger,
+                          already_free=SLOT)
+    assert plan.revocations == [Grant(victim.key, "m1", -1)]
+
+
+def test_multiple_victim_units_to_cover_large_request():
+    s = Setup()
+    big = ResourceVector.of(cpu=300, memory=3072)
+    requester = s.add_app("req", "g1", priority=10, unit_size=big)
+    victim = s.add_app("low", "g1", priority=200)
+    s.grant(victim, "m1", 4)
+    plan = s.planner.plan("m1", big, requester, s.ledger,
+                          already_free=ResourceVector())
+    assert plan.revocations == [Grant(victim.key, "m1", -3)]
+
+
+def test_requester_never_preempts_itself():
+    s = Setup()
+    requester = s.add_app("req", "g1", priority=10)
+    low_unit = ScheduleUnit("req", 2, SLOT, priority=300)
+    s.units[low_unit.key] = low_unit
+    s.grant(low_unit, "m1", 4)
+    plan = s.planner.plan("m1", SLOT, requester, s.ledger,
+                          already_free=ResourceVector())
+    assert plan is None
+
+
+def test_uncoverable_gap_returns_none():
+    s = Setup()
+    huge = ResourceVector.of(cpu=10_000)
+    requester = s.add_app("req", "g1", priority=10, unit_size=huge)
+    victim = s.add_app("low", "g1", priority=200)
+    s.grant(victim, "m1", 2)
+    plan = s.planner.plan("m1", huge, requester, s.ledger,
+                          already_free=ResourceVector())
+    assert plan is None

@@ -1,0 +1,168 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.process import Interrupted, Process, Waiter, sleep
+
+
+def test_sleep_advances_time():
+    loop = EventLoop()
+    wake_times = []
+
+    def proc():
+        yield sleep(1.0)
+        wake_times.append(loop.now)
+        yield sleep(2.5)
+        wake_times.append(loop.now)
+
+    Process(loop, proc())
+    loop.run()
+    assert wake_times == [1.0, 3.5]
+
+
+def test_return_value_becomes_result():
+    loop = EventLoop()
+
+    def proc():
+        yield sleep(1.0)
+        return 42
+
+    process = Process(loop, proc())
+    loop.run()
+    assert process.finished
+    assert process.result == 42
+
+
+def test_waiting_on_another_process_gets_its_result():
+    loop = EventLoop()
+    results = []
+
+    def child():
+        yield sleep(2.0)
+        return "child-result"
+
+    child_proc = Process(loop, child())
+
+    def parent():
+        value = yield child_proc
+        results.append((loop.now, value))
+
+    Process(loop, parent())
+    loop.run()
+    assert results == [(2.0, "child-result")]
+
+
+def test_waiting_on_finished_process_resumes_immediately():
+    loop = EventLoop()
+
+    def quick():
+        return "done"
+        yield  # pragma: no cover
+
+    quick_proc = Process(loop, quick())
+    loop.run()
+    seen = []
+
+    def late():
+        value = yield quick_proc
+        seen.append(value)
+
+    Process(loop, late())
+    loop.run()
+    assert seen == ["done"]
+
+
+def test_waiter_delivers_value():
+    loop = EventLoop()
+    waiter = Waiter(loop)
+    seen = []
+
+    def proc():
+        value = yield waiter
+        seen.append((loop.now, value))
+
+    Process(loop, proc())
+    loop.call_after(3.0, waiter.trigger, "payload")
+    loop.run()
+    assert seen == [(3.0, "payload")]
+
+
+def test_waiter_triggered_before_wait():
+    loop = EventLoop()
+    waiter = Waiter(loop)
+    waiter.trigger("early")
+    seen = []
+
+    def proc():
+        value = yield waiter
+        seen.append(value)
+
+    Process(loop, proc())
+    loop.run()
+    assert seen == ["early"]
+
+
+def test_waiter_double_trigger_raises():
+    loop = EventLoop()
+    waiter = Waiter(loop)
+    waiter.trigger()
+    with pytest.raises(Exception):
+        waiter.trigger()
+
+
+def test_multiple_processes_share_waiter():
+    loop = EventLoop()
+    waiter = Waiter(loop)
+    seen = []
+
+    def proc(tag):
+        value = yield waiter
+        seen.append((tag, value))
+
+    Process(loop, proc("a"))
+    Process(loop, proc("b"))
+    loop.call_after(1.0, waiter.trigger, 7)
+    loop.run()
+    assert sorted(seen) == [("a", 7), ("b", 7)]
+
+
+def test_interrupt_raises_inside_generator():
+    loop = EventLoop()
+    caught = []
+
+    def proc():
+        try:
+            yield sleep(100.0)
+        except Interrupted:
+            caught.append(loop.now)
+
+    process = Process(loop, proc())
+    loop.call_after(2.0, process.interrupt)
+    loop.run()
+    assert caught == [2.0]
+    assert process.finished
+
+
+def test_interrupt_finished_process_is_noop():
+    loop = EventLoop()
+
+    def proc():
+        yield sleep(1.0)
+
+    process = Process(loop, proc())
+    loop.run()
+    process.interrupt()
+    loop.run()
+    assert process.finished
+
+
+def test_bad_yield_raises():
+    loop = EventLoop()
+
+    def proc():
+        yield "not-a-command"
+
+    Process(loop, proc())
+    with pytest.raises(Exception):
+        loop.run()

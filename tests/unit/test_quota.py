@@ -1,0 +1,102 @@
+"""Unit tests for quota groups (paper §3.4)."""
+
+import pytest
+
+from repro.core.quota import DEFAULT_GROUP, QuotaGroup, QuotaManager
+from repro.core.resources import ResourceVector
+
+SLOT = ResourceVector.of(cpu=100, memory=1024)
+
+
+def make_manager():
+    manager = QuotaManager()
+    manager.define_group(QuotaGroup("gold", min_quota=SLOT * 4,
+                                    max_quota=SLOT * 8))
+    manager.define_group(QuotaGroup("silver", min_quota=SLOT * 2))
+    manager.assign_app("a1", "gold")
+    manager.assign_app("a2", "silver")
+    return manager
+
+
+def test_default_group_exists():
+    manager = QuotaManager()
+    manager.assign_app("x")
+    assert manager.group_of("x") == DEFAULT_GROUP
+
+
+def test_assign_to_unknown_group_raises():
+    with pytest.raises(KeyError):
+        QuotaManager().assign_app("x", "nope")
+
+
+def test_unassigned_app_falls_back_to_default():
+    assert QuotaManager().group_of("mystery") == DEFAULT_GROUP
+
+
+def test_charge_and_refund_track_usage():
+    manager = make_manager()
+    manager.charge("a1", SLOT * 3)
+    assert manager.usage("gold") == SLOT * 3
+    manager.refund("a1", SLOT)
+    assert manager.usage("gold") == SLOT * 2
+
+
+def test_refund_clamps_at_zero():
+    manager = make_manager()
+    manager.charge("a1", SLOT)
+    manager.refund("a1", SLOT * 5)
+    assert manager.usage("gold").is_zero()
+
+
+def test_within_max_enforced():
+    manager = make_manager()
+    manager.charge("a1", SLOT * 7)
+    assert manager.within_max("a1", SLOT)
+    assert not manager.within_max("a1", SLOT * 2)
+
+
+def test_no_max_means_unbounded():
+    manager = make_manager()
+    manager.charge("a2", SLOT * 100)
+    assert manager.within_max("a2", SLOT * 1000)
+
+
+def test_below_min_detection():
+    manager = make_manager()
+    assert manager.below_min("gold")
+    manager.charge("a1", SLOT * 4)
+    assert not manager.below_min("gold")
+
+
+def test_zero_min_quota_never_below():
+    manager = QuotaManager()
+    assert not manager.below_min(DEFAULT_GROUP)
+
+
+def test_min_deficit_and_over_min():
+    manager = make_manager()
+    manager.charge("a1", SLOT * 1)
+    assert manager.min_deficit("gold") == SLOT * 3
+    assert manager.over_min("gold").is_zero()
+    manager.charge("a1", SLOT * 5)
+    assert manager.min_deficit("gold").is_zero()
+    assert manager.over_min("gold") == SLOT * 2
+
+
+def test_overusing_groups():
+    manager = make_manager()
+    manager.charge("a2", SLOT * 3)   # silver min is 2
+    assert manager.overusing_groups() == ["silver"]
+
+
+def test_remove_app_keeps_group_usage():
+    """Usage is group-scoped; removing an app does not retroactively refund."""
+    manager = make_manager()
+    manager.charge("a1", SLOT)
+    manager.remove_app("a1")
+    assert manager.usage("gold") == SLOT
+
+
+def test_groups_listing_sorted():
+    manager = make_manager()
+    assert [g.name for g in manager.groups()] == ["default", "gold", "silver"]

@@ -1,0 +1,169 @@
+"""Unit + property tests for incremental demand bookkeeping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.request import (LocalityHint, LocalityLevel, RequestDelta,
+                                WaitingDemand)
+from repro.core.units import UnitKey
+
+KEY = UnitKey("app1", 1)
+
+
+def make_demand(total=10, machine_hints=None, rack_hints=None, avoid=()):
+    demand = WaitingDemand()
+    demand.apply_delta(RequestDelta.initial(KEY, total, machine_hints,
+                                            rack_hints, avoid))
+    return demand
+
+
+def test_initial_delta_sets_everything():
+    demand = make_demand(10, {"m1": 2}, {"r1": 5}, avoid=["bad1"])
+    assert demand.total == 10
+    assert demand.machine_hints == {"m1": 2}
+    assert demand.rack_hints == {"r1": 5}
+    assert demand.avoid == {"bad1"}
+
+
+def test_negative_delta_decreases_demand():
+    demand = make_demand(10)
+    demand.apply_delta(RequestDelta(KEY, cluster_delta=-4))
+    assert demand.total == 6
+
+
+def test_demand_never_negative():
+    demand = make_demand(3)
+    demand.apply_delta(RequestDelta(KEY, cluster_delta=-10))
+    assert demand.total == 0
+    assert demand.is_empty()
+
+
+def test_hint_deltas_accumulate_and_remove():
+    demand = make_demand(10, {"m1": 2})
+    demand.apply_delta(RequestDelta(
+        KEY, hints=(LocalityHint(LocalityLevel.MACHINE, "m1", 3),)))
+    assert demand.machine_hints["m1"] == 5
+    demand.apply_delta(RequestDelta(
+        KEY, hints=(LocalityHint(LocalityLevel.MACHINE, "m1", -5),)))
+    assert "m1" not in demand.machine_hints
+
+
+def test_hints_clamped_to_total():
+    demand = make_demand(3, {"m1": 10}, {"r1": 8})
+    assert demand.machine_hints["m1"] == 3
+    assert demand.rack_hints["r1"] == 3
+
+
+def test_consume_decrements_all_scopes():
+    demand = make_demand(10, {"m1": 4}, {"r1": 6})
+    demand.consume("m1", "r1", 3)
+    assert demand.total == 7
+    assert demand.machine_hints["m1"] == 1
+    assert demand.rack_hints["r1"] == 3
+
+
+def test_consume_on_unhinted_machine_only_hits_total():
+    demand = make_demand(10, {"m1": 4})
+    demand.consume("m2", "r2", 2)
+    assert demand.total == 8
+    assert demand.machine_hints["m1"] == 4
+
+
+def test_consume_more_than_total_raises():
+    demand = make_demand(2)
+    with pytest.raises(ValueError):
+        demand.consume("m1", "r1", 3)
+
+
+def test_consume_requires_positive_count():
+    demand = make_demand(5)
+    with pytest.raises(ValueError):
+        demand.consume("m1", "r1", 0)
+
+
+def test_wants_machine_respects_avoid():
+    demand = make_demand(10, {"m1": 4}, avoid=["m1"])
+    assert demand.wants_machine("m1") == 0
+
+
+def test_wants_capped_by_total():
+    demand = make_demand(2, {"m1": 10})
+    assert demand.wants_machine("m1") == 2
+    assert demand.wants_anywhere() == 2
+
+
+def test_avoid_add_remove():
+    demand = make_demand(5, avoid=["m1"])
+    demand.apply_delta(RequestDelta(KEY, avoid_remove=frozenset(["m1"]),
+                                    avoid_add=frozenset(["m2"])))
+    assert demand.avoid == {"m2"}
+
+
+def test_snapshot_roundtrip():
+    demand = make_demand(7, {"m1": 3}, {"r1": 5}, avoid=["bad"])
+    demand.consume("m1", "r1", 2)
+    restored = WaitingDemand.from_snapshot(demand.snapshot())
+    assert restored.total == demand.total
+    assert restored.machine_hints == demand.machine_hints
+    assert restored.rack_hints == demand.rack_hints
+    assert restored.avoid == demand.avoid
+
+
+def test_cluster_level_hint_adjusts_total():
+    demand = make_demand(5)
+    demand.apply_delta(RequestDelta(
+        KEY, hints=(LocalityHint(LocalityLevel.CLUSTER, "", 3),)))
+    assert demand.total == 8
+
+
+# --------------------------- properties ----------------------------- #
+
+hint_strategy = st.builds(
+    LocalityHint,
+    st.sampled_from([LocalityLevel.MACHINE, LocalityLevel.RACK]),
+    st.sampled_from(["m1", "m2", "r1", "r2"]),
+    st.integers(min_value=-20, max_value=20))
+
+delta_strategy = st.builds(
+    RequestDelta,
+    st.just(KEY),
+    st.integers(min_value=-30, max_value=30),
+    st.tuples(hint_strategy, hint_strategy),
+    st.frozensets(st.sampled_from(["m1", "m2"]), max_size=2),
+    st.frozensets(st.sampled_from(["m1", "m2"]), max_size=2))
+
+
+@given(st.lists(delta_strategy, max_size=20))
+def test_invariants_hold_under_any_delta_sequence(deltas):
+    demand = WaitingDemand()
+    for delta in deltas:
+        demand.apply_delta(delta)
+        assert demand.total >= 0
+        for table in (demand.machine_hints, demand.rack_hints):
+            for count in table.values():
+                assert 0 < count <= demand.total
+
+
+@given(st.lists(delta_strategy, max_size=12),
+       st.lists(st.integers(min_value=1, max_value=3), max_size=12))
+def test_consume_preserves_invariants(deltas, consumes):
+    demand = WaitingDemand()
+    for delta in deltas:
+        demand.apply_delta(delta)
+    for count in consumes:
+        if demand.total < count:
+            break
+        demand.consume("m1", "r1", count)
+        assert demand.total >= 0
+        assert demand.wants_machine("m1") <= demand.total
+
+
+@given(st.lists(delta_strategy, max_size=12))
+def test_snapshot_roundtrip_property(deltas):
+    demand = WaitingDemand()
+    for delta in deltas:
+        demand.apply_delta(delta)
+    restored = WaitingDemand.from_snapshot(demand.snapshot())
+    assert restored.total == demand.total
+    assert restored.machine_hints == demand.machine_hints
+    assert restored.rack_hints == demand.rack_hints

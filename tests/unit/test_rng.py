@@ -1,0 +1,77 @@
+"""Unit tests for seeded stream-split randomness."""
+
+import pytest
+
+from repro.sim.rng import SplitRandom, bounded_lognormal, weighted_choice
+
+
+def test_same_seed_same_stream():
+    a = SplitRandom(42).stream("x")
+    b = SplitRandom(42).stream("x")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_different_streams():
+    root = SplitRandom(42)
+    a = root.stream("a")
+    b = root.stream("b")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_different_streams():
+    a = SplitRandom(1).stream("x")
+    b = SplitRandom(2).stream("x")
+    assert a.random() != b.random()
+
+
+def test_split_derives_independent_root():
+    root = SplitRandom(7)
+    child = root.split("sub")
+    assert child.seed != root.seed
+    assert child.stream("x").random() == SplitRandom(7).split("sub").stream("x").random()
+
+
+def test_stream_isolation_from_draw_order():
+    """Drawing from one stream must not perturb another."""
+    root = SplitRandom(9)
+    b_alone = root.stream("b").random()
+    a = root.stream("a")
+    for _ in range(100):
+        a.random()
+    assert root.stream("b").random() == b_alone
+
+
+def test_weighted_choice_respects_weights():
+    rng = SplitRandom(3).stream("wc")
+    counts = {"x": 0, "y": 0}
+    for _ in range(2000):
+        counts[weighted_choice(rng, ["x", "y"], [9.0, 1.0])] += 1
+    assert counts["x"] > counts["y"] * 5
+
+
+def test_weighted_choice_single_item():
+    rng = SplitRandom(0).stream("wc")
+    assert weighted_choice(rng, ["only"], [1.0]) == "only"
+
+
+def test_weighted_choice_validates():
+    rng = SplitRandom(0).stream("wc")
+    with pytest.raises(ValueError):
+        weighted_choice(rng, [], [])
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [0.0])
+
+
+def test_bounded_lognormal_within_bounds():
+    rng = SplitRandom(5).stream("ln")
+    for _ in range(500):
+        value = bounded_lognormal(rng, mean=1.0, sigma=2.0, low=0.5, high=3.0)
+        assert 0.5 <= value <= 3.0
+
+
+def test_bounded_lognormal_validates_bounds():
+    rng = SplitRandom(5).stream("ln")
+    with pytest.raises(ValueError):
+        bounded_lognormal(rng, 0.0, 1.0, low=2.0, high=1.0)

@@ -1,0 +1,68 @@
+"""Unit tests for the data-volume-driven sort job builder."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.resources import ResourceVector
+from repro.jobs.dag import topological_waves, validate_dag
+from repro.jobs.sortjob import ideal_makespan, simulated_sort_job
+
+
+def topology(machines=10):
+    return ClusterTopology.build(2, machines // 2)
+
+
+def test_plan_shape():
+    plan = simulated_sort_job(topology(), data_gb=10.0, block_mb=256.0)
+    assert plan.map_instances == 40    # 10 GB / 256 MB
+    assert plan.reduce_instances == 20  # machines * slots / 2
+    validate_dag(plan.spec)
+    assert topological_waves(plan.spec.tasks, plan.spec.edges) == \
+        [["map"], ["reduce"]]
+
+
+def test_durations_derive_from_bandwidth():
+    plan = simulated_sort_job(topology(), data_gb=10.0)
+    spec = topology().spec("r00m000")
+    # map: two disk passes of a block at the per-slot disk share
+    per_slot_disk = spec.disk_bandwidth_total / 4 * 0.7
+    assert plan.map_seconds == pytest.approx(2 * 256.0 / per_slot_disk)
+    assert plan.reduce_seconds > 0
+
+
+def test_more_data_means_more_maps_same_duration():
+    small = simulated_sort_job(topology(), data_gb=5.0)
+    big = simulated_sort_job(topology(), data_gb=20.0)
+    assert big.map_instances == 4 * small.map_instances
+    assert big.map_seconds == small.map_seconds
+
+
+def test_bigger_cluster_means_shorter_reduces():
+    small = simulated_sort_job(topology(10), data_gb=10.0)
+    big = simulated_sort_job(topology(40), data_gb=10.0)
+    assert big.reduce_instances > small.reduce_instances
+    assert big.reduce_seconds < small.reduce_seconds
+
+
+def test_ideal_makespan_wave_math():
+    plan = simulated_sort_job(topology(), data_gb=10.0)
+    # 40 maps over 40 slots = 1 wave; 20 reduces over 40 slots = 1 wave
+    expected = plan.map_seconds + plan.reduce_seconds
+    assert ideal_makespan(plan, machines=10, slots_per_machine=4) == \
+        pytest.approx(expected)
+    # half the slots -> map phase needs 2 waves
+    assert ideal_makespan(plan, machines=5, slots_per_machine=4) == \
+        pytest.approx(2 * plan.map_seconds + plan.reduce_seconds)
+
+
+def test_throughput_helper():
+    plan = simulated_sort_job(topology(), data_gb=10.0)
+    assert plan.throughput_gb_per_s(20.0) == pytest.approx(0.5)
+    assert plan.throughput_gb_per_s(0.0) == 0.0
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        simulated_sort_job(topology(), data_gb=0.0)
+    with pytest.raises(ValueError):
+        simulated_sort_job(ClusterTopology("empty"), data_gb=1.0)

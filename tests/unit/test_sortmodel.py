@@ -1,0 +1,100 @@
+"""Unit tests for the GraySort execution model (Table 4)."""
+
+import pytest
+
+from repro.jobs.sortmodel import (FRAMEWORK_EFFICIENCY, bottleneck_of,
+                                  improvement_factor, predict, predict_all,
+                                  swap_framework)
+from repro.workloads.graysort import (GRAYSORT_ENTRIES, PETASORT_ENTRY,
+                                      entry_by_name)
+
+
+def test_entries_cover_table4():
+    names = [e.name for e in GRAYSORT_ENTRIES]
+    assert names == ["Fuxi", "Yahoo! Inc.", "UCSD", "UCSD&VUT", "KIT"]
+
+
+def test_entry_lookup():
+    assert entry_by_name("Fuxi").nodes == 5000
+    with pytest.raises(KeyError):
+        entry_by_name("nope")
+
+
+def test_published_throughputs():
+    fuxi = entry_by_name("Fuxi")
+    assert fuxi.published_tb_per_min == pytest.approx(2.364, abs=0.01)
+    yahoo = entry_by_name("Yahoo! Inc.")
+    assert yahoo.published_tb_per_min == pytest.approx(1.421, abs=0.01)
+
+
+def test_fuxi_is_single_pass_yahoo_two_pass():
+    assert predict(entry_by_name("Fuxi")).passes == 1     # 20 GB/node in 96 GB
+    assert predict(entry_by_name("Yahoo! Inc.")).passes == 2
+
+
+def test_anchored_entries_land_close():
+    for name in ("Fuxi", "Yahoo! Inc.", "UCSD", "KIT"):
+        prediction = predict(entry_by_name(name))
+        assert 0.9 <= prediction.published_ratio <= 1.1, name
+
+
+def test_held_out_prediction_within_factor_two():
+    assert 0.5 <= predict(entry_by_name("UCSD&VUT")).published_ratio <= 2.0
+    assert 0.5 <= predict(PETASORT_ENTRY).published_ratio <= 2.5
+
+
+def test_model_preserves_published_ranking():
+    predictions = predict_all(list(GRAYSORT_ENTRIES))
+    model_order = [p.config.name
+                   for p in sorted(predictions, key=lambda p: -p.tb_per_min)]
+    published_order = [p.config.name
+                       for p in sorted(predictions,
+                                       key=lambda p: -p.config.published_tb_per_min)]
+    assert model_order == published_order
+
+
+def test_improvement_factor_matches_66_percent_claim():
+    fuxi = predict(entry_by_name("Fuxi"))
+    yahoo = predict(entry_by_name("Yahoo! Inc."))
+    factor = improvement_factor(fuxi, yahoo)
+    assert 1.4 <= factor <= 2.0   # paper: 1.665
+
+
+def test_bottlenecks():
+    assert bottleneck_of(predict(entry_by_name("Fuxi"))) == "network"
+    assert bottleneck_of(predict(entry_by_name("UCSD"))) == "disk"
+
+
+def test_swap_framework_changes_software_only():
+    fuxi_hw = entry_by_name("Fuxi")
+    with_hadoop = swap_framework(fuxi_hw, "hadoop")
+    assert with_hadoop.nodes == fuxi_hw.nodes
+    hadoop_time = predict(with_hadoop).total_seconds
+    fuxi_time = predict(fuxi_hw).total_seconds
+    assert hadoop_time != fuxi_time
+
+
+def test_scheduling_overhead_matters_for_hadoop():
+    """Hadoop's per-task cost is a visible slice; Fuxi's is negligible."""
+    fuxi = predict(entry_by_name("Fuxi"))
+    yahoo = predict(entry_by_name("Yahoo! Inc."))
+    assert fuxi.overhead_seconds < 1.0
+    assert yahoo.overhead_seconds > 10.0
+
+
+def test_explicit_parameters_override_framework_defaults():
+    entry = entry_by_name("Fuxi")
+    default = predict(entry)
+    tuned = predict(entry, efficiency=FRAMEWORK_EFFICIENCY["fuxi"] * 2)
+    assert tuned.total_seconds < default.total_seconds
+
+
+def test_more_nodes_sort_faster():
+    small = swap_framework(entry_by_name("Fuxi"), "fuxi")
+    prediction_small = predict(small)
+    big = type(small)(
+        name="bigger", year=2013, framework="fuxi", nodes=10_000,
+        cores_per_node=12, memory_gb_per_node=96, disks_per_node=12,
+        disk_mb_s=110.0, net_mb_s=250.0, data_tb=100.0,
+        published_seconds=1.0)
+    assert predict(big).total_seconds < prediction_small.total_seconds

@@ -1,0 +1,161 @@
+"""Unit tests for the JSON job description and DAG analysis (paper §4.1)."""
+
+import pytest
+
+from repro.core.resources import ResourceVector
+from repro.jobs.dag import (critical_path_length, ready_tasks,
+                            topological_waves, validate_dag)
+from repro.jobs.spec import (JobSpec, JobSpecError, TaskSpec,
+                             parse_job_description, parse_job_json)
+
+
+def paper_description():
+    """The Figure-6 shape: T1 -> {T2, T3} -> T4 with file endpoints."""
+    return {
+        "Tasks": {
+            "T1": {"Instances": 4, "Duration": 2.0},
+            "T2": {"Instances": 2, "Duration": 1.0},
+            "T3": {"Instances": 2, "Duration": 3.0},
+            "T4": {"Instances": 1, "Duration": 1.0},
+        },
+        "Pipes": [
+            {"Source": {"FilePattern": "pangu://input"},
+             "Destination": {"AccessPoint": "T1:input"}},
+            {"Source": {"AccessPoint": "T1:toT2"},
+             "Destination": {"AccessPoint": "T2:fromT1"}},
+            {"Source": {"AccessPoint": "T1:toT3"},
+             "Destination": {"AccessPoint": "T3:fromT1"}},
+            {"Source": {"AccessPoint": "T2:toT4"},
+             "Destination": {"AccessPoint": "T4:fromT2"}},
+            {"Source": {"AccessPoint": "T3:toT4"},
+             "Destination": {"AccessPoint": "T4:fromT3"}},
+            {"Source": {"AccessPoint": "T4:output"},
+             "Destination": {"FilePattern": "pangu://output"}},
+        ],
+    }
+
+
+def test_parse_figure6_description():
+    spec = parse_job_description(paper_description(), name="fig6")
+    assert set(spec.tasks) == {"T1", "T2", "T3", "T4"}
+    assert sorted(spec.edges) == [("T1", "T2"), ("T1", "T3"),
+                                  ("T2", "T4"), ("T3", "T4")]
+    assert spec.input_files == [("pangu://input", "T1")]
+    assert spec.output_files == [("T4", "pangu://output")]
+
+
+def test_parse_from_json_string():
+    import json
+    spec = parse_job_json(json.dumps(paper_description()))
+    assert spec.total_instances() == 9
+
+
+def test_upstream_downstream():
+    spec = parse_job_description(paper_description())
+    assert spec.upstream_of("T4") == ["T2", "T3"]
+    assert spec.downstream_of("T1") == ["T2", "T3"]
+    assert spec.inputs_of("T1") == ["pangu://input"]
+
+
+def test_missing_tasks_field_rejected():
+    with pytest.raises(JobSpecError):
+        parse_job_description({"Pipes": []})
+
+
+def test_empty_tasks_rejected():
+    with pytest.raises(JobSpecError):
+        parse_job_description({"Tasks": {}})
+
+
+def test_unknown_task_in_pipe_rejected():
+    description = {"Tasks": {"T1": {}},
+                   "Pipes": [{"Source": {"AccessPoint": "T1:o"},
+                              "Destination": {"AccessPoint": "T9:i"}}]}
+    with pytest.raises(JobSpecError):
+        parse_job_description(description)
+
+
+def test_unintelligible_pipe_rejected():
+    description = {"Tasks": {"T1": {}}, "Pipes": [{"Source": {}}]}
+    with pytest.raises(JobSpecError):
+        parse_job_description(description)
+
+
+def test_invalid_task_parameters_rejected():
+    with pytest.raises(JobSpecError):
+        parse_job_description({"Tasks": {"T1": {"Instances": 0}}})
+    with pytest.raises(JobSpecError):
+        parse_job_description({"Tasks": {"T1": {"Duration": -1}}})
+
+
+def test_backup_spec_parsed():
+    description = {"Tasks": {"T1": {"Backup": {"Enabled": False,
+                                               "NormalDuration": 99.0}}}}
+    spec = parse_job_description(description)
+    assert not spec.tasks["T1"].backup.enabled
+    assert spec.tasks["T1"].backup.normal_duration == 99.0
+
+
+def test_description_roundtrip():
+    spec = parse_job_description(paper_description(), name="fig6")
+    again = parse_job_description(spec.to_description(), name="fig6")
+    assert set(again.tasks) == set(spec.tasks)
+    assert sorted(again.edges) == sorted(spec.edges)
+    assert again.tasks["T3"].duration == 3.0
+
+
+def test_worker_target():
+    task = TaskSpec("t", instances=100, duration=1.0,
+                    resources=ResourceVector.of(cpu=1))
+    assert task.worker_target(default_cap=30) == 30
+    small = TaskSpec("t", instances=5, duration=1.0,
+                     resources=ResourceVector.of(cpu=1))
+    assert small.worker_target(default_cap=30) == 5
+    explicit = TaskSpec("t", instances=100, duration=1.0,
+                        resources=ResourceVector.of(cpu=1), workers=12)
+    assert explicit.worker_target() == 12
+
+
+# ------------------------------ DAG ---------------------------------- #
+
+def test_topological_waves_figure6():
+    spec = parse_job_description(paper_description())
+    waves = topological_waves(spec.tasks.keys(), spec.edges)
+    assert waves == [["T1"], ["T2", "T3"], ["T4"]]
+
+
+def test_validate_accepts_dag():
+    validate_dag(parse_job_description(paper_description()))
+
+
+def test_validate_rejects_cycle():
+    description = {"Tasks": {"A": {}, "B": {}},
+                   "Pipes": [
+                       {"Source": {"AccessPoint": "A:o"},
+                        "Destination": {"AccessPoint": "B:i"}},
+                       {"Source": {"AccessPoint": "B:o"},
+                        "Destination": {"AccessPoint": "A:i"}}]}
+    spec = parse_job_description(description)
+    with pytest.raises(JobSpecError):
+        validate_dag(spec)
+
+
+def test_ready_tasks_respects_dependencies():
+    spec = parse_job_description(paper_description())
+    assert ready_tasks(spec, finished=set(), started=set()) == ["T1"]
+    assert ready_tasks(spec, finished={"T1"}, started=set()) == ["T2", "T3"]
+    assert ready_tasks(spec, finished={"T1", "T2"}, started={"T3"}) == []
+    assert ready_tasks(spec, finished={"T1", "T2", "T3"},
+                       started=set()) == ["T4"]
+
+
+def test_critical_path_length():
+    spec = parse_job_description(paper_description())
+    # longest chain: T1 (2) -> T3 (3) -> T4 (1) = 6
+    assert critical_path_length(spec) == 6.0
+
+
+def test_single_task_job():
+    spec = parse_job_description({"Tasks": {"only": {"Instances": 3}}})
+    assert topological_waves(spec.tasks, spec.edges) == [["only"]]
+    assert critical_path_length(spec) == 1.0

@@ -1,0 +1,126 @@
+"""Unit tests for the StreamHub (per-actor protocol bundle)."""
+
+from repro.cluster.network import MessageBus, NetworkConfig
+from repro.core import messages as msg
+from repro.core.protocol import StreamHub
+from repro.sim.actor import Actor
+from repro.sim.events import EventLoop
+from repro.sim.rng import SplitRandom
+
+
+class HubActor(Actor):
+    def __init__(self, loop, name, bus):
+        super().__init__(loop, name, bus)
+        self.hub = StreamHub(self)
+        self.deltas = []
+        self.fulls = []
+
+    def handle_message(self, sender, message):
+        if isinstance(message, msg.Envelope):
+            self.hub.on_envelope(sender, message.inner, self._factory)
+        elif isinstance(message, msg.Ack):
+            self.hub.on_ack(message)
+
+    def _factory(self, peer, kind):
+        return self.hub.receiver_for(peer, kind, self.deltas.append,
+                                     self.fulls.append)
+
+
+def pair(drop=0.0):
+    loop = EventLoop()
+    bus = MessageBus(loop, SplitRandom(3), NetworkConfig(latency=0.001,
+                                                         jitter=0.0,
+                                                         drop_prob=drop))
+    return loop, HubActor(loop, "alpha", bus), HubActor(loop, "beta", bus)
+
+
+def test_delta_roundtrip_with_ack():
+    loop, alpha, beta = pair()
+    alpha.hub.send_delta("beta", "data", "hello")
+    loop.run_until(1.0)
+    assert beta.deltas == ["hello"]
+    sender = alpha.hub.sender("beta", "data")
+    assert sender.pending_retransmit() == []   # acked
+
+
+def test_streams_to_distinct_peers_are_independent():
+    loop = EventLoop()
+    bus = MessageBus(loop, SplitRandom(3), NetworkConfig(latency=0.001,
+                                                         jitter=0.0))
+    alpha = HubActor(loop, "alpha", bus)
+    beta = HubActor(loop, "beta", bus)
+    gamma = HubActor(loop, "gamma", bus)
+    alpha.hub.send_delta("beta", "data", "to-beta")
+    alpha.hub.send_delta("gamma", "data", "to-gamma")
+    loop.run_until(1.0)
+    assert beta.deltas == ["to-beta"]
+    assert gamma.deltas == ["to-gamma"]
+    # acks routed back to the right senders
+    assert alpha.hub.sender("beta", "data").pending_retransmit() == []
+    assert alpha.hub.sender("gamma", "data").pending_retransmit() == []
+
+
+def test_retransmit_recovers_dropped_delta():
+    loop, alpha, beta = pair(drop=1.0)
+    alpha.hub.send_delta("beta", "data", "lost")
+    loop.run_until(0.5)
+    assert beta.deltas == []
+    alpha.bus.config.drop_prob = 0.0
+    alpha.hub.retransmit_pending()
+    loop.run_until(1.0)
+    assert beta.deltas == ["lost"]
+
+
+def test_retransmit_falls_back_to_full_sync_when_backlogged():
+    loop, alpha, beta = pair(drop=1.0)
+    alpha.hub.sender("beta", "data", full_state=lambda: "FULL-STATE")
+    for i in range(40):
+        alpha.hub.send_delta("beta", "data", i)
+    loop.run_until(0.5)
+    alpha.bus.config.drop_prob = 0.0
+    alpha.hub.retransmit_pending(max_deltas=8)   # 40 pending > 8
+    loop.run_until(1.0)
+    assert beta.fulls == ["FULL-STATE"]
+    assert beta.deltas == []   # superseded by the sync
+
+
+def test_full_sync_counts_in_stats():
+    loop, alpha, beta = pair()
+    alpha.hub.send_full("beta", "data", {"x": 1}, items=5)
+    loop.run_until(1.0)
+    assert alpha.hub.stats.full_syncs_sent == 1
+    assert alpha.hub.stats.payload_items_sent == 5
+    assert beta.fulls == [{"x": 1}]
+
+
+def test_drop_peer_forgets_streams():
+    loop, alpha, beta = pair()
+    alpha.hub.send_delta("beta", "data", 1)
+    loop.run_until(1.0)
+    alpha.hub.drop_peer("beta")
+    # a brand-new sender object is created afterwards (fresh stream state)
+    sender = alpha.hub.sender("beta", "data")
+    assert sender._seq == 0
+
+
+def test_unroutable_envelope_ignored():
+    loop, alpha, beta = pair()
+
+    class NoFactory(HubActor):
+        def _factory(self, peer, kind):
+            return None
+
+    mute = NoFactory(loop, "mute", alpha.bus)
+    alpha.hub.send_delta("mute", "data", "x")
+    loop.run_until(1.0)
+    assert mute.deltas == []
+
+
+def test_restart_all_senders_bumps_epochs():
+    loop, alpha, beta = pair()
+    alpha.hub.send_delta("beta", "data", 1)
+    loop.run_until(1.0)
+    alpha.hub.restart_all_senders()
+    sender = alpha.hub.sender("beta", "data")
+    assert sender.epoch == 1
+    assert sender._seq == 0

@@ -1,0 +1,147 @@
+"""Unit + property tests for the Streamline operator library (paper §4.1)."""
+
+from hypothesis import given, strategies as st
+
+from repro.jobs import streamline
+
+
+def records_of(keys):
+    return [(k, i) for i, k in enumerate(keys)]
+
+
+def test_sort_records():
+    assert streamline.sort_records([(3, "c"), (1, "a"), (2, "b")]) == \
+        [(1, "a"), (2, "b"), (3, "c")]
+
+
+def test_sort_is_stable():
+    records = [(1, "first"), (0, "x"), (1, "second")]
+    assert streamline.sort_records(records) == \
+        [(0, "x"), (1, "first"), (1, "second")]
+
+
+def test_merge_sorted():
+    a = [(1, None), (4, None)]
+    b = [(2, None), (3, None)]
+    merged = list(streamline.merge_sorted([a, b]))
+    assert [k for k, _ in merged] == [1, 2, 3, 4]
+
+
+def test_merge_empty_runs():
+    assert list(streamline.merge_sorted([])) == []
+    assert list(streamline.merge_sorted([[], [(1, "x")]])) == [(1, "x")]
+
+
+def test_hash_partition_covers_all_records():
+    records = records_of("abcdefgh")
+    buckets = streamline.hash_partition(records, 3)
+    assert len(buckets) == 3
+    assert sorted(r for b in buckets for r in b) == sorted(records)
+
+
+def test_hash_partition_is_deterministic_by_key():
+    records = [("k", 1), ("k", 2)]
+    buckets = streamline.hash_partition(records, 4)
+    non_empty = [b for b in buckets if b]
+    assert len(non_empty) == 1   # same key -> same bucket
+
+
+def test_hash_partition_validates():
+    import pytest
+    with pytest.raises(ValueError):
+        streamline.hash_partition([], 0)
+
+
+def test_range_partition_respects_boundaries():
+    records = [(i, None) for i in range(10)]
+    buckets = streamline.range_partition(records, [3, 6])
+    assert [k for k, _ in buckets[0]] == [0, 1, 2, 3]
+    assert [k for k, _ in buckets[1]] == [4, 5, 6]
+    assert [k for k, _ in buckets[2]] == [7, 8, 9]
+
+
+def test_sample_boundaries_split_evenly():
+    records = [(i, None) for i in range(100)]
+    boundaries = streamline.sample_boundaries(records, 4)
+    assert len(boundaries) == 3
+    assert boundaries == sorted(boundaries)
+
+
+def test_sample_boundaries_trivial_cases():
+    assert streamline.sample_boundaries([], 4) == []
+    assert streamline.sample_boundaries([(1, None)], 1) == []
+
+
+def test_reduce_by_key():
+    records = [("a", 1), ("a", 2), ("b", 5)]
+    out = list(streamline.reduce_by_key(records, lambda k, vs: sum(vs)))
+    assert out == [("a", 3), ("b", 5)]
+
+
+def test_reduce_by_key_empty():
+    assert list(streamline.reduce_by_key([], lambda k, vs: sum(vs))) == []
+
+
+def test_tokenize_cleans_punctuation():
+    records = list(streamline.tokenize("Hello, world! hello"))
+    assert records == [("hello", 1), ("world", 1), ("hello", 1)]
+
+
+def test_combine_counts():
+    counts = streamline.combine_counts([("a", 1), ("b", 1), ("a", 1)])
+    assert counts == {"a": 2, "b": 1}
+
+
+def test_is_sorted():
+    assert streamline.is_sorted([(1, None), (2, None)])
+    assert not streamline.is_sorted([(2, None), (1, None)])
+    assert streamline.is_sorted([])
+
+
+# --------------------------- properties ----------------------------- #
+
+keys = st.lists(st.integers(min_value=-1000, max_value=1000), max_size=200)
+
+
+@given(keys)
+def test_sort_output_is_sorted_permutation(ks):
+    records = records_of(ks)
+    output = streamline.sort_records(records)
+    assert streamline.is_sorted(output)
+    assert sorted(output) == sorted(records)
+
+
+@given(keys, st.integers(min_value=1, max_value=8))
+def test_partition_then_merge_is_total_sort(ks, partitions):
+    """hash-partition -> per-bucket sort -> merge == global sort (the
+    map/reduce shuffle identity every sort job relies on)."""
+    records = records_of(ks)
+    buckets = streamline.hash_partition(records, partitions)
+    runs = [streamline.sort_records(b) for b in buckets]
+    all_records = [r for run in runs for r in run]
+    assert sorted(k for k, _ in all_records) == sorted(ks)
+
+
+@given(keys, st.integers(min_value=2, max_value=6))
+def test_range_partition_buckets_are_ordered(ks, partitions):
+    records = records_of(ks)
+    boundaries = streamline.sample_boundaries(
+        streamline.sort_records(records), partitions)
+    buckets = streamline.range_partition(records, boundaries)
+    flat = []
+    for bucket in buckets:
+        flat.extend(k for k, _ in streamline.sort_records(bucket))
+    assert flat == sorted(ks)
+
+
+@given(st.lists(st.tuples(st.sampled_from("abcde"),
+                          st.integers(min_value=0, max_value=9)),
+                max_size=100))
+def test_reduce_by_key_matches_dict_fold(records):
+    sorted_records = streamline.sort_records(records)
+    reduced = dict(streamline.reduce_by_key(sorted_records,
+                                            lambda k, vs: sum(vs)))
+    expected = {}
+    for key, value in records:
+        expected[key] = expected.get(key, 0) + value
+    assert reduced == expected

@@ -1,0 +1,103 @@
+"""Unit tests for the workload generators."""
+
+from repro.jobs.dag import validate_dag
+from repro.sim.rng import SplitRandom
+from repro.workloads.graysort import GRAYSORT_ENTRIES
+from repro.workloads.production import (ProductionTraceConfig, generate_trace,
+                                        trace_statistics)
+from repro.workloads.synthetic import (PAPER_INSTANCE_RESOURCES, PAPER_SHAPES,
+                                       SyntheticWorkload,
+                                       SyntheticWorkloadConfig, mapreduce_job)
+
+
+def test_paper_shapes_listed():
+    assert (10, 10) in PAPER_SHAPES
+    assert (10_000, 5_000) in PAPER_SHAPES
+    assert len(PAPER_SHAPES) == 6
+
+
+def test_paper_resources_are_half_core_2gb():
+    assert PAPER_INSTANCE_RESOURCES.cpu == 50
+    assert PAPER_INSTANCE_RESOURCES.memory == 2048
+
+
+def test_mapreduce_job_builder():
+    spec = mapreduce_job("j", mappers=10, reducers=2)
+    validate_dag(spec)
+    assert spec.tasks["map"].instances == 10
+    assert spec.tasks["reduce"].instances == 2
+
+
+def test_workload_cycles_through_shapes():
+    workload = SyntheticWorkload(
+        SyntheticWorkloadConfig(concurrent_jobs=6, scale=1), SplitRandom(1))
+    jobs = [workload.next_job() for _ in range(6)]
+    mappers = [j.tasks["map"].instances for j in jobs]
+    assert mappers == [shape[0] for shape in PAPER_SHAPES]
+
+
+def test_workload_scale_shrinks_instances():
+    workload = SyntheticWorkload(
+        SyntheticWorkloadConfig(scale=100), SplitRandom(1))
+    jobs = [workload.next_job() for _ in range(6)]
+    big = jobs[5]
+    assert big.tasks["map"].instances == 100       # 10k / 100
+    assert big.tasks["reduce"].instances == 50     # 5k / 100
+
+
+def test_workload_durations_within_declared_range():
+    config = SyntheticWorkloadConfig(min_duration=2.0, max_duration=30.0)
+    workload = SyntheticWorkload(config, SplitRandom(2))
+    for job in workload.jobs(50):
+        assert 2.0 <= job.tasks["map"].duration <= 30.0
+
+
+def test_workload_deterministic_per_seed():
+    a = SyntheticWorkload(SyntheticWorkloadConfig(), SplitRandom(3))
+    b = SyntheticWorkload(SyntheticWorkloadConfig(), SplitRandom(3))
+    for _ in range(5):
+        ja, jb = a.next_job(), b.next_job()
+        assert ja.name == jb.name
+        assert ja.tasks["map"].duration == jb.tasks["map"].duration
+
+
+def test_initial_batch_size():
+    workload = SyntheticWorkload(
+        SyntheticWorkloadConfig(concurrent_jobs=7), SplitRandom(1))
+    assert len(workload.initial_batch()) == 7
+
+
+# --------------------------- production trace ------------------------ #
+
+def test_production_trace_shape_at_small_scale():
+    config = ProductionTraceConfig(jobs=5000)
+    stats = trace_statistics(generate_trace(config, SplitRandom(11)))
+    assert stats.jobs == 5000
+    assert 1.8 <= stats.tasks_avg_per_job <= 2.3
+    assert 150 <= stats.instances_avg_per_task <= 320
+    assert stats.workers_avg_per_task <= stats.instances_avg_per_task
+    assert stats.workers_max_per_task <= config.max_workers
+    assert stats.instances_max_per_task <= config.max_instances
+    assert stats.tasks_max_per_job <= config.max_tasks
+
+
+def test_production_trace_deterministic():
+    config = ProductionTraceConfig(jobs=100)
+    a = trace_statistics(generate_trace(config, SplitRandom(7)))
+    b = trace_statistics(generate_trace(config, SplitRandom(7)))
+    assert a.instances_total == b.instances_total
+
+
+def test_workers_never_exceed_instances():
+    config = ProductionTraceConfig(jobs=2000)
+    for job in generate_trace(config, SplitRandom(13)):
+        for task in job.tasks:
+            assert 1 <= task.workers <= task.instances
+
+
+def test_graysort_entries_sane():
+    for entry in GRAYSORT_ENTRIES:
+        assert entry.nodes > 0
+        assert entry.published_seconds > 0
+        assert entry.disk_bw_node > 0
+        assert entry.published_tb_per_min > 0
