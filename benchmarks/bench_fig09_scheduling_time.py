@@ -7,7 +7,7 @@ from repro.experiments import fig09_scheduling_time
 from repro.experiments.workload_runner import (SyntheticRunConfig,
                                                run_synthetic_workload)
 
-CONFIG = SyntheticRunConfig(duration=120.0, concurrent_jobs=60)
+CONFIG = SyntheticRunConfig(duration=120.0, concurrent_jobs=60, trace=True)
 
 
 def test_fig09_scheduling_time(benchmark, publish):

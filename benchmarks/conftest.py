@@ -22,6 +22,9 @@ def _publish(report) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{report.exp_id}.txt"
     path.write_text(rendered + "\n", encoding="utf-8")
+    # Traced runs also ship their JSONL trace for `repro trace <file>`.
+    if report.write_trace(RESULTS_DIR / f"{report.exp_id}.trace.jsonl"):
+        print(f"trace written to {RESULTS_DIR / (report.exp_id + '.trace.jsonl')}")
 
 
 @pytest.fixture

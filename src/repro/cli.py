@@ -7,10 +7,17 @@ simulator, so the "cluster" lives for the duration of the command):
 - ``fuxi-sim submit job.json`` — run a Figure-6-style DAG description and
   report its execution;
 - ``fuxi-sim demo`` — run a synthetic workload and print the summary;
-- ``fuxi-sim trace`` — generate the Table-1 production trace statistics;
+- ``fuxi-sim trace`` — generate the Table-1 production trace statistics, or
+  with a file argument inspect a JSONL trace (top spans, scheduling-decision
+  locality counts, failover timelines);
+- ``fuxi-sim metrics`` — run a short traced workload and dump the metrics
+  registry in Prometheus text format;
 - ``fuxi-sim sortbench`` — print the Table-4 GraySort comparison;
 - ``fuxi-sim experiment <name>`` — run one paper experiment and print the
   paper-vs-measured report.
+
+``submit``, ``demo`` and ``experiment`` accept ``--trace-out FILE`` to run
+with structured tracing on and export the JSONL trace for later inspection.
 """
 
 from __future__ import annotations
@@ -47,30 +54,64 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--timeout", type=float, default=3600.0)
     submit.add_argument("--watch", action="store_true",
                         help="print task progress while running")
+    submit.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="run with tracing on, export JSONL trace here")
 
     demo = sub.add_parser("demo", help="run a synthetic workload")
     demo.add_argument("--machines", type=int, default=20)
     demo.add_argument("--racks", type=int, default=4)
     demo.add_argument("--jobs", type=int, default=10)
     demo.add_argument("--duration", type=float, default=60.0)
+    demo.add_argument("--trace-out", metavar="FILE", default=None,
+                      help="run with tracing on, export JSONL trace here")
 
-    trace = sub.add_parser("trace", help="Table-1 trace statistics")
+    trace = sub.add_parser(
+        "trace",
+        help="Table-1 trace statistics, or inspect a JSONL trace file")
+    trace.add_argument("trace_file", nargs="?", default=None,
+                       help="JSONL trace to summarize (omit for Table 1)")
     trace.add_argument("--jobs", type=int, default=10_000)
+    trace.add_argument("--top", type=int, default=10,
+                       help="how many longest spans to list")
+
+    metrics = sub.add_parser(
+        "metrics", help="run a short traced workload, dump Prometheus text")
+    metrics.add_argument("--machines", type=int, default=20)
+    metrics.add_argument("--racks", type=int, default=4)
+    metrics.add_argument("--jobs", type=int, default=10)
+    metrics.add_argument("--duration", type=float, default=60.0)
 
     sub.add_parser("sortbench", help="Table-4 GraySort comparison")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("--trace-out", metavar="FILE", default=None,
+                            help="export the run's JSONL trace here "
+                                 "(traced experiments only)")
     return parser
 
 
-def _make_cluster(machines: int, racks: int, seed: int) -> FuxiCluster:
+def _make_cluster(machines: int, racks: int, seed: int,
+                  trace: bool = False) -> FuxiCluster:
     per_rack = max(1, machines // max(racks, 1))
     topology = ClusterTopology.build(
         racks, per_rack, capacity=ResourceVector.of(cpu=400, memory=16384))
-    cluster = FuxiCluster(topology, seed=seed)
+    cluster = FuxiCluster(topology, seed=seed, trace=trace)
     cluster.warm_up()
     return cluster
+
+
+def _export_trace(cluster: FuxiCluster, path: Optional[str]) -> None:
+    if path is None:
+        return
+    from repro.obs.export import dump_trace_jsonl
+    try:
+        dump_trace_jsonl(cluster.tracer, path)
+    except OSError as exc:
+        print(f"cannot write trace {path!r}: {exc}", file=sys.stderr)
+        return
+    print(f"trace written to {path} "
+          f"({len(cluster.tracer)} spans+events)")
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -79,7 +120,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         description = json.load(handle)
     spec = parse_job_description(description,
                                  name=description.get("name", args.job_file))
-    cluster = _make_cluster(args.machines, args.racks, args.seed)
+    cluster = _make_cluster(args.machines, args.racks, args.seed,
+                            trace=args.trace_out is not None)
     app_id = cluster.submit_job(spec)
     print(f"submitted {spec.name!r} as {app_id} "
           f"({spec.total_instances()} instances, {len(spec.tasks)} tasks)")
@@ -98,6 +140,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
           f"makespan={result.makespan:.1f}s "
           f"instances={result.instances_finished} "
           f"backups={result.backups_launched}")
+    _export_trace(cluster, args.trace_out)
     return 0 if result.success else 1
 
 
@@ -106,7 +149,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
     from repro.sim.rng import SplitRandom
     from repro.workloads.synthetic import (SyntheticWorkload,
                                            SyntheticWorkloadConfig)
-    cluster = _make_cluster(args.machines, args.racks, args.seed)
+    cluster = _make_cluster(args.machines, args.racks, args.seed,
+                            trace=args.trace_out is not None)
     workload = SyntheticWorkload(
         SyntheticWorkloadConfig(concurrent_jobs=args.jobs),
         SplitRandom(args.seed))
@@ -123,14 +167,49 @@ def cmd_demo(args: argparse.Namespace) -> int:
         ["grants issued", int(cluster.metrics.counter("fm.grants"))],
     ]
     print(format_table(["metric", "value"], rows, title="demo summary"))
+    _export_trace(cluster, args.trace_out)
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Generate and print the Table-1 production trace statistics."""
+    """Table-1 trace statistics, or summarize a JSONL trace file."""
+    if args.trace_file is not None:
+        return _summarize_trace_file(args.trace_file, args.top)
     from repro.experiments.table1_production import Table1Config, run
     report = run(Table1Config(jobs=args.jobs, seed=args.seed))
     print(report.render())
+    return 0
+
+
+def _summarize_trace_file(path: str, top: int) -> int:
+    from repro.obs.export import load_trace_jsonl
+    from repro.obs.summary import render_summary, summarize_trace
+    try:
+        records = load_trace_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {path!r}: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"{path}: empty trace")
+        return 0
+    print(render_summary(summarize_trace(records, top=top)))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a short traced synthetic workload, dump Prometheus text."""
+    from repro.obs.export import prometheus_text
+    from repro.sim.rng import SplitRandom
+    from repro.workloads.synthetic import (SyntheticWorkload,
+                                           SyntheticWorkloadConfig)
+    cluster = _make_cluster(args.machines, args.racks, args.seed, trace=True)
+    workload = SyntheticWorkload(
+        SyntheticWorkloadConfig(concurrent_jobs=args.jobs),
+        SplitRandom(args.seed))
+    for spec in workload.initial_batch():
+        cluster.submit_job(spec)
+    cluster.run_for(args.duration)
+    print(prometheus_text(cluster.metrics), end="")
     return 0
 
 
@@ -159,7 +238,20 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "ablation-locality": ablations.locality_ablation,
         "ablation-reuse": ablations.container_reuse_ablation,
     }
-    print(runners[args.name]().render())
+    report = runners[args.name]()
+    print(report.render())
+    if args.trace_out is not None:
+        try:
+            written = report.write_trace(args.trace_out)
+        except OSError as exc:
+            print(f"cannot write trace {args.trace_out!r}: {exc}",
+                  file=sys.stderr)
+        else:
+            if written:
+                print(f"trace written to {args.trace_out}")
+            else:
+                print(f"{args.name} ran without tracing; no trace written",
+                      file=sys.stderr)
     return 0
 
 
@@ -170,6 +262,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "submit": cmd_submit,
         "demo": cmd_demo,
         "trace": cmd_trace,
+        "metrics": cmd_metrics,
         "sortbench": cmd_sortbench,
         "experiment": cmd_experiment,
     }

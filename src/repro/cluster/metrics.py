@@ -4,6 +4,11 @@ The evaluation figures are all time series (Fig 9 per-request scheduling
 time, Fig 10 utilization curves) or aggregates over event timestamps
 (Table 2 overheads).  The collector is deliberately dumb storage — analysis
 lives in :mod:`repro.experiments`.
+
+:class:`repro.obs.histogram.MetricsRegistry` extends this collector with
+histograms; new code should prefer the registry, but :class:`Series`,
+:class:`MetricsCollector` and :func:`format_table` remain the stable API
+the experiments are written against.
 """
 
 from __future__ import annotations
@@ -55,12 +60,17 @@ class Series:
         return values[low] * (1 - frac) + values[high] * frac
 
     def resample(self, step: float) -> List[Tuple[float, float]]:
-        """Mean value per ``step``-wide time bucket (for plotting/printing)."""
+        """Mean value per ``step``-wide time bucket (for plotting/printing).
+
+        Bucket starts are ``floor(time / step) * step``: explicit
+        ``math.floor`` so negative and non-multiple start times label the
+        bucket by its true lower edge instead of truncating toward zero.
+        """
         if not self.points:
             return []
         buckets: Dict[int, List[float]] = {}
         for time, value in self.points:
-            buckets.setdefault(int(time // step), []).append(value)
+            buckets.setdefault(math.floor(time / step), []).append(value)
         return [
             (index * step, sum(vals) / len(vals))
             for index, vals in sorted(buckets.items())

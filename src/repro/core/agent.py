@@ -30,6 +30,7 @@ from repro.core.grant import Grant
 from repro.core.protocol import StreamHub
 from repro.core.resources import ResourceVector
 from repro.core.units import UnitKey
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.actor import Actor
 from repro.sim.events import EventLoop
 
@@ -59,10 +60,12 @@ class FuxiAgent(Actor):
 
     def __init__(self, loop: EventLoop, bus, machine_state: MachineState,
                  config: Optional[FuxiAgentConfig] = None,
-                 worker_factory: Optional[Callable[[msg.WorkPlan, str], "object"]] = None):
+                 worker_factory: Optional[Callable[[msg.WorkPlan, str], "object"]] = None,
+                 tracer=None):
         super().__init__(loop, agent_name(machine_state.spec.name), bus)
         self.machine_state = machine_state
         self.config = config or FuxiAgentConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.hub = StreamHub(self)
         self.worker_factory = worker_factory
         # allocation books: granted units per (app, slot) on this machine
@@ -258,6 +261,8 @@ class FuxiAgent(Actor):
 
     def on_restart(self) -> None:
         """Adopt running workers, then rebuild books from AMs and FuxiMaster."""
+        span = self.tracer.start_span("agent.adopt", detached=True,
+                                      machine=self.machine)
         self.hub.restart_all_senders()
         self.hub.reset_receivers()
         adopted = self._collect_running_workers()
@@ -273,6 +278,7 @@ class FuxiAgent(Actor):
         self.send(self.config.master_address,
                   msg.ResyncRequest(master=self.name, epoch=0))
         self._start_timers()
+        self.tracer.end_span(span, workers=len(adopted), apps=len(apps))
 
     def _collect_running_workers(self) -> List[msg.WorkPlan]:
         """Find worker processes of this machine still alive (simulated ps)."""

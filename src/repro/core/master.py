@@ -35,6 +35,7 @@ from repro.core.quota import DEFAULT_GROUP, QuotaGroup
 from repro.core.request import WaitingDemand
 from repro.core.scheduler import FuxiScheduler, SchedulerConfig
 from repro.core.units import UnitKey
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.actor import Actor
 from repro.sim.events import EventLoop
 
@@ -65,12 +66,15 @@ class FuxiMaster(Actor):
                  locks: LockService, checkpoint: CheckpointStore,
                  config: Optional[FuxiMasterConfig] = None,
                  metrics: Optional[MetricsCollector] = None,
-                 runtime: Optional[Any] = None):
+                 runtime: Optional[Any] = None,
+                 tracer: Optional[Any] = None):
         super().__init__(loop, name, bus)
         self.config = config or FuxiMasterConfig()
         self.locks = locks
         self.checkpoint = checkpoint
         self.metrics = metrics or MetricsCollector()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._failover_span = None
         self.runtime = runtime
         self.hub = StreamHub(self)
         self.role = "candidate"
@@ -109,8 +113,13 @@ class FuxiMaster(Actor):
     def _become_primary(self) -> None:
         self.role = "primary"
         self.failovers += 1
+        # Detached: the span ends in _finish_recovery, a different callback.
+        self._failover_span = self.tracer.start_span(
+            "master.failover", detached=True,
+            master=self.name, takeover=self.failovers)
         self.bus.set_alias(self.config.alias, self.name)
-        self.scheduler = FuxiScheduler(self.config.scheduler)
+        self.scheduler = FuxiScheduler(self.config.scheduler,
+                                       tracer=self.tracer)
         self._last_agent_seen = {}
         self._last_app_seen = {}
         self._pending_agent_reports = {}
@@ -154,14 +163,22 @@ class FuxiMaster(Actor):
         if not self.locks.renew(self.config.lock_name, self.name,
                                 self.config.lease):
             # Lost the lease (e.g. after a long stall): step down cleanly.
+            self._abort_failover_span("lease_lost")
             self.role = "standby"
             self.cancel_all_timers()
             self._campaign()
 
     def on_crash(self) -> None:
+        self._abort_failover_span("crash")
         self.role = "candidate"
         self.scheduler = None
         self.recovering = False
+
+    def _abort_failover_span(self, reason: str) -> None:
+        """Close a takeover span that never reached _finish_recovery."""
+        if self._failover_span is not None and self.recovering:
+            self.tracer.end_span(self._failover_span, aborted=reason)
+        self._failover_span = None
 
     def on_restart(self) -> None:
         self.hub = StreamHub(self)
@@ -171,6 +188,7 @@ class FuxiMaster(Actor):
         """Recovery window over: install buffered reports, resume scheduling."""
         self.recovering = False
         self._install_pending_allocations()
+        decisions: List[Grant] = []
         if self.scheduler is not None:
             # Tell every AM the authoritative holdings: grants that were in
             # flight when the old master died reached agents but not their
@@ -178,7 +196,13 @@ class FuxiMaster(Actor):
             for app_id in self._known_app_ids():
                 self._send_grant_full(app_id)
             decisions = self.scheduler.schedule_all_machines()
-            self._disseminate(decisions)
+        if self._failover_span is not None:
+            machines = (len(self.scheduler.pool.machines())
+                        if self.scheduler is not None else 0)
+            self.tracer.end_span(self._failover_span,
+                                 machines=machines, grants=len(decisions))
+            self._failover_span = None
+        self._disseminate(decisions)
 
     # ------------------------------------------------------------------ #
     # message dispatch
@@ -282,6 +306,8 @@ class FuxiMaster(Actor):
             demand = WaitingDemand.from_snapshot(state.demands[unit_key])
             decisions.extend(self._reconcile_demand(unit_key, demand))
         if self.recovering:
+            self.tracer.event("master.app_report",
+                              parent=self._failover_span, app=app_id)
             # Agents are authoritative for per-machine allocation; AM
             # holdings only fill in for machines whose agent never reports
             # (see _install_pending_allocations).
@@ -380,6 +406,9 @@ class FuxiMaster(Actor):
             return
         self._last_agent_seen[report.machine] = self.loop.now
         if self.recovering:
+            self.tracer.event("master.agent_report",
+                              parent=self._failover_span,
+                              machine=report.machine)
             self._pending_agent_reports[report.machine] = report
             pending = self._pending_allocations.setdefault(report.machine, {})
             for unit_key, count in report.allocations.items():
@@ -443,12 +472,16 @@ class FuxiMaster(Actor):
                 self.scheduler.disable_machine(machine)
                 self._checkpoint_blacklist()
                 self.metrics.increment("fm.health_disables")
+                self.tracer.event("master.machine_disabled",
+                                  machine=machine, reason="low_health")
         # Machines with dead heartbeats: remove + revoke (paper §4.3.2).
         for machine, seen in list(self._last_agent_seen.items()):
             if now - seen <= self.config.heartbeat_timeout:
                 continue
             del self._last_agent_seen[machine]
             if self.scheduler.pool.has_machine(machine):
+                self.tracer.event("master.machine_removed", machine=machine,
+                                  reason="heartbeat_timeout")
                 revocations = self.scheduler.remove_machine(machine)
                 self.metrics.increment("fm.heartbeat_timeouts")
                 self._disseminate(revocations)
@@ -462,6 +495,7 @@ class FuxiMaster(Actor):
                 del self._last_app_seen[app_id]
                 continue
             self._last_app_seen[app_id] = now  # rate-limit restart attempts
+            self.tracer.event("master.am_restart", app=app_id)
             self._launch_app_master(app_id, record.get("description", {}),
                                     avoid=self._app_master_machine.get(app_id))
             self.metrics.increment("fm.am_restarts")
@@ -476,6 +510,7 @@ class FuxiMaster(Actor):
         self.checkpoint.put(f"app/{app_id}", {
             "app_id": app_id, "group": group, "description": description,
         })
+        self.tracer.event("master.checkpoint", key=f"app/{app_id}")
         if self.scheduler is not None:
             self._ensure_app(app_id)
         self._last_app_seen[app_id] = self.loop.now
@@ -488,6 +523,7 @@ class FuxiMaster(Actor):
             "min": min_quota.as_dict() if min_quota is not None else {},
             "max": max_quota.as_dict() if max_quota is not None else None,
         })
+        self.tracer.event("master.checkpoint", key=f"quota/{name}")
         if self.scheduler is not None:
             self.scheduler.quota.define_group(QuotaGroup(
                 name=name,
@@ -522,12 +558,15 @@ class FuxiMaster(Actor):
         if self.scheduler is None:
             return
         if self.blacklist.mark_by_job(report.machine, report.job_id):
+            self.tracer.event("master.machine_disabled",
+                              machine=report.machine, reason="blacklist")
             self.scheduler.disable_machine(report.machine)
             self._checkpoint_blacklist()
             self.metrics.increment("fm.blacklist_disables")
 
     def _checkpoint_blacklist(self) -> None:
         self.checkpoint.put("blacklist", self.blacklist.snapshot())
+        self.tracer.event("master.checkpoint", key="blacklist")
 
     # ------------------------------------------------------------------ #
     # dissemination
@@ -564,9 +603,14 @@ class FuxiMaster(Actor):
             self.hub.send_delta(dest, "alloc",
                                 msg.AllocationUpdate(tuple(grants)),
                                 items=len(grants))
-        self.metrics.increment("fm.grants", sum(1 for g in decisions if g.count > 0))
-        self.metrics.increment("fm.revocations",
-                               sum(1 for g in decisions if g.count < 0))
+        grants = sum(1 for g in decisions if g.count > 0)
+        revocations = sum(1 for g in decisions if g.count < 0)
+        self.metrics.increment("fm.grants", grants)
+        self.metrics.increment("fm.revocations", revocations)
+        if self.tracer.enabled:
+            self.tracer.event("master.disseminate", grants=grants,
+                              revocations=revocations,
+                              apps=len(by_app), machines=len(by_machine))
 
     def _grant_state(self, app_id: str) -> Dict[UnitKey, Dict[str, int]]:
         state: Dict[UnitKey, Dict[str, int]] = {}

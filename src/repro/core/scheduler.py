@@ -32,6 +32,7 @@ from repro.core.quota import DEFAULT_GROUP, QuotaManager
 from repro.core.request import LocalityLevel, RequestDelta, WaitingDemand
 from repro.core.resources import ResourceVector
 from repro.core.units import ScheduleUnit, UnitKey, UnitRegistry
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -55,13 +56,22 @@ class SchedulerConfig:
 
 @dataclass
 class ScheduleStats:
-    """Counters the experiments read."""
+    """Counters the experiments read.
+
+    ``machine_local`` / ``rack_local`` / ``cluster_wide`` break
+    ``units_granted`` down by the locality level each grant was served at
+    (paper §3.3's three queues) — the tracing layer exports the same split
+    per decision span.
+    """
 
     decisions: int = 0
     grants_issued: int = 0
     units_granted: int = 0
     units_revoked: int = 0
     preemptions: int = 0
+    machine_local: int = 0
+    rack_local: int = 0
+    cluster_wide: int = 0
 
     def copy(self) -> "ScheduleStats":
         return ScheduleStats(**self.__dict__)
@@ -71,8 +81,10 @@ class FuxiScheduler:
     """Free pool + locality tree + quota + preemption, driven by events."""
 
     def __init__(self, config: Optional[SchedulerConfig] = None,
-                 quota: Optional[QuotaManager] = None):
+                 quota: Optional[QuotaManager] = None, tracer=None):
         self.config = config or SchedulerConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._decision_mark: Optional[Tuple[int, ...]] = None
         self.pool = FreeResourcePool()
         self.tree = LocalityTree()
         self.ledger = AllocationLedger()
@@ -88,6 +100,40 @@ class FuxiScheduler:
         # (group -> priority -> granted units) so the preemption pre-check
         # can tell in O(1) whether any lower-priority victim exists at all.
         self._granted_prio: Dict[str, Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # decision tracing
+    # ------------------------------------------------------------------ #
+
+    def _begin_decision(self, kind: str, **attrs):
+        """Open a ``sched.decision`` span (None when tracing is off).
+
+        Decisions never nest (the scheduler is synchronous), so one saved
+        stats mark is enough to compute the per-decision deltas at close.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return None
+        stats = self.stats
+        self._decision_mark = (stats.machine_local, stats.rack_local,
+                               stats.cluster_wide, stats.units_granted,
+                               stats.units_revoked, stats.preemptions)
+        return tracer.start_span("sched.decision", kind=kind, **attrs)
+
+    def _end_decision(self, span) -> None:
+        if span is None:
+            return
+        m0, r0, c0, g0, v0, p0 = self._decision_mark
+        stats = self.stats
+        self.tracer.end_span(
+            span,
+            machine=stats.machine_local - m0,
+            rack=stats.rack_local - r0,
+            cluster=stats.cluster_wide - c0,
+            granted=stats.units_granted - g0,
+            revoked=stats.units_revoked - v0,
+            preempted=stats.preemptions - p0,
+        )
 
     # ------------------------------------------------------------------ #
     # supply side: machines
@@ -113,17 +159,22 @@ class FuxiScheduler:
 
     def remove_machine(self, machine: str) -> List[Grant]:
         """Node down: drop the machine, revoking everything granted on it."""
-        revocations = self.ledger.drop_machine(machine)
-        for revocation in revocations:
-            unit = self.units.get(revocation.unit_key)
-            self.quota.refund(unit.app_id, unit.resources * (-revocation.count))
-            self._track_units(unit, revocation.count)
-            self.stats.units_revoked += -revocation.count
-        rack = self._machine_rack.pop(machine, None)
-        if rack is not None and machine in self._rack_machines.get(rack, ()):
-            self._rack_machines[rack].remove(machine)
-        self.pool.remove_machine(machine)
-        return revocations
+        span = self._begin_decision("machine_down", target=machine)
+        try:
+            revocations = self.ledger.drop_machine(machine)
+            for revocation in revocations:
+                unit = self.units.get(revocation.unit_key)
+                self.quota.refund(unit.app_id,
+                                  unit.resources * (-revocation.count))
+                self._track_units(unit, revocation.count)
+                self.stats.units_revoked += -revocation.count
+            rack = self._machine_rack.pop(machine, None)
+            if rack is not None and machine in self._rack_machines.get(rack, ()):
+                self._rack_machines[rack].remove(machine)
+            self.pool.remove_machine(machine)
+            return revocations
+        finally:
+            self._end_decision(span)
 
     def disable_machine(self, machine: str) -> None:
         """Blacklist: stop offering the machine without dropping its books."""
@@ -149,6 +200,13 @@ class FuxiScheduler:
 
     def unregister_app(self, app_id: str) -> List[Grant]:
         """Application exit: drop demand and revoke all its grants."""
+        span = self._begin_decision("app_exit", app=app_id)
+        try:
+            return self._unregister_app(app_id)
+        finally:
+            self._end_decision(span)
+
+    def _unregister_app(self, app_id: str) -> List[Grant]:
         for unit_key in [k for k in self._demands if k.app_id == app_id]:
             self.tree.remove(unit_key)
             del self._demands[unit_key]
@@ -178,6 +236,14 @@ class FuxiScheduler:
 
     def apply_request_delta(self, delta: RequestDelta) -> List[Grant]:
         """Fold a demand delta in and try to satisfy it immediately (§3.2.2)."""
+        span = self._begin_decision("request", unit=str(delta.unit_key),
+                                    delta=delta.cluster_delta)
+        try:
+            return self._apply_request_delta(delta)
+        finally:
+            self._end_decision(span)
+
+    def _apply_request_delta(self, delta: RequestDelta) -> List[Grant]:
         self.stats.decisions += 1
         demand = self._demands.get(delta.unit_key)
         if demand is None:
@@ -213,13 +279,18 @@ class FuxiScheduler:
             raise ValueError(
                 f"app returns {count} of {unit_key!r} on {machine} but holds {held}"
             )
-        unit = self.units.get(unit_key)
-        freed = unit.resources * count
-        self.ledger.apply(Grant(unit_key, machine, -count))
-        self.pool.release(machine, freed)
-        self.quota.refund(unit_key.app_id, freed)
-        self._track_units(unit, -count)
-        return self._schedule_machine(machine)
+        span = self._begin_decision("return", unit=str(unit_key),
+                                    target=machine, returned=count)
+        try:
+            unit = self.units.get(unit_key)
+            freed = unit.resources * count
+            self.ledger.apply(Grant(unit_key, machine, -count))
+            self.pool.release(machine, freed)
+            self.quota.refund(unit_key.app_id, freed)
+            self._track_units(unit, -count)
+            return self._schedule_machine(machine)
+        finally:
+            self._end_decision(span)
 
     def demand_of(self, unit_key: UnitKey) -> Optional[WaitingDemand]:
         """The outstanding demand book for a unit, or None."""
@@ -262,10 +333,14 @@ class FuxiScheduler:
 
     def schedule_all_machines(self) -> List[Grant]:
         """One pass over every machine's queues (used after failover rebuild)."""
-        decisions: List[Grant] = []
-        for machine in self.pool.machines():
-            decisions.extend(self._schedule_machine(machine))
-        return decisions
+        span = self._begin_decision("rebuild")
+        try:
+            decisions: List[Grant] = []
+            for machine in self.pool.machines():
+                decisions.extend(self._schedule_machine(machine))
+            return decisions
+        finally:
+            self._end_decision(span)
 
     # ------------------------------------------------------------------ #
     # core placement machinery
@@ -297,7 +372,8 @@ class FuxiScheduler:
         return allowed
 
     def _apply_grant(self, unit: ScheduleUnit, demand: WaitingDemand,
-                     machine: str, count: int) -> Grant:
+                     machine: str, count: int,
+                     level: LocalityLevel = LocalityLevel.CLUSTER) -> Grant:
         amount = unit.resources * count
         self.pool.allocate(machine, amount)
         self.ledger.apply(Grant(unit.key, machine, count))
@@ -306,6 +382,12 @@ class FuxiScheduler:
         demand.consume(machine, self.rack_of(machine), count)
         self.stats.grants_issued += 1
         self.stats.units_granted += count
+        if level is LocalityLevel.MACHINE:
+            self.stats.machine_local += count
+        elif level is LocalityLevel.RACK:
+            self.stats.rack_local += count
+        else:
+            self.stats.cluster_wide += count
         return Grant(unit.key, machine, count)
 
     def _place_demand(self, unit_key: UnitKey, demand: WaitingDemand) -> List[Grant]:
@@ -319,7 +401,8 @@ class FuxiScheduler:
                 break
             count = self._grant_limit(unit, machine, demand.wants_machine(machine))
             if count > 0:
-                grants.append(self._apply_grant(unit, demand, machine, count))
+                grants.append(self._apply_grant(unit, demand, machine, count,
+                                                LocalityLevel.MACHINE))
         # 2. rack hints: machines inside the hinted racks, most-free first.
         for rack in sorted(demand.rack_hints, key=lambda r: (-demand.rack_hints[r], r)):
             if demand.is_empty():
@@ -332,7 +415,8 @@ class FuxiScheduler:
                     break
                 count = self._grant_limit(unit, machine, wanted)
                 if count > 0:
-                    grants.append(self._apply_grant(unit, demand, machine, count))
+                    grants.append(self._apply_grant(unit, demand, machine,
+                                                    count, LocalityLevel.RACK))
         # 3. anywhere in the cluster, most-free first.
         if not demand.is_empty():
             for machine, _ in self.pool.best_fit_machines(unit.resources):
@@ -342,7 +426,9 @@ class FuxiScheduler:
                     continue
                 count = self._grant_limit(unit, machine, demand.wants_anywhere())
                 if count > 0:
-                    grants.append(self._apply_grant(unit, demand, machine, count))
+                    grants.append(self._apply_grant(unit, demand, machine,
+                                                    count,
+                                                    LocalityLevel.CLUSTER))
         return grants
 
     def _schedule_machine(self, machine: str) -> List[Grant]:
@@ -385,7 +471,8 @@ class FuxiScheduler:
                     break
                 continue
             consecutive_skips = 0
-            grants.append(self._apply_grant(unit, demand, machine, count))
+            grants.append(self._apply_grant(unit, demand, machine, count,
+                                            level))
             self._reindex(unit_key, demand)
             if self.pool.free(machine).is_zero():
                 break  # nothing left to hand out on this machine
@@ -439,7 +526,9 @@ class FuxiScheduler:
                 decisions.append(revocation)
             count = self._grant_limit(unit, machine, demand.wants_anywhere())
             if count > 0:
-                decisions.append(self._apply_grant(unit, demand, machine, count))
+                decisions.append(self._apply_grant(unit, demand, machine,
+                                                   count,
+                                                   LocalityLevel.CLUSTER))
         return decisions
 
     def _preemption_sites(self, demand: WaitingDemand) -> List[str]:

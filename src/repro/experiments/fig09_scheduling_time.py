@@ -26,6 +26,10 @@ PAPER_PEAK_MS = 3.0
 def run(config: Optional[SyntheticRunConfig] = None,
         prior_run: Optional[SyntheticRunResult] = None) -> ExperimentReport:
     """Run the Figure 9 experiment; returns an ExperimentReport."""
+    if prior_run is None and config is None:
+        # Standalone runs trace by default: Figure 9 is about scheduling
+        # decisions, and the trace records each one's locality level.
+        config = SyntheticRunConfig(trace=True)
     result = prior_run or run_synthetic_workload(config)
     series = result.metrics.series("fm.schedule_ms")
     report = ExperimentReport(
@@ -48,6 +52,7 @@ def run(config: Optional[SyntheticRunConfig] = None,
         [(f"{t:.0f}", f"{v:.4f}") for t, v in series.resample(20.0)],
         title="scheduling time over the run (20 s buckets)")
     report.series["schedule_ms"] = series.resample(20.0)
+    report.tracer = result.cluster.tracer
     report.notes.append(
         f"{len(series)} requests over {result.completed} completed jobs; "
         "absolute times are Python-on-laptop, the paper's are C++ on a "

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster.metrics import format_table
 
@@ -49,6 +49,9 @@ class ExperimentReport:
     tables: List[str] = field(default_factory=list)
     series: Dict[str, List] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: tracer of the run that produced the report (None when tracing off);
+    #: consumers export it with :meth:`write_trace`
+    tracer: Optional[Any] = None
 
     def add_comparison(self, name: str, paper: float, measured: float,
                        unit: str = "", direction: str = "") -> None:
@@ -64,6 +67,17 @@ class ExperimentReport:
             if comparison.name == name:
                 return comparison
         raise KeyError(f"no comparison named {name!r} in {self.exp_id}")
+
+    def write_trace(self, path) -> bool:
+        """Export the run's trace as JSONL next to the results.
+
+        Returns False (writing nothing) when the run had tracing off.
+        """
+        if self.tracer is None or not getattr(self.tracer, "enabled", False):
+            return False
+        from repro.obs.export import dump_trace_jsonl
+        dump_trace_jsonl(self.tracer, path)
+        return True
 
     def render(self) -> str:
         parts = [f"== {self.exp_id}: {self.title} =="]

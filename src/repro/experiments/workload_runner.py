@@ -40,6 +40,7 @@ class SyntheticRunConfig:
     worker_start_delay: float = 2.0     # models binary download (Table 2)
     am_start_delay: float = 0.5
     utilization_sample_interval: float = 5.0
+    trace: bool = False                 # structured tracing (repro.obs)
 
 
 @dataclass
@@ -64,7 +65,7 @@ def run_synthetic_workload(config: Optional[SyntheticRunConfig] = None,
     agent_config = FuxiAgentConfig(
         worker_start_delay=config.worker_start_delay)
     cluster = FuxiCluster(topology, seed=config.seed,
-                          agent_config=agent_config)
+                          agent_config=agent_config, trace=config.trace)
     cluster.enable_utilization_sampling(config.utilization_sample_interval)
     cluster.warm_up()
 

@@ -32,6 +32,7 @@ from repro.jobs.dag import ready_tasks, validate_dag
 from repro.jobs.instance import InstanceState
 from repro.jobs.spec import JobSpec, parse_job_description
 from repro.jobs.taskmaster import TaskMaster
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.events import EventLoop
 from repro.sim.rng import SplitRandom
 
@@ -86,6 +87,9 @@ class DagJobMaster(ApplicationMaster):
                  blacklist_config: Optional[BlacklistConfig] = None):
         self.description = description
         self.services = services
+        tracer = getattr(services, "tracer", None)
+        # explicit None check: an empty Tracer is falsy (len() == 0)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.spec: JobSpec = parse_job_description(description, name=app_id)
         validate_dag(self.spec)
         self.blacklist = JobBlacklist(blacklist_config)
@@ -469,10 +473,16 @@ class DagJobMaster(ApplicationMaster):
         self._snapshot_instance(info.task, message.instance_id)
         self._handle_escalations(info.task, result.escalations, message.machine)
         if result.terminal:
+            self.tracer.event("job.instance_terminal", job=self.app_id,
+                              task=info.task, instance=message.instance_id,
+                              machine=message.machine)
             self._complete_job(success=False,
                                reason=f"instance {message.instance_id} "
                                       f"exhausted attempts")
             return
+        self.tracer.event("job.instance_retry", job=self.app_id,
+                          task=info.task, instance=message.instance_id,
+                          machine=message.machine, reason=message.reason)
         self._dispatch_work(info)
 
     def _handle_escalations(self, task: str, escalations: List[str],
@@ -524,6 +534,8 @@ class DagJobMaster(ApplicationMaster):
         for info in list(self._workers.values()):
             if (info.state in ("idle", "busy")
                     and now - info.last_seen > self.WORKER_SILENCE_TIMEOUT):
+                self.tracer.event("job.container_replace", job=self.app_id,
+                                  task=info.task, machine=info.machine)
                 self.on_worker_failed(info.worker_id, info.machine, "crashed")
         # Self-healing dispatch: a dropped WorkerReady must not idle a
         # container forever while instances wait.
@@ -566,6 +578,10 @@ class DagJobMaster(ApplicationMaster):
                 for info in idle:
                     if master.start_backup(instance, info.worker_id,
                                            info.machine, now):
+                        self.tracer.event("job.backup", job=self.app_id,
+                                          task=task,
+                                          instance=instance.instance_id,
+                                          machine=info.machine)
                         info.state = "busy"
                         info.dispatched_at = now
                         idle.remove(info)

@@ -1,0 +1,40 @@
+"""Observability layer: structured tracing, histograms, and exporters.
+
+The simulator's evaluation claims are all observations of internal
+behaviour (per-request scheduling latency, failover timelines, utilization
+curves).  This package provides the instruments:
+
+- :mod:`repro.obs.tracer` — spans and one-shot events keyed on *simulated*
+  time, with a zero-overhead :class:`NullTracer` for the tracing-off path;
+- :mod:`repro.obs.histogram` — fixed-bucket and HDR-style log-bucket
+  histograms, plus the :class:`MetricsRegistry` that subsumes the plain
+  :class:`~repro.cluster.metrics.MetricsCollector`;
+- :mod:`repro.obs.export` — deterministic JSONL trace export and a
+  Prometheus-text-format metrics dump;
+- :mod:`repro.obs.summary` — trace summarisation for the CLI (top spans,
+  failover timelines, per-locality-level decision counts);
+- :mod:`repro.obs.hooks` — event-loop instrumentation (callback wall-time
+  sampling, queue depth) feeding the registry.
+
+Everything written into a trace is deterministic for a fixed seed: span
+ids are sequence numbers, timestamps are simulated seconds, and attribute
+values are counts — never wall-clock readings.
+"""
+
+from repro.obs.export import (dump_trace_jsonl, dumps_trace, load_trace_jsonl,
+                              prometheus_text, trace_records)
+from repro.obs.histogram import (FixedBucketHistogram, Histogram,
+                                 LogBucketHistogram, MetricsRegistry)
+from repro.obs.hooks import attach_loop_metrics
+from repro.obs.summary import render_summary, summarize_trace
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer
+
+__all__ = [
+    "Tracer", "NullTracer", "NULL_TRACER", "Span", "TraceEvent",
+    "Histogram", "FixedBucketHistogram", "LogBucketHistogram",
+    "MetricsRegistry",
+    "trace_records", "dumps_trace", "dump_trace_jsonl", "load_trace_jsonl",
+    "prometheus_text",
+    "summarize_trace", "render_summary",
+    "attach_loop_metrics",
+]

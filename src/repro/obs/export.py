@@ -1,0 +1,117 @@
+"""Deterministic exporters: JSONL traces and Prometheus-text metrics.
+
+Both formats are stable for a fixed seed: records are emitted in creation
+order, JSON keys are sorted, and every number is either a simulated
+timestamp or a count.  Running the same seeded simulation twice must yield
+byte-identical exports — the integration tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import IO, List, Union
+
+from repro.cluster.metrics import MetricsCollector
+from repro.obs.histogram import MetricsRegistry
+
+PathOrFile = Union[str, "object"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+# --------------------------------------------------------------------- #
+# traces
+# --------------------------------------------------------------------- #
+
+def trace_records(tracer) -> List[dict]:
+    """Spans and events of a tracer as serializable dicts, in id order."""
+    return tracer.records()
+
+
+def dumps_trace(tracer) -> str:
+    """The whole trace as JSONL text (sorted keys, compact separators)."""
+    lines = [json.dumps(record, sort_keys=True, separators=(",", ":"))
+             for record in trace_records(tracer)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_trace_jsonl(tracer, target: PathOrFile) -> int:
+    """Write the trace to a path or file object; returns the record count."""
+    text = dumps_trace(tracer)
+    if hasattr(target, "write"):
+        target.write(text)  # type: ignore[union-attr]
+    else:
+        with open(target, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            handle.write(text)
+    return len(text.splitlines())
+
+
+def load_trace_jsonl(source: PathOrFile) -> List[dict]:
+    """Read a JSONL trace back into a list of record dicts."""
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        with open(source, "r", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            text = handle.read()
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+# --------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------- #
+
+def _metric_name(name: str) -> str:
+    """Sanitize a dotted metric name for the Prometheus text format."""
+    sanitized = _NAME_RE.sub("_", name.replace(".", "_"))
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(metrics: MetricsCollector) -> str:
+    """Dump a collector/registry in the Prometheus exposition format.
+
+    - counters → ``counter`` samples;
+    - series → ``summary``-flavoured gauges (count / mean / p50 / p95 /
+      p99 / max over the recorded points);
+    - histograms (registry only) → native ``histogram`` with cumulative
+      ``_bucket`` lines plus ``_sum`` and ``_count``.
+    """
+    lines: List[str] = []
+    for name in sorted(metrics.counters()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(metrics.counter(name))}")
+    for name in metrics.series_names():
+        series = metrics.series(name)
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f'{metric}{{stat="count"}} {_fmt(float(len(series)))}')
+        lines.append(f'{metric}{{stat="mean"}} {_fmt(series.mean())}')
+        lines.append(f'{metric}{{stat="p50"}} {_fmt(series.percentile(50))}')
+        lines.append(f'{metric}{{stat="p95"}} {_fmt(series.percentile(95))}')
+        lines.append(f'{metric}{{stat="p99"}} {_fmt(series.percentile(99))}')
+        lines.append(f'{metric}{{stat="max"}} {_fmt(series.max())}')
+    if isinstance(metrics, MetricsRegistry):
+        for name in metrics.histogram_names():
+            histogram = metrics.histograms()[name]
+            metric = _metric_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            for upper, cumulative in histogram.cumulative_buckets():
+                lines.append(
+                    f'{metric}_bucket{{le="{_fmt(upper)}"}} {cumulative}')
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{metric}_sum {_fmt(histogram.sum)}")
+            lines.append(f"{metric}_count {histogram.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -24,7 +24,6 @@ from typing import Callable, Dict, List, Optional
 from repro.cluster.blockstore import BlockStore
 from repro.cluster.faults import FaultInjector
 from repro.cluster.lockservice import LockService
-from repro.cluster.metrics import MetricsCollector
 from repro.cluster.network import MessageBus, NetworkConfig
 from repro.cluster.topology import ClusterTopology
 from repro.core import messages as msg
@@ -37,6 +36,9 @@ from repro.core.resources import CPU, MEMORY
 from repro.jobs.jobmaster import DagJobMaster, JobResult
 from repro.jobs.spec import JobSpec
 from repro.jobs.worker import TaskWorker
+from repro.obs.histogram import MetricsRegistry
+from repro.obs.hooks import attach_loop_metrics
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import EventLoop
 from repro.sim.rng import SplitRandom
 
@@ -49,12 +51,19 @@ class FuxiCluster:
                  master_config: Optional[FuxiMasterConfig] = None,
                  agent_config: Optional[FuxiAgentConfig] = None,
                  app_master_config: Optional[AppMasterConfig] = None,
-                 standby_master: bool = True):
+                 standby_master: bool = True,
+                 trace: bool = False):
         self.topology = topology
         self.rng = SplitRandom(seed)
         self.loop = EventLoop()
         self.bus = MessageBus(self.loop, self.rng, network)
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsRegistry()
+        # Tracing is opt-in: with trace=False every component holds the
+        # shared NULL_TRACER and hot paths stay on the zero-overhead path.
+        self.tracer = Tracer(clock=lambda: self.loop.now) if trace \
+            else NULL_TRACER
+        if trace:
+            attach_loop_metrics(self.loop, self.metrics, sample_every=64)
         self.checkpoint = CheckpointStore()
         self.master_config = master_config or FuxiMasterConfig()
         self.agent_config = agent_config or FuxiAgentConfig()
@@ -76,18 +85,19 @@ class FuxiCluster:
         self.masters: List[FuxiMaster] = [
             FuxiMaster(self.loop, self.bus, "fuxi-master-0", self.locks,
                        self.checkpoint, self.master_config, self.metrics,
-                       runtime=self)
+                       runtime=self, tracer=self.tracer)
         ]
         if standby_master:
             self.masters.append(
                 FuxiMaster(self.loop, self.bus, "fuxi-master-1", self.locks,
                            self.checkpoint, self.master_config, self.metrics,
-                           runtime=self))
+                           runtime=self, tracer=self.tracer))
         self.agents: Dict[str, FuxiAgent] = {}
         for machine in topology.machines():
             agent = FuxiAgent(self.loop, self.bus, topology.state(machine),
                               self.agent_config,
-                              worker_factory=self._create_worker)
+                              worker_factory=self._create_worker,
+                              tracer=self.tracer)
             agent.runtime = self
             self.agents[machine] = agent
         self.faults = FaultInjector(self)

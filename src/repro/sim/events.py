@@ -4,13 +4,27 @@ The loop is the single source of time for the whole simulation.  Events are
 callbacks scheduled at absolute simulated times; ties are broken by a
 monotonically increasing sequence number so execution order is deterministic
 for equal timestamps.
+
+Bookkeeping is O(1) per operation: a live-event counter backs
+:meth:`EventLoop.pending` (no heap scans), and the heap is compacted when
+cancelled entries outnumber live ones, so long-running simulations with
+heavy timer churn stay bounded in memory.
+
+For observability the loop supports an optional per-event hook (see
+:meth:`EventLoop.set_hook`): every ``sample_every``-th executed event is
+timed with the wall clock and reported together with the loop state.  With
+no hook installed the execution path pays a single ``is not None`` check.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from typing import Any, Callable, List, Optional
+
+#: below this heap size compaction is pointless (rebuild cost > scan cost)
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -22,27 +36,37 @@ class Event:
 
     Events are returned by :meth:`EventLoop.call_at` / :meth:`EventLoop.call_after`
     and can be cancelled.  A cancelled event stays in the heap but is skipped
-    when popped.
+    when popped (and reclaimed wholesale when the loop compacts).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "done",
+                 "_loop")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any],
+                 args: tuple, loop: Optional["EventLoop"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.done = False
+        self._loop = loop
 
     def cancel(self) -> None:
-        """Prevent the callback from running.  Safe to call more than once."""
+        """Prevent the callback from running.  Safe to call more than once,
+        and a no-op once the event has already executed."""
+        if self.cancelled or self.done:
+            return
         self.cancelled = True
+        if self._loop is not None:
+            self._loop._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = ("done" if self.done
+                 else "cancelled" if self.cancelled else "pending")
         return f"<Event t={self.time:.6f} seq={self.seq} {state} {self.callback!r}>"
 
 
@@ -66,6 +90,13 @@ class EventLoop:
         self._running = False
         self._stopped = False
         self.events_executed = 0
+        # live/cancelled counters: pending() must be O(1) and compaction
+        # needs to know when the heap is mostly garbage.
+        self._live = 0
+        self._cancelled = 0
+        # optional instrumentation (see set_hook)
+        self._hook: Optional[Callable[["EventLoop", Event, float], None]] = None
+        self._hook_every = 1
 
     @property
     def now(self) -> float:
@@ -78,8 +109,9 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule event at {when} before current time {self._now}"
             )
-        event = Event(when, next(self._seq), callback, args)
+        event = Event(when, next(self._seq), callback, args, loop=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def call_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
@@ -92,15 +124,71 @@ class EventLoop:
         """Make the currently running :meth:`run` loop return after this event."""
         self._stopped = True
 
+    # ------------------------------------------------------------------ #
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _on_cancel(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts when mostly garbage."""
+        self._live -= 1
+        self._cancelled += 1
+        if (self._cancelled * 2 > len(self._heap)
+                and len(self._heap) >= _COMPACT_MIN):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (amortised O(1) per cancel)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------ #
+    # instrumentation
+    # ------------------------------------------------------------------ #
+
+    def set_hook(self, hook: Callable[["EventLoop", Event, float], None],
+                 sample_every: int = 1) -> None:
+        """Install a per-event hook.
+
+        Every ``sample_every``-th executed event is timed and
+        ``hook(loop, event, wall_seconds)`` is invoked right after its
+        callback returns.  Which events are sampled depends only on the
+        deterministic execution count, so a seeded run samples the same
+        events every time (the wall-time *values* are of course not
+        reproducible).
+        """
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self._hook = hook
+        self._hook_every = int(sample_every)
+
+    def clear_hook(self) -> None:
+        """Remove the per-event hook (back to the zero-overhead path)."""
+        self._hook = None
+        self._hook_every = 1
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if the heap is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event.done = True
+            self._live -= 1
             self._now = event.time
             self.events_executed += 1
-            event.callback(*event.args)
+            hook = self._hook
+            if hook is not None and self.events_executed % self._hook_every == 0:
+                started = _time.perf_counter()
+                event.callback(*event.args)
+                hook(self, event, _time.perf_counter() - started)
+            else:
+                event.callback(*event.args)
             return True
         return False
 
@@ -136,6 +224,7 @@ class EventLoop:
                 nxt = self._heap[0]
                 if nxt.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled -= 1
                     continue
                 if nxt.time > until:
                     break
@@ -146,8 +235,8 @@ class EventLoop:
             self._now = until
 
     def pending(self) -> int:
-        """Number of non-cancelled events still scheduled."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of non-cancelled events still scheduled (O(1))."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<EventLoop now={self._now:.3f} pending={self.pending()}>"

@@ -88,3 +88,49 @@ def test_experiment_subcommand(capsys):
 def test_experiment_rejects_unknown_name():
     with pytest.raises(SystemExit):
         main(["experiment", "nope"])
+
+
+def test_demo_trace_out_writes_jsonl(tmp_path, capsys):
+    trace_file = tmp_path / "demo.trace.jsonl"
+    code = main(["demo", "--machines", "6", "--racks", "2", "--jobs", "2",
+                 "--duration", "20", "--trace-out", str(trace_file)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "trace written" in out
+    lines = trace_file.read_text().splitlines()
+    assert lines
+    record = json.loads(lines[0])
+    assert record["kind"] in ("span", "event")
+
+
+def test_trace_file_summarizes_jsonl(tmp_path, capsys):
+    trace_file = tmp_path / "run.trace.jsonl"
+    code = main(["demo", "--machines", "6", "--racks", "2", "--jobs", "2",
+                 "--duration", "20", "--trace-out", str(trace_file)])
+    assert code == 0
+    capsys.readouterr()
+    code = main(["trace", str(trace_file)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "spans" in out
+    assert "sched.decision" in out
+    assert "locality level" in out
+    assert "machine" in out and "rack" in out and "cluster" in out
+
+
+def test_trace_missing_file_errors(capsys):
+    code = main(["trace", "/nonexistent/path.jsonl"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cannot read trace" in err
+
+
+def test_metrics_dumps_prometheus_text(capsys):
+    code = main(["metrics", "--machines", "6", "--racks", "2", "--jobs", "2",
+                 "--duration", "20"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "# TYPE fm_requests counter" in out
+    assert 'fm_schedule_ms{stat="p99"}' in out
+    assert "# TYPE sim_callback_ms histogram" in out
+    assert 'sim_callback_ms_bucket{le="+Inf"}' in out

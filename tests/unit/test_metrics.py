@@ -54,6 +54,31 @@ def test_resample_buckets_means():
     assert series.resample(10.0) == [(0.0, 2.0), (10.0, 10.0)]
 
 
+def test_resample_negative_times_floor_to_lower_edge():
+    # Regression: bucket starts must floor toward -inf, not truncate
+    # toward zero — a point at t=-2.5 belongs to the [-10, 0) bucket.
+    series = Series("neg")
+    series.append(-2.5, 4.0)
+    series.append(-12.0, 2.0)
+    series.append(1.0, 6.0)
+    assert series.resample(10.0) == [(-20.0, 2.0), (-10.0, 4.0), (0.0, 6.0)]
+
+
+def test_resample_non_multiple_start_alignment():
+    series = Series("off")
+    series.append(7.0, 1.0)
+    series.append(13.0, 3.0)
+    series.append(19.9, 5.0)
+    assert series.resample(10.0) == [(0.0, 1.0), (10.0, 4.0)]
+
+
+def test_resample_fractional_step():
+    series = Series("frac")
+    series.append(0.2, 1.0)
+    series.append(0.7, 3.0)
+    assert series.resample(0.5) == [(0.0, 1.0), (0.5, 3.0)]
+
+
 def test_gauges_sampled_into_series():
     metrics = MetricsCollector()
     value = {"v": 1.0}

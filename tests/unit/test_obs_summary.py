@@ -1,0 +1,78 @@
+"""Unit tests for repro.obs.summary on hand-built record lists."""
+
+from repro.obs.summary import render_summary, summarize_trace
+
+
+def span(id, name, start, end, parent=None, **attrs):
+    return {"kind": "span", "id": id, "parent": parent, "name": name,
+            "start": start, "end": end, "attrs": attrs}
+
+
+def event(id, name, time, parent=None, **attrs):
+    return {"kind": "event", "id": id, "parent": parent, "name": name,
+            "time": time, "attrs": attrs}
+
+
+RECORDS = [
+    span(1, "master.failover", 0.0, 3.0, master="fm-0", takeover=1),
+    event(2, "master.agent_report", 0.5, parent=1, machine="m0"),
+    event(3, "master.agent_report", 1.0, parent=1, machine="m1"),
+    span(4, "sched.decision", 3.0, 3.0, kind="request",
+         machine=2, rack=1, cluster=0, granted=3),
+    span(5, "sched.decision", 4.0, 4.0, kind="request",
+         machine=0, rack=0, cluster=2, granted=2),
+    span(6, "master.failover", 7.0, None, master="fm-1", takeover=1),
+    event(7, "job.backup", 8.0, job="j1"),
+]
+
+
+def test_counts_and_aggregates():
+    summary = summarize_trace(RECORDS)
+    assert summary.span_count == 4
+    assert summary.event_count == 3
+    failover = summary.aggregates["master.failover"]
+    assert failover.count == 2       # one open span is counted but untimed
+    assert failover.total == 3.0
+    assert failover.max == 3.0
+    assert summary.event_counts == {"master.agent_report": 2,
+                                    "job.backup": 1}
+
+
+def test_locality_counts_summed_from_decisions():
+    summary = summarize_trace(RECORDS)
+    assert summary.decision_count == 2
+    assert summary.locality_counts == {"machine": 2, "rack": 1, "cluster": 2}
+
+
+def test_top_spans_ranked_by_duration_then_id():
+    summary = summarize_trace(RECORDS, top=2)
+    assert [r["id"] for r in summary.top_spans] == [1, 4]
+
+
+def test_failover_timelines_collect_child_events():
+    summary = summarize_trace(RECORDS)
+    assert len(summary.failovers) == 2
+    first, second = summary.failovers
+    assert first.complete and first.duration == 3.0
+    assert [name for _, name, _ in first.events] == ["master.agent_report",
+                                                     "master.agent_report"]
+    assert not second.complete
+    assert second.events == []
+
+
+def test_render_mentions_all_sections():
+    text = render_summary(summarize_trace(RECORDS))
+    assert "4 spans, 3 events" in text
+    assert "spans by total duration" in text
+    assert "longest individual spans" in text
+    assert "locality level" in text
+    assert "failover #1" in text
+    assert "IN PROGRESS" in text
+    assert "events by name" in text
+
+
+def test_empty_records():
+    summary = summarize_trace([])
+    assert summary.span_count == 0
+    text = render_summary(summary)
+    assert "0 spans, 0 events" in text

@@ -1,0 +1,162 @@
+"""Unit tests for repro.obs.tracer: spans, events, nesting, NullTracer."""
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+def make_tracer(start=0.0):
+    clock = FakeClock(start)
+    return Tracer(clock=clock), clock
+
+
+def test_span_records_interval_and_attrs():
+    tracer, clock = make_tracer()
+    span = tracer.start_span("work", kind="demo")
+    clock.now = 2.5
+    tracer.end_span(span, outcome="ok")
+    assert span.start == 0.0
+    assert span.end == 2.5
+    assert span.duration == 2.5
+    assert span.attributes == {"kind": "demo", "outcome": "ok"}
+
+
+def test_spans_nest_on_implicit_stack():
+    tracer, clock = make_tracer()
+    with tracer.span("outer") as outer:
+        clock.now = 1.0
+        with tracer.span("inner") as inner:
+            clock.now = 2.0
+        clock.now = 3.0
+    assert outer.parent_id is None
+    assert inner.parent_id == outer.span_id
+    assert inner.start == 1.0 and inner.end == 2.0
+    assert outer.end == 3.0
+
+
+def test_detached_span_stays_off_stack():
+    tracer, clock = make_tracer()
+    detached = tracer.start_span("failover", detached=True)
+    with tracer.span("decision") as decision:
+        clock.now = 1.0
+    # the decision span must not have parented under the detached one
+    assert decision.parent_id is None
+    tracer.end_span(detached)
+    assert detached.end == 1.0
+
+
+def test_end_span_is_idempotent():
+    tracer, clock = make_tracer()
+    span = tracer.start_span("once")
+    clock.now = 1.0
+    tracer.end_span(span)
+    clock.now = 5.0
+    tracer.end_span(span)
+    assert span.end == 1.0
+
+
+def test_event_parents_under_innermost_open_span():
+    tracer, _ = make_tracer()
+    with tracer.span("outer") as outer:
+        event = tracer.event("ping", n=1)
+    orphan = tracer.event("pong")
+    assert event.parent_id == outer.span_id
+    assert orphan.parent_id is None
+
+
+def test_event_explicit_parent_overrides_stack():
+    tracer, _ = make_tracer()
+    detached = tracer.start_span("failover", detached=True)
+    with tracer.span("other"):
+        event = tracer.event("report", parent=detached, machine="m0")
+    assert event.parent_id == detached.span_id
+
+
+def test_ids_are_deterministic_and_shared():
+    tracer, _ = make_tracer()
+    span = tracer.start_span("a")
+    event = tracer.event("b")
+    span2 = tracer.start_span("c")
+    assert (span.span_id, event.event_id, span2.span_id) == (1, 2, 3)
+
+
+def test_records_sorted_by_creation_order():
+    tracer, clock = make_tracer()
+    span = tracer.start_span("a")
+    tracer.event("b")
+    clock.now = 1.0
+    tracer.end_span(span)
+    records = tracer.records()
+    assert [r["id"] for r in records] == [1, 2]
+    assert records[0]["kind"] == "span"
+    assert records[1]["kind"] == "event"
+
+
+def test_spans_and_events_filter_by_name():
+    tracer, _ = make_tracer()
+    tracer.start_span("x")
+    tracer.start_span("y")
+    tracer.event("x")
+    assert len(tracer.spans("x")) == 1
+    assert len(tracer.spans()) == 2
+    assert len(tracer.events("x")) == 1
+    assert len(tracer) == 3
+
+
+def test_two_identical_runs_produce_identical_records():
+    def run():
+        tracer, clock = make_tracer()
+        outer = tracer.start_span("outer", job="j1")
+        clock.now = 1.5
+        tracer.event("mark", n=7)
+        clock.now = 4.0
+        tracer.end_span(outer, done=True)
+        return tracer.records()
+
+    assert run() == run()
+
+
+def test_null_tracer_is_inert():
+    tracer = NullTracer()
+    assert tracer.enabled is False
+    span = tracer.start_span("anything", k=1)
+    assert span.set(extra=2) is span
+    tracer.end_span(span)
+    assert tracer.event("e") is None
+    with tracer.span("ctx") as inner:
+        assert inner is span
+    assert tracer.spans() == []
+    assert tracer.events() == []
+    assert tracer.records() == []
+    assert len(tracer) == 0
+
+
+def test_shared_null_tracer_is_disabled():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+
+
+def test_empty_tracer_is_falsy_but_not_none():
+    # Regression: `tracer or NULL_TRACER` silently discarded a fresh
+    # (empty, hence falsy) Tracer; components must check `is None`.
+    tracer, _ = make_tracer()
+    assert len(tracer) == 0
+    assert not tracer
+    assert tracer.enabled is True
+
+
+def test_end_span_out_of_order_removes_from_stack():
+    tracer, _ = make_tracer()
+    outer = tracer.start_span("outer")
+    inner = tracer.start_span("inner")
+    tracer.end_span(outer)  # closes out of order
+    tracer.end_span(inner)
+    fresh = tracer.start_span("fresh")
+    assert fresh.parent_id is None
+    assert isinstance(outer, Span) and outer.finished and inner.finished
