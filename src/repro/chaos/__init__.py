@@ -1,0 +1,36 @@
+"""Deterministic chaos harness: randomized fault schedules + invariants.
+
+The paper validates "user-transparent failure recovery" (§5.4) with four
+hand-picked scenarios; this package checks it *systematically*:
+
+- :mod:`repro.chaos.invariants` — cluster-wide invariants (resource
+  conservation, no double-grant, quota/ledger agreement, single primary,
+  blacklist monotonicity, master/agent book consistency, eventual job
+  termination) evaluated on sampled event-loop steps;
+- :mod:`repro.chaos.engine` — runs a seeded workload under a randomized
+  :class:`~repro.cluster.faults.FaultPlan` with the invariant checker
+  attached; on violation the obs trace is captured;
+- :mod:`repro.chaos.shrink` — delta-debugs a violating fault schedule down
+  to a minimal reproducing subset and emits a one-line repro command.
+
+Everything is deterministic in the seed: the same seed always yields the
+same workload, schedule, and verdict.
+"""
+
+from repro.chaos.engine import (ChaosConfig, ChaosResult, run_chaos,
+                                run_with_schedule)
+from repro.chaos.invariants import (InvariantChecker, Violation,
+                                    default_invariants)
+from repro.chaos.shrink import repro_command, shrink_schedule
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosResult",
+    "InvariantChecker",
+    "Violation",
+    "default_invariants",
+    "repro_command",
+    "run_chaos",
+    "run_with_schedule",
+    "shrink_schedule",
+]

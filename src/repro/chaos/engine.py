@@ -1,0 +1,220 @@
+"""The chaos engine: seeded workload + fault schedule + invariant probe.
+
+``run_chaos(seed)`` derives everything from the seed — cluster wiring,
+a small mapreduce workload with staggered submissions, and a randomized
+but survivable :class:`~repro.cluster.faults.FaultPlan` — then advances
+simulated time with an :class:`~repro.chaos.invariants.InvariantChecker`
+attached to the event loop via a sampled hook.  The first violation stops
+the loop; the run's obs trace (when tracing is on) is dumped with a
+violation header so evidence and repro recipe travel together.
+
+``run_with_schedule(seed, plan)`` is the replay/shrink entry point: same
+seed-derived cluster and workload, but an explicit fault plan.  The
+shrinker calls it repeatedly with subsets of a failing schedule.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.chaos.invariants import InvariantChecker, Violation
+from repro.cluster.faults import FaultPlan
+from repro.cluster.topology import ClusterTopology
+from repro.core.agent import FuxiAgentConfig
+from repro.core.resources import ResourceVector
+from repro.obs.export import dump_violation_trace
+from repro.runtime import FuxiCluster
+from repro.sim.rng import SplitRandom
+from repro.workloads.synthetic import mapreduce_job
+
+SUBMIT_RETRY = 2.0  # how long to wait when no primary can take a job
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs for one chaos run; every default keeps runs under a second."""
+
+    # cluster shape
+    racks: int = 2
+    machines_per_rack: int = 5
+    cpu: float = 400.0
+    memory: float = 8192.0
+    # workload (sizes are drawn per job from [1, max])
+    jobs: int = 3
+    max_mappers: int = 6
+    max_reducers: int = 3
+    submit_window: float = 20.0
+    # fault schedule
+    faults: int = 6
+    fault_window: float = 60.0
+    master_failures: int = 1
+    network_bursts: int = 1
+    recover_after: float = 15.0
+    # run control
+    timeout: float = 600.0
+    settle: float = 25.0
+    slice: float = 5.0
+    check_every: int = 16
+    trace: bool = True
+    trace_dir: Optional[str] = None
+
+
+@dataclass
+class ChaosResult:
+    """Verdict of one seeded chaos run."""
+
+    seed: int
+    schedule: FaultPlan
+    app_ids: List[str]
+    completed: List[str]
+    violations: List[Violation] = field(default_factory=list)
+    sim_time: float = 0.0
+    events_executed: int = 0
+    trace_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"VIOLATION {self.violations[0]}"
+        return (f"seed={self.seed} jobs={len(self.completed)}/"
+                f"{len(self.app_ids)} t={self.sim_time:.1f} "
+                f"faults={len(self.schedule.events)} {verdict}")
+
+
+# --------------------------------------------------------------------- #
+# deterministic builders
+# --------------------------------------------------------------------- #
+
+def build_cluster(seed: int, config: ChaosConfig) -> FuxiCluster:
+    """Cluster wiring is a pure function of (seed, config)."""
+    topology = ClusterTopology.build(
+        config.racks, config.machines_per_rack,
+        capacity=ResourceVector.of(cpu=config.cpu, memory=config.memory))
+    return FuxiCluster(
+        topology, seed=seed,
+        agent_config=FuxiAgentConfig(worker_start_delay=0.2),
+        trace=config.trace)
+
+
+def build_schedule(seed: int, config: ChaosConfig,
+                   machines: List[str]) -> FaultPlan:
+    """The randomized-but-survivable fault plan for this seed."""
+    rng = SplitRandom(seed)
+    return FaultPlan.random(
+        machines, rng,
+        faults=config.faults,
+        window=config.fault_window,
+        recover_after=config.recover_after,
+        master_failures=config.master_failures,
+        network_bursts=config.network_bursts)
+
+
+def _submit_workload(cluster: FuxiCluster, seed: int,
+                     config: ChaosConfig) -> List[str]:
+    """Schedule staggered job submissions; returns the fixed app ids.
+
+    Submissions retry instead of raising while no primary master exists
+    (a master kill may land exactly on a submit time).
+    """
+    draw = SplitRandom(seed).stream("chaos-workload")
+    app_ids: List[str] = []
+    base = cluster.loop.now
+
+    def submit(spec, app_id: str) -> None:
+        if cluster.primary_master is None:
+            cluster.loop.call_after(SUBMIT_RETRY, submit, spec, app_id)
+            return
+        cluster.submit_job(spec, app_id=app_id)
+
+    for index in range(config.jobs):
+        app_id = f"chaos-{index:03d}"
+        spec = mapreduce_job(
+            app_id,
+            mappers=draw.randint(1, config.max_mappers),
+            reducers=draw.randint(1, config.max_reducers),
+            map_duration=round(draw.uniform(2.0, 6.0), 2),
+            reduce_duration=round(draw.uniform(3.0, 8.0), 2))
+        at = base + draw.uniform(0.0, config.submit_window)
+        cluster.loop.call_at(at, submit, spec, app_id)
+        app_ids.append(app_id)
+    return app_ids
+
+
+# --------------------------------------------------------------------- #
+# the runs
+# --------------------------------------------------------------------- #
+
+def run_with_schedule(seed: int, plan: FaultPlan,
+                      config: Optional[ChaosConfig] = None) -> ChaosResult:
+    """Run the seed's workload under an *explicit* fault schedule."""
+    config = config or ChaosConfig()
+    cluster = build_cluster(seed, config)
+    cluster.warm_up()
+
+    checker = InvariantChecker()
+
+    def probe(loop, event, wall) -> None:
+        if checker.check_step(cluster):
+            loop.stop()
+
+    handle = cluster.loop.add_hook(probe, sample_every=config.check_every)
+    app_ids = _submit_workload(cluster, seed, config)
+    shifted = plan.shifted(cluster.loop.now)
+    cluster.faults.schedule(shifted)
+    horizon = max((e.at + e.duration for e in shifted.events), default=0.0)
+
+    while cluster.loop.now < config.timeout and not checker.violations:
+        cluster.run_for(config.slice)
+        if all(app_id in cluster.job_results for app_id in app_ids):
+            break
+
+    if not checker.violations:
+        # Let in-flight faults heal and books drain before final audits.
+        cluster.run_until(max(cluster.loop.now + config.settle,
+                              horizon + config.settle))
+    cluster.loop.remove_hook(handle)
+    completed = [a for a in app_ids if a in cluster.job_results]
+    if not checker.violations:
+        checker.check_final(cluster, app_ids)
+
+    result = ChaosResult(
+        seed=seed, schedule=plan, app_ids=app_ids, completed=completed,
+        violations=list(checker.violations),
+        sim_time=cluster.loop.now,
+        events_executed=cluster.loop.events_executed)
+    if result.violations and config.trace and config.trace_dir:
+        result.trace_path = _dump_trace(cluster, result, config)
+    return result
+
+
+def run_chaos(seed: int,
+              config: Optional[ChaosConfig] = None) -> ChaosResult:
+    """Derive the fault schedule from the seed and run it."""
+    config = config or ChaosConfig()
+    topology = ClusterTopology.build(
+        config.racks, config.machines_per_rack,
+        capacity=ResourceVector.of(cpu=config.cpu, memory=config.memory))
+    plan = build_schedule(seed, config, topology.machines())
+    return run_with_schedule(seed, plan, config)
+
+
+def _dump_trace(cluster: FuxiCluster, result: ChaosResult,
+                config: ChaosConfig) -> str:
+    os.makedirs(config.trace_dir, exist_ok=True)
+    path = os.path.join(config.trace_dir,
+                        f"chaos-seed{result.seed}-violation.jsonl")
+    first = result.violations[0]
+    dump_violation_trace(cluster.tracer, path, context={
+        "seed": result.seed,
+        "invariant": first.invariant,
+        "detail": first.detail,
+        "sim_time": first.time,
+        "schedule": result.schedule.to_spec(),
+        "racks": config.racks,
+        "machines_per_rack": config.machines_per_rack,
+    })
+    return path

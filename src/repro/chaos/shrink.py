@@ -1,0 +1,85 @@
+"""Delta-debugging for fault schedules (ddmin) + repro-command emission.
+
+When a chaos run trips an invariant, the schedule that produced it is
+usually noisy: six faults injected, one or two actually matter.  The
+shrinker bisects the schedule — classic ddmin over the event list — and
+keeps only the events still needed to reproduce the *same* invariant
+violation.  Matching on the invariant *name* matters: removing a paired
+recovery event can manufacture a different violation (e.g. dropping a
+MachineRestart turns a conservation bug into an eventual-termination
+miss), and chasing that would shrink towards the wrong bug.
+
+The result is a one-line command a human can paste into a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.chaos.invariants import Violation
+from repro.cluster.faults import FaultEvent, FaultPlan
+
+Predicate = Callable[[FaultPlan], bool]
+
+
+def violation_matcher(run: Callable[[FaultPlan], Sequence[Violation]],
+                      invariant: str) -> Predicate:
+    """A ddmin predicate: does this plan still trip ``invariant``?"""
+
+    def reproduces(plan: FaultPlan) -> bool:
+        return any(v.invariant == invariant for v in run(plan))
+
+    return reproduces
+
+
+def shrink_schedule(plan: FaultPlan, reproduces: Predicate,
+                    max_runs: int = 64) -> FaultPlan:
+    """Minimal (1-minimal) sub-schedule that still satisfies ``reproduces``.
+
+    Classic ddmin: split the event list into ``n`` chunks, try deleting
+    each chunk (i.e. keep its complement); on success restart with the
+    smaller list, otherwise refine granularity.  ``reproduces`` must be
+    deterministic — the chaos engine guarantees that for a fixed seed.
+    ``max_runs`` bounds the number of predicate evaluations (each one is
+    a full simulated run); on exhaustion the best plan so far is returned.
+    """
+    events: List[FaultEvent] = list(plan.events)
+    budget = [max_runs]
+
+    def check(candidate: List[FaultEvent]) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return reproduces(FaultPlan(events=list(candidate)))
+
+    if not events or check([]):
+        return FaultPlan(events=[])
+
+    granularity = 2
+    while len(events) >= 2 and budget[0] > 0:
+        chunk = (len(events) + granularity - 1) // granularity
+        reduced = False
+        for start in range(0, len(events), chunk):
+            candidate = events[:start] + events[start + chunk:]
+            if candidate and check(candidate):
+                events = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+    return FaultPlan(events=events)
+
+
+def repro_command(seed: int, plan: FaultPlan,
+                  config: Optional[object] = None) -> str:
+    """One pasteable line that replays exactly this failing run."""
+    parts = ["python -m repro.cli chaos", f"--seed {seed}"]
+    if config is not None:
+        parts.append(f"--racks {config.racks}")
+        parts.append(f"--machines-per-rack {config.machines_per_rack}")
+        parts.append(f"--jobs {config.jobs}")
+    parts.append(f'--schedule "{plan.to_spec()}"')
+    return " ".join(parts)

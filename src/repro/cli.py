@@ -13,6 +13,9 @@ simulator, so the "cluster" lives for the duration of the command):
 - ``fuxi-sim metrics`` — run a short traced workload and dump the metrics
   registry in Prometheus text format;
 - ``fuxi-sim sortbench`` — print the Table-4 GraySort comparison;
+- ``fuxi-sim chaos`` — run a campaign of seeded randomized fault schedules
+  with cluster-wide invariant checking; on violation, delta-debug the
+  schedule to a minimal repro and print a pasteable repro command;
 - ``fuxi-sim experiment <name>`` — run one paper experiment and print the
   paper-vs-measured report.
 
@@ -83,6 +86,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("sortbench", help="Table-4 GraySort comparison")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault campaign with cluster-wide invariant checks")
+    chaos.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                       help="first campaign seed (default: global --seed)")
+    chaos.add_argument("--seeds", type=int, default=10,
+                       help="how many consecutive seeds to run (default 10)")
+    chaos.add_argument("--racks", type=int, default=2)
+    chaos.add_argument("--machines-per-rack", type=int, default=5)
+    chaos.add_argument("--jobs", type=int, default=3,
+                       help="jobs submitted per run (default 3)")
+    chaos.add_argument("--faults", type=int, default=6,
+                       help="fault draws per schedule (default 6)")
+    chaos.add_argument("--timeout", type=float, default=600.0,
+                       help="simulated-seconds budget per run")
+    chaos.add_argument("--schedule", metavar="SPEC", default=None,
+                       help="explicit fault schedule "
+                            "(kind@time[:machine][:k=v];... — replays one "
+                            "run with --seed instead of a campaign)")
+    chaos.add_argument("--trace-dir", metavar="DIR", default=None,
+                       help="run traced; dump the obs trace of a violating "
+                            "run here")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="report the full violating schedule without "
+                            "delta-debugging it down")
+
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.add_argument("--trace-out", metavar="FILE", default=None,
@@ -101,17 +130,19 @@ def _make_cluster(machines: int, racks: int, seed: int,
     return cluster
 
 
-def _export_trace(cluster: FuxiCluster, path: Optional[str]) -> None:
+def _export_trace(cluster: FuxiCluster, path: Optional[str]) -> int:
+    """Export the run's trace; returns a process exit code (0 = written)."""
     if path is None:
-        return
+        return 0
     from repro.obs.export import dump_trace_jsonl
     try:
         dump_trace_jsonl(cluster.tracer, path)
     except OSError as exc:
         print(f"cannot write trace {path!r}: {exc}", file=sys.stderr)
-        return
+        return 2
     print(f"trace written to {path} "
           f"({len(cluster.tracer)} spans+events)")
+    return 0
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -140,8 +171,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
           f"makespan={result.makespan:.1f}s "
           f"instances={result.instances_finished} "
           f"backups={result.backups_launched}")
-    _export_trace(cluster, args.trace_out)
-    return 0 if result.success else 1
+    export_code = _export_trace(cluster, args.trace_out)
+    if not result.success:
+        return 1
+    return export_code
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -167,8 +200,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
         ["grants issued", int(cluster.metrics.counter("fm.grants"))],
     ]
     print(format_table(["metric", "value"], rows, title="demo summary"))
-    _export_trace(cluster, args.trace_out)
-    return 0
+    return _export_trace(cluster, args.trace_out)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -220,6 +252,71 @@ def cmd_sortbench(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos campaign: randomized faults + invariants, shrink on violation.
+
+    Exit codes: 0 all seeds clean, 1 invariant violated (a repro command is
+    printed), 2 bad arguments.
+    """
+    from repro.chaos import (ChaosConfig, repro_command, run_chaos,
+                             run_with_schedule, shrink_schedule)
+    from repro.chaos.shrink import violation_matcher
+    from repro.cluster.faults import FaultPlan, ScheduleParseError
+
+    config = ChaosConfig(
+        racks=args.racks, machines_per_rack=args.machines_per_rack,
+        jobs=args.jobs, faults=args.faults, timeout=args.timeout,
+        trace=args.trace_dir is not None, trace_dir=args.trace_dir)
+
+    if args.schedule is not None:
+        try:
+            plan = FaultPlan.from_spec(args.schedule)
+        except ScheduleParseError as exc:
+            print(f"bad --schedule: {exc}", file=sys.stderr)
+            return 2
+        result = run_with_schedule(args.seed, plan, config)
+        print(result.summary())
+        for violation in result.violations:
+            print(f"  {violation}")
+        if result.trace_path:
+            print(f"violation trace written to {result.trace_path}")
+        return 0 if result.ok else 1
+
+    rows = []
+    for seed in range(args.seed, args.seed + args.seeds):
+        result = run_chaos(seed, config)
+        rows.append([seed, len(result.schedule.events),
+                     f"{len(result.completed)}/{len(result.app_ids)}",
+                     f"{result.sim_time:.1f}",
+                     "ok" if result.ok else result.violations[0].invariant])
+        if result.ok:
+            continue
+        print(format_table(["seed", "faults", "jobs", "sim s", "verdict"],
+                           rows, title="chaos campaign"))
+        print(f"\nseed {seed} violated an invariant:")
+        for violation in result.violations:
+            print(f"  {violation}")
+        if result.trace_path:
+            print(f"violation trace written to {result.trace_path}")
+        plan = result.schedule
+        if not args.no_shrink:
+            invariant = result.violations[0].invariant
+            print(f"\nshrinking {len(plan.events)}-fault schedule "
+                  f"(target: {invariant}) ...")
+            plan = shrink_schedule(
+                plan, violation_matcher(
+                    lambda p: run_with_schedule(seed, p, config).violations,
+                    invariant))
+            print(f"minimal schedule: {len(plan.events)} fault(s)")
+        print("\nreproduce with:\n  " + repro_command(seed, plan, config))
+        return 1
+    print(format_table(["seed", "faults", "jobs", "sim s", "verdict"],
+                       rows, title="chaos campaign"))
+    print(f"\nall {args.seeds} seeds clean — every run conserved resources, "
+          "kept master/agent books consistent, and terminated")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run one named paper experiment and print its report."""
     from repro.experiments import (ablations, fig09_scheduling_time,
@@ -246,6 +343,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         except OSError as exc:
             print(f"cannot write trace {args.trace_out!r}: {exc}",
                   file=sys.stderr)
+            return 2
         else:
             if written:
                 print(f"trace written to {args.trace_out}")
@@ -264,6 +362,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "metrics": cmd_metrics,
         "sortbench": cmd_sortbench,
+        "chaos": cmd_chaos,
         "experiment": cmd_experiment,
     }
     return handlers[args.command](args)

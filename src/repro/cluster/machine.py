@@ -68,3 +68,4 @@ class MachineState:
         self.launch_failures = False
         self.disk_errors = 0.0
         self.net_errors = 0.0
+        self.load1 = 0.0

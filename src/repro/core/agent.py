@@ -108,6 +108,7 @@ class FuxiAgent(Actor):
             rack=self.rack,
             capacity=self.capacity,
             health_sample=self.machine_state.health_sample(),
+            allocations=dict(self.allocations),
         ))
 
     # ------------------------------------------------------------------ #
@@ -303,6 +304,10 @@ class FuxiAgent(Actor):
                 self._kill_worker(worker_id, reason="not-expected")
         # Missing workers are the AM's to re-plan; it learns what is running
         # from worker registrations and re-sends plans for the rest.
+
+    def allocation_books(self) -> Dict[UnitKey, int]:
+        """Copy of the agent's hard-state allocation books (invariant probe)."""
+        return dict(self.allocations)
 
     def _send_full_state(self) -> None:
         self.send(self.config.master_address, msg.AgentFullState(

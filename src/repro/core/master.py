@@ -195,6 +195,13 @@ class FuxiMaster(Actor):
             # AMs; the full sync hands them over (or triggers their return).
             for app_id in self._known_app_ids():
                 self._send_grant_full(app_id)
+            # Symmetrically, tell every agent the authoritative allocation
+            # books: an agent may hold grants for an app that finished (or
+            # whose AM died) during the failover window — no AM will ever
+            # return those, so without this wholesale push the agent's
+            # hard-state entry would leak forever.
+            for machine in self.scheduler.pool.machines():
+                self._send_alloc_full(machine)
             decisions = self.scheduler.schedule_all_machines()
         if self._failover_span is not None:
             machines = (len(self.scheduler.pool.machines())
@@ -381,6 +388,11 @@ class FuxiMaster(Actor):
             self.blacklist.set_known_machines(len(self.scheduler.pool.machines()))
             if self.blacklist.is_disabled(beat.machine):
                 self.scheduler.disable_machine(beat.machine)
+            # The agent may have outlived its removal (e.g. its heartbeats
+            # were lost in a partition while revocations for its apps were
+            # skipped as undeliverable): push the authoritative — empty —
+            # allocation books wholesale so stale entries can't leak.
+            self._send_alloc_full(beat.machine)
             self._disseminate(decisions)
         elif beat.capacity != self.scheduler.pool.capacity(beat.machine):
             # "The total virtual resource on each node can be changed at any
@@ -389,6 +401,15 @@ class FuxiMaster(Actor):
             decisions = self.scheduler.add_machine(beat.machine, beat.rack,
                                                    beat.capacity)
             self._disseminate(decisions)
+        elif (not self.recovering
+              and dict(beat.allocations) != self._alloc_state(beat.machine)):
+            # Periodic safety sync (§3.1), agent side: the books drifted —
+            # e.g. a fire-and-forget full sync was lost in a partition, or
+            # revocations were undeliverable while the machine was out of
+            # the pool.  The master's view is authoritative; push it
+            # wholesale.  (Skipped mid-recovery: the rebuilding master's
+            # books are incomplete and must not wipe agent hard state.)
+            self._send_alloc_full(beat.machine)
         # Bad-node detection is deliberately NOT done per heartbeat: §3.4
         # classifies it as heavy-but-not-urgent work handled "at a fixed
         # time interval ... in a roll-up manner" — see _check_liveness.
@@ -611,6 +632,31 @@ class FuxiMaster(Actor):
             self.tracer.event("master.disseminate", grants=grants,
                               revocations=revocations,
                               apps=len(by_app), machines=len(by_machine))
+
+    # ------------------------------------------------------------------ #
+    # invariant probes (read-only; used by repro.chaos)
+    # ------------------------------------------------------------------ #
+
+    def alloc_view(self, machine: str) -> Dict[UnitKey, int]:
+        """The master's soft-state allocation books for one machine."""
+        return self._alloc_state(machine)
+
+    def grant_view(self, app_id: str) -> Dict[UnitKey, Dict[str, int]]:
+        """The master's soft-state grant books for one application."""
+        return self._grant_state(app_id)
+
+    def invariant_probe(self) -> Dict[str, Any]:
+        """Cheap snapshot of the master's control state for checkers."""
+        return {
+            "name": self.name,
+            "alive": self.alive,
+            "role": self.role,
+            "recovering": self.recovering,
+            "failovers": self.failovers,
+            "machines": (len(self.scheduler.pool.machines())
+                         if self.scheduler is not None else 0),
+            "disabled": sorted(self.blacklist.disabled_machines()),
+        }
 
     def _grant_state(self, app_id: str) -> Dict[UnitKey, Dict[str, int]]:
         state: Dict[UnitKey, Dict[str, int]] = {}

@@ -124,12 +124,16 @@ class ResyncRequest:
 
 @dataclass(frozen=True)
 class AgentHeartbeat:
-    """Periodic agent report: capacity, load and raw health sample."""
+    """Periodic agent report: capacity, load, health — and the agent's
+    allocation books, so the master can detect drift (the §3.1 "full state
+    periodically ... to fix any possible inconsistency" safety measure,
+    applied to the master↔agent stream)."""
 
     machine: str
     rack: str
     capacity: ResourceVector
     health_sample: Dict[str, float] = field(default_factory=dict)
+    allocations: Dict[UnitKey, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

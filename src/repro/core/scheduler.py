@@ -548,18 +548,67 @@ class FuxiScheduler:
     # invariants & introspection
     # ------------------------------------------------------------------ #
 
-    def check_conservation(self) -> None:
-        """Assert free + allocated == capacity on every machine (test hook)."""
+    def conservation_violations(self) -> List[str]:
+        """Resource-conservation breaches, one message per machine.
+
+        Checks, per machine: ledger-allocated resources fit in capacity (no
+        double-grant of the same physical slot) and the pool's free vector
+        equals capacity minus allocated (granted ≤ capacity, no negative
+        free).  Empty list means the books conserve.
+        """
+        problems: List[str] = []
         for machine in self.pool.machines():
             allocated = self.ledger.resources_on_machine(
                 machine, lambda key: self.units.get(key).resources)
-            expected_free = self.pool.capacity(machine).monus(allocated)
+            capacity = self.pool.capacity(machine)
+            if not allocated.fits_in(capacity):
+                problems.append(
+                    f"overcommit on {machine}: allocated={allocated!r} "
+                    f"exceeds capacity={capacity!r}")
+            expected_free = capacity.monus(allocated)
             actual_free = self.pool.free(machine)
             if expected_free != actual_free:
-                raise AssertionError(
-                    f"conservation violated on {machine}: free={actual_free!r} "
-                    f"expected={expected_free!r}"
-                )
+                problems.append(
+                    f"conservation violated on {machine}: "
+                    f"free={actual_free!r} expected={expected_free!r}")
+        return problems
+
+    def overgrant_violations(self) -> List[str]:
+        """Units granted beyond their ``max_count`` (same slot granted twice)."""
+        problems: List[str] = []
+        for unit_key in self.units.keys():
+            unit = self.units.get(unit_key)
+            granted = self.ledger.total_units(unit_key)
+            if granted > unit.max_count:
+                problems.append(
+                    f"double-grant of {unit_key!r}: granted={granted} "
+                    f"max_count={unit.max_count}")
+        return problems
+
+    def quota_violations(self) -> List[str]:
+        """Quota-ledger drift: per-group usage must equal the ledger's sums."""
+        from repro.core.resources import total_of
+        problems: List[str] = []
+        by_group: Dict[str, List[ResourceVector]] = {}
+        for unit_key, machine, count in self.ledger.entries():
+            unit = self.units.get(unit_key)
+            group = self.quota.group_of(unit_key.app_id)
+            by_group.setdefault(group, []).append(unit.resources * count)
+        groups = set(by_group) | {g.name for g in self.quota.groups()}
+        for group in sorted(groups):
+            expected = total_of(by_group.get(group, ()))
+            actual = self.quota.usage(group)
+            if expected != actual:
+                problems.append(
+                    f"quota drift in group {group!r}: usage={actual!r} "
+                    f"ledger says {expected!r}")
+        return problems
+
+    def check_conservation(self) -> None:
+        """Assert free + allocated == capacity on every machine (test hook)."""
+        problems = self.conservation_violations()
+        if problems:
+            raise AssertionError("; ".join(problems))
 
     def snapshot_demands(self) -> Dict[UnitKey, dict]:
         """Serializable copy of every outstanding demand (failover support)."""

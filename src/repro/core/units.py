@@ -85,6 +85,10 @@ class UnitRegistry:
     def units_of(self, app_id: str):
         return [u for k, u in sorted(self._units.items()) if k.app_id == app_id]
 
+    def keys(self):
+        """Every known UnitKey, sorted (stable probe iteration order)."""
+        return sorted(self._units)
+
     def __contains__(self, key: UnitKey) -> bool:
         return key in self._units
 

@@ -21,7 +21,7 @@ The JobMaster is the application master of a DAG job.  It:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core import messages as msg
 from repro.core.appmaster import ApplicationMaster, AppMasterConfig
@@ -542,6 +542,22 @@ class DagJobMaster(ApplicationMaster):
         for info in list(self._workers.values()):
             if info.state == "idle":
                 self._dispatch_work(info)
+        # Holdings/worker reconciliation: an agent can kill a worker as
+        # "capacity-revoked" on a transient allocation dip (our return
+        # delta landing after the master's re-grant) with no master-side
+        # revocation behind it, so no on_revoked ever replaces the worker.
+        # A held container with no worker attached is invisible to
+        # dispatch: re-plan into it (or hand it back if the task is done).
+        planned: Dict[Tuple[UnitKey, str], int] = {}
+        for info in self._workers.values():
+            if info.state != "gone":
+                slot = (info.unit_key, info.machine)
+                planned[slot] = planned.get(slot, 0) + 1
+        for unit_key, machines in list(self.holdings.items()):
+            for machine, held in list(machines.items()):
+                missing = held - planned.get((unit_key, machine), 0)
+                if missing > 0:
+                    self.on_granted(unit_key, machine, missing)
         # Early container return (§2.2: "when a worker is no longer needed,
         # the application master ... returns the granted resource"): keep
         # one idle spare per task for retries/backups, release the rest.

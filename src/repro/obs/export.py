@@ -47,6 +47,26 @@ def dump_trace_jsonl(tracer, target: PathOrFile) -> int:
     return len(text.splitlines())
 
 
+def dump_violation_trace(tracer, target: PathOrFile, context: dict) -> int:
+    """Write a trace with a leading ``violation`` context record.
+
+    Used by the chaos harness: when an invariant trips, the full obs trace
+    of the run is captured with one extra first line describing what broke
+    (invariant name, simulated time, seed, schedule spec, ...), so the
+    evidence and the repro recipe travel in one file.  Returns the record
+    count including the header.
+    """
+    header = json.dumps({"kind": "violation", **context},
+                        sort_keys=True, separators=(",", ":"))
+    text = header + "\n" + dumps_trace(tracer)
+    if hasattr(target, "write"):
+        target.write(text)  # type: ignore[union-attr]
+    else:
+        with open(target, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            handle.write(text)
+    return len(text.splitlines())
+
+
 def load_trace_jsonl(source: PathOrFile) -> List[dict]:
     """Read a JSONL trace back into a list of record dicts."""
     if hasattr(source, "read"):

@@ -101,6 +101,8 @@ class FuxiCluster:
             agent.runtime = self
             self.agents[machine] = agent
         self.faults = FaultInjector(self)
+        self._burst_depth = 0
+        self._burst_baseline = (0.0, 0.0)
 
     # ------------------------------------------------------------------ #
     # time control
@@ -149,6 +151,12 @@ class FuxiCluster:
                 return
         raise KeyError(f"unknown master {name!r}")
 
+    def restart_dead_masters(self) -> None:
+        """Bring every crashed FuxiMaster process back (chaos recovery leg)."""
+        for master in self.masters:
+            if not master.alive:
+                master.restart()
+
     # ------------------------------------------------------------------ #
     # machines
     # ------------------------------------------------------------------ #
@@ -183,6 +191,29 @@ class FuxiCluster:
             raise KeyError(f"unknown machine {machine!r}")
         agent.crash()
         agent.restart()
+
+    # ------------------------------------------------------------------ #
+    # network degradation (chaos NetworkBurst)
+    # ------------------------------------------------------------------ #
+
+    def begin_network_burst(self, drop_prob: float,
+                            extra_latency: float = 0.0) -> None:
+        """Start a message loss/delay window; bursts may nest (worst wins)."""
+        config = self.bus.config
+        if self._burst_depth == 0:
+            self._burst_baseline = (config.drop_prob, config.jitter)
+        self._burst_depth += 1
+        config.drop_prob = max(config.drop_prob, drop_prob)
+        config.jitter = max(config.jitter, extra_latency)
+
+    def end_network_burst(self) -> None:
+        """End one burst; the baseline transport returns with the last one."""
+        if self._burst_depth == 0:
+            return
+        self._burst_depth -= 1
+        if self._burst_depth == 0:
+            config = self.bus.config
+            config.drop_prob, config.jitter = self._burst_baseline
 
     def workers_on(self, machine: str) -> List[TaskWorker]:
         found = []

@@ -10,10 +10,13 @@ Bookkeeping is O(1) per operation: a live-event counter backs
 cancelled entries outnumber live ones, so long-running simulations with
 heavy timer churn stay bounded in memory.
 
-For observability the loop supports an optional per-event hook (see
+For observability the loop supports per-event hooks (see
+:meth:`EventLoop.add_hook` and the legacy single-hook
 :meth:`EventLoop.set_hook`): every ``sample_every``-th executed event is
-timed with the wall clock and reported together with the loop state.  With
-no hook installed the execution path pays a single ``is not None`` check.
+timed with the wall clock and reported together with the loop state.
+Multiple hooks with independent sampling intervals can coexist — the obs
+layer samples wall time while the chaos harness checks invariants — and
+with no hook installed the execution path pays a single truthiness check.
 """
 
 from __future__ import annotations
@@ -29,6 +32,17 @@ _COMPACT_MIN = 64
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class LoopHook:
+    """Handle for one installed per-event hook (see :meth:`EventLoop.add_hook`)."""
+
+    __slots__ = ("callback", "every")
+
+    def __init__(self, callback: Callable[["EventLoop", "Event", float], None],
+                 every: int):
+        self.callback = callback
+        self.every = every
 
 
 class Event:
@@ -94,9 +108,8 @@ class EventLoop:
         # needs to know when the heap is mostly garbage.
         self._live = 0
         self._cancelled = 0
-        # optional instrumentation (see set_hook)
-        self._hook: Optional[Callable[["EventLoop", Event, float], None]] = None
-        self._hook_every = 1
+        # optional instrumentation (see add_hook / set_hook)
+        self._hooks: List[LoopHook] = []
 
     @property
     def now(self) -> float:
@@ -146,26 +159,40 @@ class EventLoop:
     # instrumentation
     # ------------------------------------------------------------------ #
 
-    def set_hook(self, hook: Callable[["EventLoop", Event, float], None],
-                 sample_every: int = 1) -> None:
-        """Install a per-event hook.
+    def add_hook(self, hook: Callable[["EventLoop", Event, float], None],
+                 sample_every: int = 1) -> LoopHook:
+        """Install a per-event hook alongside any already installed.
 
         Every ``sample_every``-th executed event is timed and
         ``hook(loop, event, wall_seconds)`` is invoked right after its
         callback returns.  Which events are sampled depends only on the
         deterministic execution count, so a seeded run samples the same
         events every time (the wall-time *values* are of course not
-        reproducible).
+        reproducible).  Returns a handle for :meth:`remove_hook`.
         """
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1, got {sample_every}")
-        self._hook = hook
-        self._hook_every = int(sample_every)
+        handle = LoopHook(hook, int(sample_every))
+        self._hooks.append(handle)
+        return handle
+
+    def remove_hook(self, handle: LoopHook) -> None:
+        """Uninstall one hook previously returned by :meth:`add_hook`."""
+        try:
+            self._hooks.remove(handle)
+        except ValueError:
+            pass
+
+    def set_hook(self, hook: Callable[["EventLoop", Event, float], None],
+                 sample_every: int = 1) -> None:
+        """Replace every installed hook with this single one (legacy API)."""
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self._hooks = [LoopHook(hook, int(sample_every))]
 
     def clear_hook(self) -> None:
-        """Remove the per-event hook (back to the zero-overhead path)."""
-        self._hook = None
-        self._hook_every = 1
+        """Remove all per-event hooks (back to the zero-overhead path)."""
+        self._hooks = []
 
     # ------------------------------------------------------------------ #
     # execution
@@ -182,11 +209,18 @@ class EventLoop:
             self._live -= 1
             self._now = event.time
             self.events_executed += 1
-            hook = self._hook
-            if hook is not None and self.events_executed % self._hook_every == 0:
-                started = _time.perf_counter()
-                event.callback(*event.args)
-                hook(self, event, _time.perf_counter() - started)
+            hooks = self._hooks
+            if hooks:
+                count = self.events_executed
+                due = [h for h in hooks if count % h.every == 0]
+                if due:
+                    started = _time.perf_counter()
+                    event.callback(*event.args)
+                    wall = _time.perf_counter() - started
+                    for handle in due:
+                        handle.callback(self, event, wall)
+                else:
+                    event.callback(*event.args)
             else:
                 event.callback(*event.args)
             return True

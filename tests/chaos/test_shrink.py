@@ -1,0 +1,104 @@
+"""ddmin schedule shrinking, tested against synthetic predicates.
+
+No simulation here: the predicate is a plain function over the event list,
+so these tests pin down the shrinker's contract (1-minimality, budget
+bounds, name matching) without paying for cluster runs.
+"""
+
+from repro.chaos import repro_command, shrink_schedule
+from repro.chaos.invariants import Violation
+from repro.chaos.shrink import violation_matcher
+from repro.cluster.faults import FaultEvent, FaultPlan
+
+EVENTS = [
+    FaultEvent(at=5.0, kind="AgentRestart", machine="r00m000"),
+    FaultEvent(at=8.0, kind="NodeDown", machine="r00m001"),
+    FaultEvent(at=12.0, kind="FuxiMasterFailure"),
+    FaultEvent(at=20.0, kind="MachineRestart", machine="r00m001"),
+    FaultEvent(at=25.0, kind="SlowMachine", machine="r01m000"),
+    FaultEvent(at=30.0, kind="FuxiMasterRestart"),
+]
+PLAN = FaultPlan(events=list(EVENTS))
+
+
+def needs(*kinds):
+    """Predicate: plan 'fails' iff it contains every one of ``kinds``."""
+    def predicate(plan):
+        present = {event.kind for event in plan.events}
+        return all(kind in present for kind in kinds)
+    return predicate
+
+
+def test_shrinks_to_single_culprit():
+    small = shrink_schedule(PLAN, needs("FuxiMasterFailure"))
+    assert [e.kind for e in small.events] == ["FuxiMasterFailure"]
+
+
+def test_shrinks_to_interacting_pair():
+    small = shrink_schedule(PLAN, needs("NodeDown", "FuxiMasterFailure"))
+    assert sorted(e.kind for e in small.events) == \
+        ["FuxiMasterFailure", "NodeDown"]
+
+
+def test_empty_plan_when_failure_is_unconditional():
+    small = shrink_schedule(PLAN, lambda plan: True)
+    assert small.events == []
+
+
+def test_irreducible_plan_survives_whole():
+    all_kinds = [e.kind for e in EVENTS]
+    small = shrink_schedule(PLAN, needs(*all_kinds))
+    assert [e.kind for e in small.events] == all_kinds
+
+
+def test_budget_bounds_predicate_evaluations():
+    calls = []
+
+    def counting(plan):
+        calls.append(len(plan.events))
+        return False  # never reproduces
+
+    shrink_schedule(PLAN, counting, max_runs=7)
+    assert len(calls) <= 7
+
+
+def test_result_preserves_event_order():
+    small = shrink_schedule(PLAN, needs("AgentRestart", "FuxiMasterRestart"))
+    assert [e.at for e in small.events] == \
+        sorted(e.at for e in small.events)
+
+
+def test_violation_matcher_matches_on_invariant_name():
+    def run(plan):
+        if any(e.kind == "NodeDown" for e in plan.events):
+            return [Violation("eventual-termination", 1.0, "other bug")]
+        if any(e.kind == "FuxiMasterFailure" for e in plan.events):
+            return [Violation("resource-conservation", 2.0, "the bug")]
+        return []
+
+    reproduces = violation_matcher(run, "resource-conservation")
+    # A NodeDown-only plan violates *something*, but not the target.
+    assert not reproduces(FaultPlan(events=[EVENTS[1]]))
+    assert reproduces(FaultPlan(events=[EVENTS[2]]))
+    # Shrinking the full plan must follow the conservation bug, not the
+    # termination bug that appears once NodeDown loses its recovery pair.
+    small = shrink_schedule(
+        FaultPlan(events=[EVENTS[2], EVENTS[1]]), reproduces)
+    assert [e.kind for e in small.events] == ["FuxiMasterFailure"]
+
+
+def test_repro_command_round_trips_the_spec():
+    plan = FaultPlan(events=[EVENTS[1], EVENTS[2]])
+    command = repro_command(3, plan)
+    assert command.startswith("python -m repro.cli chaos --seed 3")
+    spec = command.split('--schedule "')[1].rstrip('"')
+    assert FaultPlan.from_spec(spec).to_spec() == plan.to_spec()
+
+
+def test_repro_command_carries_topology_knobs():
+    from repro.chaos import ChaosConfig
+    command = repro_command(
+        7, PLAN, ChaosConfig(racks=3, machines_per_rack=4, jobs=2))
+    assert "--racks 3" in command
+    assert "--machines-per-rack 4" in command
+    assert "--jobs 2" in command

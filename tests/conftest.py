@@ -2,12 +2,33 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.agent import FuxiAgentConfig
 from repro.core.resources import ResourceVector
 from repro.runtime import FuxiCluster
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is optional locally
+    pass
+else:
+    # One shared profile per environment, so property tests cannot flake in
+    # CI: "ci" is fully derandomized (the same examples on every run, so a
+    # red build is reproducible by anyone) and, like "dev", pins an explicit
+    # deadline of None — simulated-time tests run arbitrary wall-clock
+    # amounts of work per example, and Hypothesis's default 200 ms deadline
+    # would turn slow CI workers into spurious failures.
+    settings.register_profile(
+        "ci", derandomize=True, deadline=None, print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.register_profile(
+        "dev", deadline=None,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 def small_topology(racks: int = 2, machines_per_rack: int = 3,

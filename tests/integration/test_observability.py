@@ -21,7 +21,7 @@ def test_tracing_off_by_default():
     cluster = make_cluster()
     assert isinstance(cluster.tracer, NullTracer)
     assert cluster.tracer.records() == []
-    assert cluster.loop._hook is None
+    assert cluster.loop._hooks == []
 
 
 def test_traced_cluster_collects_decision_spans():

@@ -1,0 +1,147 @@
+"""Property tests for the two-level preemption planner (paper §3.4).
+
+Random victim populations + random gaps; whatever the draw, a returned
+plan must cover the gap, respect the priority and quota rules, and never
+invent resources that the ledger doesn't hold.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grant import AllocationLedger, Grant
+from repro.core.preemption import PreemptionPlanner
+from repro.core.quota import QuotaGroup, QuotaManager
+from repro.core.resources import ResourceVector
+from repro.core.units import ScheduleUnit, UnitKey
+
+MACHINE = "m0"
+REQ_GROUP = "req-group"
+DONOR_GROUP = "donor-group"
+
+victim_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),     # priority
+        st.integers(min_value=1, max_value=4),     # granted count
+        st.integers(min_value=1, max_value=6),     # unit cpu (x50)
+        st.booleans()),                            # same group as requester?
+    min_size=0, max_size=6)
+
+
+def build_scenario(victims, requester_priority, donor_min_cpu):
+    """Wire a quota manager, unit table and ledger from a raw draw."""
+    quota = QuotaManager()
+    quota.define_group(QuotaGroup(
+        REQ_GROUP, min_quota=ResourceVector.of(cpu=500.0)))
+    quota.define_group(QuotaGroup(
+        DONOR_GROUP, min_quota=ResourceVector.of(cpu=float(donor_min_cpu))))
+    units = {}
+    requester = ScheduleUnit("requester", 0,
+                             ResourceVector.of(cpu=100.0),
+                             priority=requester_priority)
+    units[requester.key] = requester
+    quota.assign_app("requester", REQ_GROUP)
+    ledger = AllocationLedger()
+    for index, (priority, count, cpu, same_group) in enumerate(victims):
+        app_id = f"victim-{index}"
+        unit = ScheduleUnit(app_id, 0,
+                            ResourceVector.of(cpu=float(cpu * 50)),
+                            priority=priority)
+        units[unit.key] = unit
+        quota.assign_app(app_id, REQ_GROUP if same_group else DONOR_GROUP)
+        ledger.set_count(unit.key, MACHINE, count)
+        quota.charge(app_id, unit.resources * count)
+    planner = PreemptionPlanner(quota, lambda key: units[key])
+    return planner, quota, units, ledger, requester
+
+
+@settings(max_examples=80, deadline=None)
+@given(victim_strategy,
+       st.integers(min_value=0, max_value=9),      # requester priority
+       st.integers(min_value=0, max_value=800),    # donor group min quota
+       st.integers(min_value=0, max_value=12),     # needed cpu (x50)
+       st.integers(min_value=0, max_value=4))      # already free cpu (x50)
+def test_plans_cover_the_gap_with_legal_victims(victims, req_priority,
+                                                donor_min, needed_units,
+                                                free_units):
+    planner, quota, units, ledger, requester = build_scenario(
+        victims, req_priority, donor_min)
+    needed = ResourceVector.of(cpu=float(needed_units * 50))
+    already_free = ResourceVector.of(cpu=float(free_units * 50))
+    requester_below_min = quota.below_min(REQ_GROUP)
+
+    plan = planner.plan(MACHINE, needed, requester, ledger, already_free)
+    if plan is None:
+        return  # nothing legal covered the gap; nothing to verify
+
+    # 1. the plan covers what was asked for
+    assert needed.fits_in(already_free + plan.freed)
+    # 2. freed is exactly the sum of the revoked resources
+    total = ResourceVector()
+    for revocation in plan.revocations:
+        assert revocation.count < 0
+        assert revocation.machine == MACHINE
+        granted = ledger.count(revocation.unit_key, MACHINE)
+        assert -revocation.count <= granted
+        total = total + units[revocation.unit_key].resources \
+            * (-revocation.count)
+    assert total == plan.freed
+    # 3. victims are legal per the two levels
+    for revocation in plan.revocations:
+        victim = units[revocation.unit_key]
+        assert victim.app_id != requester.app_id
+        victim_group = quota.group_of(victim.app_id)
+        if victim_group == REQ_GROUP:
+            assert victim.priority > requester.priority
+        else:
+            # quota-level preemption requires a starving requester group
+            # and a donor using more than its own guaranteed minimum
+            assert requester_below_min
+            assert not quota.over_min(victim_group).is_zero()
+    # 4. a victim appears at most once
+    keys = [r.unit_key for r in plan.revocations]
+    assert len(keys) == len(set(keys))
+
+
+@settings(max_examples=40, deadline=None)
+@given(victim_strategy, st.integers(min_value=0, max_value=9))
+def test_zero_gap_never_preempts(victims, req_priority):
+    planner, _, _, ledger, requester = build_scenario(
+        victims, req_priority, 0)
+    plan = planner.plan(MACHINE, ResourceVector.of(cpu=100.0), requester,
+                        ledger, ResourceVector.of(cpu=100.0))
+    assert plan is not None and plan.is_empty
+    assert plan.freed.is_zero()
+
+
+@settings(max_examples=40, deadline=None)
+@given(victim_strategy,
+       st.integers(min_value=0, max_value=9),
+       st.integers(min_value=1, max_value=12))
+def test_planner_is_deterministic_and_pure(victims, req_priority,
+                                           needed_units):
+    needed = ResourceVector.of(cpu=float(needed_units * 50))
+    results = []
+    for _ in range(2):
+        planner, _, _, ledger, requester = build_scenario(
+            victims, req_priority, 0)
+        before = ledger.snapshot()
+        plan = planner.plan(MACHINE, needed, requester, ledger,
+                            ResourceVector())
+        assert ledger.snapshot() == before  # pure: proposes, never applies
+        results.append(None if plan is None else
+                       [(str(r.unit_key), r.count) for r in plan.revocations])
+    assert results[0] == results[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=9),
+       st.integers(min_value=0, max_value=9))
+def test_priority_level_never_touches_equal_or_higher(victim_priority,
+                                                      req_priority):
+    planner, _, _, ledger, requester = build_scenario(
+        [(victim_priority, 2, 2, True)], req_priority, 0)
+    plan = planner.plan(MACHINE, ResourceVector.of(cpu=100.0), requester,
+                        ledger, ResourceVector())
+    if victim_priority <= req_priority:
+        assert plan is None  # sole candidate is untouchable
+    else:
+        assert plan is not None and plan.revocations

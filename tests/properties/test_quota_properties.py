@@ -1,0 +1,105 @@
+"""Property tests for QuotaManager accounting (paper §3.4).
+
+The manager's usage arithmetic is monus-clamped (refunds can never drive a
+group negative), so the reference model is a per-dimension fold.  The
+policy questions (below/over minimum, deficit) must satisfy the algebraic
+identity ``usage + deficit == min_quota + over`` in every dimension.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quota import DEFAULT_GROUP, QuotaGroup, QuotaManager
+from repro.core.resources import ResourceVector
+
+DIMS = ("cpu", "memory")
+APPS = ("app-a", "app-b", "app-c")
+
+
+def vector(max_value=200):
+    return st.builds(
+        lambda c, m: ResourceVector.of(cpu=float(c), memory=float(m)),
+        st.integers(min_value=0, max_value=max_value),
+        st.integers(min_value=0, max_value=max_value))
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["charge", "refund"]),
+              st.sampled_from(APPS), vector(100)),
+    min_size=0, max_size=30)
+
+
+def manager_with(groups):
+    manager = QuotaManager()
+    for group in groups:
+        manager.define_group(group)
+    manager.assign_app("app-a", groups[0].name)
+    manager.assign_app("app-b", groups[-1].name)
+    # app-c stays in the default group
+    return manager
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops, vector(150))
+def test_usage_matches_clamped_fold_and_never_negative(operations, min_quota):
+    manager = manager_with([QuotaGroup("tenant", min_quota=min_quota)])
+    model = {}
+    for op, app, amount in operations:
+        group = manager.group_of(app)
+        if op == "charge":
+            manager.charge(app, amount)
+            model[group] = model.get(group, ResourceVector()) + amount
+        else:
+            manager.refund(app, amount)
+            model[group] = model.get(group, ResourceVector()).monus(amount)
+    for group in ("tenant", DEFAULT_GROUP):
+        usage = manager.usage(group)
+        assert usage == model.get(group, ResourceVector())
+        assert all(usage.get(dim) >= 0 for dim in DIMS)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops, vector(150))
+def test_deficit_over_identity_per_dimension(operations, min_quota):
+    manager = manager_with([QuotaGroup("tenant", min_quota=min_quota)])
+    for op, app, amount in operations:
+        (manager.charge if op == "charge" else manager.refund)(app, amount)
+    usage = manager.usage("tenant")
+    deficit = manager.min_deficit("tenant")
+    over = manager.over_min("tenant")
+    for dim in DIMS:
+        # max(usage, min) == usage + deficit == min + over
+        assert usage.get(dim) + deficit.get(dim) == \
+            min_quota.get(dim) + over.get(dim)
+        # a dimension is never simultaneously short and over
+        assert not (deficit.get(dim) > 0 and over.get(dim) > 0)
+    assert manager.below_min("tenant") == (
+        not min_quota.is_zero() and not min_quota.fits_in(usage))
+    assert ("tenant" in manager.overusing_groups()) == (not over.is_zero())
+
+
+@settings(max_examples=60, deadline=None)
+@given(vector(100), vector(100), vector(100))
+def test_within_max_is_exactly_the_cap_check(usage, additional, headroom):
+    cap = usage + headroom
+    manager = manager_with([QuotaGroup("tenant", max_quota=cap)])
+    manager.charge("app-a", usage)
+    assert manager.within_max("app-a", additional) == \
+        (usage + additional).fits_in(cap)
+    # the group with no cap always admits
+    manager.assign_app("free-app", DEFAULT_GROUP)
+    assert manager.within_max("free-app", additional)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops)
+def test_groups_are_isolated(operations):
+    manager = manager_with([QuotaGroup("left"), QuotaGroup("right")])
+    for op, app, amount in operations:
+        (manager.charge if op == "charge" else manager.refund)(app, amount)
+    solo = QuotaManager()
+    solo.define_group(QuotaGroup("left"))
+    solo.assign_app("app-a", "left")
+    for op, app, amount in operations:
+        if app == "app-a":
+            (solo.charge if op == "charge" else solo.refund)(app, amount)
+    assert manager.usage("left") == solo.usage("left")

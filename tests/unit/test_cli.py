@@ -125,6 +125,63 @@ def test_trace_missing_file_errors(capsys):
     assert "cannot read trace" in err
 
 
+def test_unknown_subcommand_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["frobnicate"])
+    err = capsys.readouterr().err
+    assert excinfo.value.code == 2
+    assert "invalid choice: 'frobnicate'" in err
+
+
+def test_demo_unwritable_trace_out_errors(tmp_path, capsys):
+    target = tmp_path / "no-such-dir" / "run.trace.jsonl"
+    code = main(["demo", "--machines", "6", "--racks", "2", "--jobs", "1",
+                 "--duration", "10", "--trace-out", str(target)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cannot write trace" in err
+    assert str(target) in err
+
+
+def test_submit_unwritable_trace_out_errors(tmp_path, capsys):
+    job_file = tmp_path / "job.json"
+    job_file.write_text(json.dumps(
+        {"Tasks": {"t": {"Instances": 2, "Duration": 1.0,
+                         "Resources": {"CPU": 50, "Memory": 1024}}}}))
+    target = tmp_path / "no-such-dir" / "job.trace.jsonl"
+    code = main(["submit", str(job_file), "--machines", "4", "--racks", "2",
+                 "--trace-out", str(target)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cannot write trace" in err
+
+
+def test_chaos_bad_schedule_string_errors(capsys):
+    code = main(["chaos", "--schedule", "Nope@12"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "bad --schedule" in err
+    assert "unknown fault kind 'Nope'" in err
+
+
+def test_chaos_bad_schedule_parameter_errors(capsys):
+    code = main(["chaos", "--schedule", "NodeDown@5:r00m000:factor=2"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "bad --schedule" in err
+    assert "factor" in err
+
+
+def test_chaos_replay_clean_schedule_exits_zero(capsys):
+    code = main(["chaos", "--seed", "1", "--racks", "2",
+                 "--machines-per-rack", "3", "--jobs", "1",
+                 "--schedule", "FuxiMasterFailure@5;FuxiMasterRestart@8"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK" in out
+    assert "seed=1" in out
+
+
 def test_metrics_dumps_prometheus_text(capsys):
     code = main(["metrics", "--machines", "6", "--racks", "2", "--jobs", "2",
                  "--duration", "20"])

@@ -117,6 +117,50 @@ def test_set_hook_rejects_bad_interval():
         EventLoop().set_hook(lambda lp, e, w: None, sample_every=0)
 
 
+def test_add_hook_supports_multiple_observers():
+    loop = EventLoop()
+    every, thirds = [], []
+    loop.add_hook(lambda lp, event, wall: every.append(lp.events_executed))
+    loop.add_hook(lambda lp, event, wall: thirds.append(lp.events_executed),
+                  sample_every=3)
+    for i in range(6):
+        loop.call_after(float(i), lambda: None)
+    loop.run()
+    assert every == [1, 2, 3, 4, 5, 6]
+    assert thirds == [3, 6]
+
+
+def test_remove_hook_detaches_only_that_handle():
+    loop = EventLoop()
+    kept, removed = [], []
+    loop.add_hook(lambda lp, event, wall: kept.append(1))
+    handle = loop.add_hook(lambda lp, event, wall: removed.append(1))
+    loop.call_after(1.0, lambda: None)
+    loop.run()
+    loop.remove_hook(handle)
+    loop.remove_hook(handle)  # double-remove is a no-op
+    loop.call_after(1.0, lambda: None)
+    loop.run()
+    assert kept == [1, 1]
+    assert removed == [1]
+
+
+def test_set_hook_replaces_added_hooks():
+    loop = EventLoop()
+    old, new = [], []
+    loop.add_hook(lambda lp, event, wall: old.append(1))
+    loop.set_hook(lambda lp, event, wall: new.append(1))
+    loop.call_after(1.0, lambda: None)
+    loop.run()
+    assert old == []
+    assert new == [1]
+
+
+def test_add_hook_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        EventLoop().add_hook(lambda lp, e, w: None, sample_every=0)
+
+
 def test_attach_loop_metrics_records_samples():
     from repro.obs.histogram import MetricsRegistry
     from repro.obs.hooks import attach_loop_metrics, detach_loop_metrics

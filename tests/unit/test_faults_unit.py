@@ -90,3 +90,99 @@ def test_plan_deterministic_per_seed():
     a = FaultPlan.table3(machines, 0.1, SplitRandom(5))
     b = FaultPlan.table3(machines, 0.1, SplitRandom(5))
     assert a.events == b.events
+
+
+# --------------------------------------------------------------------- #
+# spec strings and the randomized chaos draw
+# --------------------------------------------------------------------- #
+
+def test_fault_event_spec_round_trips():
+    from repro.cluster.faults import NETWORK_BURST
+    events = [
+        FaultEvent(at=12.5, kind=NODE_DOWN, machine="r00m001"),
+        FaultEvent(at=3.0, kind=SLOW_MACHINE, machine="r01m000",
+                   slow_factor=2.25),
+        FaultEvent(at=7.0, kind=MASTER_FAILURE),
+        FaultEvent(at=9.125, kind=NETWORK_BURST, duration=4.0,
+                   drop_prob=0.12, extra_latency=0.02),
+    ]
+    for event in events:
+        assert FaultEvent.from_spec(event.to_spec()) == event
+
+
+def test_plan_spec_round_trips_sorted():
+    plan = FaultPlan(events=[
+        FaultEvent(at=9.0, kind=MASTER_FAILURE),
+        FaultEvent(at=4.0, kind=NODE_DOWN, machine="m1"),
+    ])
+    parsed = FaultPlan.from_spec(plan.to_spec())
+    assert [e.at for e in parsed.events] == [4.0, 9.0]
+    assert parsed.to_spec() == FaultPlan.from_spec(parsed.to_spec()).to_spec()
+
+
+def test_bad_specs_raise_parse_errors():
+    from repro.cluster.faults import ScheduleParseError
+    for bad in ("Nope@5", "NodeDown", "NodeDown@x:m1", "NodeDown@5",
+                "FuxiMasterFailure@5:bogus=1", "NodeDown@5:m1:factor=2"):
+        with pytest.raises(ScheduleParseError):
+            FaultEvent.from_spec(bad)
+
+
+def test_random_plan_is_survivable():
+    machines = [f"m{i}" for i in range(12)]
+    plan = FaultPlan.random(machines, SplitRandom(3), faults=8)
+    from repro.cluster.faults import (AGENT_RESTART, MACHINE_RESTART,
+                                      MASTER_RESTART)
+    # every destructive machine fault is paired with a later restart
+    restarts = {(e.machine, e.at) for e in plan.events
+                if e.kind == MACHINE_RESTART}
+    for event in plan.events:
+        if event.kind in (NODE_DOWN, PARTIAL_WORKER_FAILURE, SLOW_MACHINE):
+            assert any(machine == event.machine and at > event.at
+                       for machine, at in restarts), event
+    # master kills are paired with master restarts
+    assert plan.count(MASTER_RESTART) >= plan.count(MASTER_FAILURE)
+    # the draw never downs more than a third of the cluster
+    downs = sum(1 for e in plan.events
+                if e.kind in (NODE_DOWN, PARTIAL_WORKER_FAILURE))
+    assert downs <= max(1, len(machines) // 3) + 1
+
+
+def test_random_plan_deterministic_and_seed_sensitive():
+    machines = [f"m{i}" for i in range(10)]
+    assert (FaultPlan.random(machines, SplitRandom(4)).to_spec()
+            == FaultPlan.random(machines, SplitRandom(4)).to_spec())
+    assert (FaultPlan.random(machines, SplitRandom(4)).to_spec()
+            != FaultPlan.random(machines, SplitRandom(5)).to_spec())
+
+
+def test_shifted_clamps_past_events():
+    plan = FaultPlan(events=[
+        FaultEvent(at=1.0, kind=MASTER_FAILURE),
+        FaultEvent(at=9.0, kind=NODE_DOWN, machine="m1"),
+    ])
+    shifted = plan.shifted(5.0)
+    assert [e.at for e in shifted.events] == [5.0, 9.0]
+    assert [e.at for e in plan.events] == [1.0, 9.0]  # original untouched
+
+
+def test_network_burst_is_scoped(cluster):
+    baseline = cluster.bus.config.drop_prob
+    cluster.faults.schedule_event(FaultEvent(
+        at=cluster.loop.now + 1.0, kind="NetworkBurst",
+        duration=3.0, drop_prob=0.5, extra_latency=0.01))
+    cluster.run_for(2.0)
+    assert cluster.bus.config.drop_prob == 0.5
+    cluster.run_for(5.0)
+    assert cluster.bus.config.drop_prob == baseline
+
+
+def test_agent_restart_fault_keeps_machine_up(cluster):
+    machine = cluster.topology.machines()[0]
+    incarnation = cluster.agents[machine]._incarnation
+    cluster.faults.schedule_event(FaultEvent(
+        at=cluster.loop.now + 1.0, kind="AgentRestart", machine=machine))
+    cluster.run_for(2.0)
+    assert not cluster.topology.state(machine).down
+    assert cluster.agents[machine].alive
+    assert cluster.agents[machine]._incarnation > incarnation
