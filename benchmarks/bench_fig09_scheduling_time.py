@@ -4,8 +4,8 @@ Paper: average 0.88 ms, peak < 3 ms, no degradation over the run.
 """
 
 from repro.experiments import fig09_scheduling_time
-from repro.experiments.workload_runner import (SyntheticRunConfig,
-                                               run_synthetic_workload)
+from repro.api import RunSpec as SyntheticRunConfig
+from repro.api import simulate as run_synthetic_workload
 
 CONFIG = SyntheticRunConfig(duration=120.0, concurrent_jobs=60, trace=True)
 

@@ -6,8 +6,8 @@ FA_planned 95.2 %; CPU 92.3 % / 91.3 %.
 
 from repro.core.resources import CPU, MEMORY
 from repro.experiments import fig10_utilization
-from repro.experiments.workload_runner import (SyntheticRunConfig,
-                                               run_synthetic_workload)
+from repro.api import RunSpec as SyntheticRunConfig
+from repro.api import simulate as run_synthetic_workload
 
 CONFIG = SyntheticRunConfig(duration=150.0, concurrent_jobs=80)
 

@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Paper-scale benchmark: 5,000 machines / 1,000 concurrent jobs (§5.2).
+
+The paper's headline claim is micro/millisecond scheduling at 5,000 nodes
+via the incremental protocol and locality-tree queues (§3, Figure 9).  This
+harness runs the closed-loop synthetic workload at that scale end-to-end on
+the simulator and records machine-readable results so every PR inherits a
+perf trajectory:
+
+- ``BENCH_scale.json`` — end-to-end wall clock, simulator throughput
+  (events/sec), scheduler request rate, peak RSS; with a ``baseline`` entry
+  recorded before an optimization lands and a ``current`` entry after, plus
+  the resulting ``speedup``.
+- ``BENCH_fig09.json`` — the Figure-9 shape claims re-checked at full scale:
+  sub-millisecond average scheduling time, bounded peak, no upward drift.
+
+Usage::
+
+    # paper scale (5,000 machines, 1,000 concurrent jobs)
+    python benchmarks/bench_scale_5000.py --record current
+
+    # CI-sized run (~500 machines), compared against the committed numbers
+    python benchmarks/bench_scale_5000.py --quick --check BENCH_scale.json
+
+Exit codes: 0 ok, 2 bad arguments / missing baseline for --check,
+3 performance regression beyond the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import resource
+import sys
+import time
+from typing import Optional
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: paper scale: 5,000 machines in 100 racks, 1,000 concurrent jobs
+FULL = dict(racks=100, machines_per_rack=50, jobs=1000, duration=60.0)
+#: CI-sized smoke: same shape, ~10x smaller, finishes in well under a minute
+QUICK = dict(racks=25, machines_per_rack=20, jobs=150, duration=20.0)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (~500 machines / 150 jobs)")
+    parser.add_argument("--racks", type=int, default=None)
+    parser.add_argument("--machines-per-rack", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="closed-loop concurrent job population")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds of steady state")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--record", choices=("baseline", "current"),
+                        default=None,
+                        help="store this run under the given label in --out")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_scale.json"))
+    parser.add_argument("--fig09-out", default=None,
+                        help="write the Figure-9 shape-claim check here "
+                             "(default BENCH_fig09.json for full-scale "
+                             "--record runs)")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="compare against the committed numbers in FILE "
+                             "and exit 3 on regression")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional wall-clock regression for "
+                             "--check (default 0.20)")
+    return parser.parse_args(argv)
+
+
+def run_benchmark(racks: int, machines_per_rack: int, jobs: int,
+                  duration: float, seed: int) -> dict:
+    """One closed-loop synthetic run; returns the measured result dict."""
+    from repro.api import RunSpec, simulate
+
+    spec = RunSpec(racks=racks, machines_per_rack=machines_per_rack,
+                   concurrent_jobs=jobs, duration=duration)
+    machines = racks * machines_per_rack
+    print(f"running {machines} machines / {jobs} concurrent jobs / "
+          f"{duration:.0f}s steady state (seed {seed}) ...", flush=True)
+    started = time.perf_counter()
+    result = simulate(spec, seed=seed, trace=False)
+    wall = time.perf_counter() - started
+    loop = result.cluster.loop
+    series = result.metrics.series("fm.schedule_ms")
+    values = series.values()
+    half = len(values) // 2
+    drift = 1.0
+    if half >= 2:
+        first = sum(values[:half]) / half
+        second = sum(values[half:]) / (len(values) - half)
+        drift = second / first if first > 0 else 1.0
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return {
+        "machines": machines,
+        "racks": racks,
+        "jobs": jobs,
+        "duration_sim_s": duration,
+        "seed": seed,
+        "wall_seconds": round(wall, 3),
+        "sim_seconds": round(loop.now, 3),
+        "events": loop.events_executed,
+        "events_per_sec": round(loop.events_executed / wall, 1),
+        "sched_requests": int(result.metrics.counter("fm.requests")),
+        "grants": int(result.metrics.counter("fm.grants")),
+        "jobs_completed": result.jobs_completed,
+        "schedule_ms_avg": round(series.mean(), 4),
+        "schedule_ms_p99": round(series.percentile(99), 4),
+        "schedule_ms_max": round(series.max(), 4),
+        "schedule_drift": round(drift, 3),
+        "peak_rss_mb": round(peak_rss_mb, 1),
+        "python": sys.version.split()[0],
+    }
+
+
+def fig09_claims(result: dict) -> dict:
+    """The Figure-9 shape claims, re-checked at this run's scale."""
+    sub_ms_avg = result["schedule_ms_avg"] < 1.0
+    bounded_peak = result["schedule_ms_p99"] < 10.0
+    no_drift = result["schedule_drift"] < 1.5
+    return {
+        "bench": "fig09_at_scale",
+        "machines": result["machines"],
+        "jobs": result["jobs"],
+        "avg_ms": result["schedule_ms_avg"],
+        "p99_ms": result["schedule_ms_p99"],
+        "peak_ms": result["schedule_ms_max"],
+        "drift_second_half_over_first": result["schedule_drift"],
+        "claims": {
+            "sub_ms_avg": sub_ms_avg,
+            "bounded_p99_under_10ms": bounded_peak,
+            "no_upward_drift": no_drift,
+        },
+        "pass": sub_ms_avg and bounded_peak and no_drift,
+    }
+
+
+def load_json(path: str) -> dict:
+    p = pathlib.Path(path)
+    if p.exists():
+        return json.loads(p.read_text(encoding="utf-8"))
+    return {}
+
+
+def store(path: str, mode: str, label: str, result: dict) -> dict:
+    doc = load_json(path)
+    doc.setdefault("bench", "scale")
+    doc.setdefault("schema", 1)
+    modes = doc.setdefault("modes", {})
+    entry = modes.setdefault(mode, {})
+    entry[label] = result
+    if "baseline" in entry and "current" in entry:
+        base, cur = entry["baseline"], entry["current"]
+        if cur["wall_seconds"] > 0:
+            entry["speedup"] = round(
+                base["wall_seconds"] / cur["wall_seconds"], 2)
+    pathlib.Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True)
+                                  + "\n", encoding="utf-8")
+    return doc
+
+
+def check_regression(path: str, mode: str, result: dict,
+                     threshold: float) -> int:
+    doc = load_json(path)
+    entry = doc.get("modes", {}).get(mode, {})
+    committed = entry.get("current") or entry.get("baseline")
+    if committed is None:
+        print(f"--check: no committed {mode!r} numbers in {path}",
+              file=sys.stderr)
+        return 2
+    # Wall clock is hardware-dependent; CI runners vary run to run, so the
+    # gate compares against the committed numbers with a generous threshold.
+    limit = committed["wall_seconds"] * (1.0 + threshold)
+    print(f"committed {mode} wall: {committed['wall_seconds']:.2f}s "
+          f"({committed['events_per_sec']:.0f} ev/s); this run: "
+          f"{result['wall_seconds']:.2f}s ({result['events_per_sec']:.0f} "
+          f"ev/s); limit {limit:.2f}s")
+    if result["wall_seconds"] > limit:
+        print(f"PERF REGRESSION: wall {result['wall_seconds']:.2f}s exceeds "
+              f"{limit:.2f}s (+{threshold:.0%} over committed)",
+              file=sys.stderr)
+        return 3
+    print("perf-smoke ok")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    preset = QUICK if args.quick else FULL
+    racks = args.racks or preset["racks"]
+    machines_per_rack = args.machines_per_rack or preset["machines_per_rack"]
+    jobs = args.jobs or preset["jobs"]
+    duration = args.duration or preset["duration"]
+    custom = (args.racks or args.machines_per_rack or args.jobs
+              or args.duration)
+    mode = "custom" if custom else ("quick" if args.quick else "full")
+
+    result = run_benchmark(racks, machines_per_rack, jobs, duration,
+                           args.seed)
+    print(json.dumps(result, indent=2))
+
+    claims = fig09_claims(result)
+    fig09_out: Optional[str] = args.fig09_out
+    if fig09_out is None and mode == "full" and args.record:
+        fig09_out = str(REPO_ROOT / "BENCH_fig09.json")
+    if fig09_out:
+        pathlib.Path(fig09_out).write_text(
+            json.dumps(claims, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"fig09 claims ({'PASS' if claims['pass'] else 'FAIL'}) "
+              f"written to {fig09_out}")
+
+    if args.record:
+        if mode == "custom":
+            print("--record requires a preset shape (no overrides)",
+                  file=sys.stderr)
+            return 2
+        doc = store(args.out, mode, args.record, result)
+        speedup = doc["modes"][mode].get("speedup")
+        note = f", speedup {speedup}x" if speedup else ""
+        print(f"recorded {mode}/{args.record} in {args.out}{note}")
+
+    if args.check:
+        if mode == "custom":
+            print("--check requires a preset shape (no overrides)",
+                  file=sys.stderr)
+            return 2
+        return check_regression(args.check, mode, result, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

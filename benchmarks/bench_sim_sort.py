@@ -11,7 +11,7 @@ from repro.core.agent import FuxiAgentConfig
 from repro.core.resources import ResourceVector
 from repro.experiments.harness import ExperimentReport
 from repro.jobs.sortjob import ideal_makespan, simulated_sort_job
-from repro.runtime import FuxiCluster
+from repro.api import FuxiCluster
 
 SLOTS = 4
 

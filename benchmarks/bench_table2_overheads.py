@@ -7,8 +7,8 @@ total overhead ≈ 3.9 %.  The reproduced shape is the ordering
 """
 
 from repro.experiments import table2_overheads
-from repro.experiments.workload_runner import (SyntheticRunConfig,
-                                               run_synthetic_workload)
+from repro.api import RunSpec as SyntheticRunConfig
+from repro.api import simulate as run_synthetic_workload
 
 CONFIG = SyntheticRunConfig(duration=150.0, concurrent_jobs=50,
                             worker_start_delay=2.0, am_start_delay=0.5)

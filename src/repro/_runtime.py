@@ -1,0 +1,381 @@
+"""FuxiCluster: one-call assembly of a complete simulated Fuxi deployment.
+
+Wires the event loop, message bus, lock service, checkpoint store, a
+hot-standby FuxiMaster pair, one FuxiAgent per machine, the block store, and
+the job framework — and exposes the operations the experiments (and the
+fault injector) need: submit jobs, run simulated time, crash machines or the
+primary master, and sample cluster-wide utilization.
+
+Typical use::
+
+    topology = ClusterTopology.build(racks=4, machines_per_rack=25)
+    cluster = FuxiCluster(topology, seed=42)
+    cluster.warm_up()
+    job = mapreduce_job("wc", mappers=100, reducers=10)
+    app_id = cluster.submit_job(job)
+    cluster.run_until_complete([app_id], timeout=600)
+    result = cluster.job_results[app_id]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.blockstore import BlockStore
+from repro.cluster.faults import FaultInjector
+from repro.cluster.lockservice import LockService
+from repro.cluster.network import MessageBus, NetworkConfig
+from repro.cluster.topology import ClusterTopology
+from repro.core import messages as msg
+from repro.core.agent import FuxiAgent, FuxiAgentConfig
+from repro.core.appmaster import AppMasterConfig, ApplicationMaster
+from repro.core.checkpoint import CheckpointStore
+from repro.core.master import FuxiMaster, FuxiMasterConfig
+from repro.core.quota import DEFAULT_GROUP
+from repro.core.resources import CPU, MEMORY
+from repro.jobs.jobmaster import DagJobMaster, JobResult
+from repro.jobs.spec import JobSpec
+from repro.jobs.worker import TaskWorker
+from repro.obs.histogram import MetricsRegistry
+from repro.obs.hooks import attach_loop_metrics
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.sim.events import EventLoop
+from repro.sim.rng import SplitRandom
+
+
+class FuxiCluster:
+    """A fully wired simulated cluster."""
+
+    def __init__(self, topology: ClusterTopology, seed: int = 0,
+                 network: Optional[NetworkConfig] = None,
+                 master_config: Optional[FuxiMasterConfig] = None,
+                 agent_config: Optional[FuxiAgentConfig] = None,
+                 app_master_config: Optional[AppMasterConfig] = None,
+                 standby_master: bool = True,
+                 trace: bool = False):
+        self.topology = topology
+        self.rng = SplitRandom(seed)
+        self.loop = EventLoop()
+        self.bus = MessageBus(self.loop, self.rng, network)
+        self.metrics = MetricsRegistry()
+        # Tracing is opt-in: with trace=False every component holds the
+        # shared NULL_TRACER and hot paths stay on the zero-overhead path.
+        self.tracer = Tracer(clock=lambda: self.loop.now) if trace \
+            else NULL_TRACER
+        if trace:
+            attach_loop_metrics(self.loop, self.metrics, sample_every=64)
+        self.checkpoint = CheckpointStore()
+        self.master_config = master_config or FuxiMasterConfig()
+        self.agent_config = agent_config or FuxiAgentConfig()
+        self.app_master_config = app_master_config or AppMasterConfig()
+        self.locks = LockService(self.loop,
+                                 default_lease=self.master_config.lease)
+        self.blockstore = BlockStore(topology.machines(),
+                                     topology.machine_rack_map(),
+                                     rng=self.rng)
+        self.job_snapshots: Dict[str, dict] = {}
+        self.job_results: Dict[str, JobResult] = {}
+        self.app_masters: Dict[str, ApplicationMaster] = {}
+        self._am_factories: Dict[str, Callable] = {
+            "dag": self._make_dag_master,
+            "service": self._make_service_master,
+        }
+        self._job_seq = 0
+
+        self.masters: List[FuxiMaster] = [
+            FuxiMaster(self.loop, self.bus, "fuxi-master-0", self.locks,
+                       self.checkpoint, self.master_config, self.metrics,
+                       runtime=self, tracer=self.tracer)
+        ]
+        if standby_master:
+            self.masters.append(
+                FuxiMaster(self.loop, self.bus, "fuxi-master-1", self.locks,
+                           self.checkpoint, self.master_config, self.metrics,
+                           runtime=self, tracer=self.tracer))
+        self.agents: Dict[str, FuxiAgent] = {}
+        for machine in topology.machines():
+            agent = FuxiAgent(self.loop, self.bus, topology.state(machine),
+                              self.agent_config,
+                              worker_factory=self._create_worker,
+                              tracer=self.tracer)
+            agent.runtime = self
+            self.agents[machine] = agent
+        self.faults = FaultInjector(self)
+        self._burst_depth = 0
+        self._burst_baseline = (0.0, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # time control
+    # ------------------------------------------------------------------ #
+
+    def run_for(self, seconds: float) -> None:
+        self.loop.run_until(self.loop.now + seconds)
+
+    def run_until(self, when: float) -> None:
+        self.loop.run_until(when)
+
+    def warm_up(self, seconds: float = 3.0) -> None:
+        """Let election, heartbeats and machine registration settle."""
+        self.run_for(seconds)
+
+    def run_until_complete(self, app_ids: List[str], timeout: float = 3600.0,
+                           step: float = 1.0) -> bool:
+        """Advance time until all jobs have results; True if they all did."""
+        deadline = self.loop.now + timeout
+        while self.loop.now < deadline:
+            if all(app_id in self.job_results for app_id in app_ids):
+                return True
+            self.run_for(step)
+        return all(app_id in self.job_results for app_id in app_ids)
+
+    # ------------------------------------------------------------------ #
+    # masters
+    # ------------------------------------------------------------------ #
+
+    @property
+    def primary_master(self) -> Optional[FuxiMaster]:
+        for master in self.masters:
+            if master.alive and master.is_primary:
+                return master
+        return None
+
+    def crash_primary_master(self) -> None:
+        primary = self.primary_master
+        if primary is not None:
+            primary.crash()
+
+    def restart_master(self, name: str) -> None:
+        for master in self.masters:
+            if master.name == name:
+                master.restart()
+                return
+        raise KeyError(f"unknown master {name!r}")
+
+    def restart_dead_masters(self) -> None:
+        """Bring every crashed FuxiMaster process back (chaos recovery leg)."""
+        for master in self.masters:
+            if not master.alive:
+                master.restart()
+
+    # ------------------------------------------------------------------ #
+    # machines
+    # ------------------------------------------------------------------ #
+
+    def crash_machine(self, machine: str) -> None:
+        """Power off: agent and every worker process on the machine die."""
+        self.topology.state(machine).down = True
+        for worker in self.workers_on(machine):
+            worker.crash()
+            self.bus.unregister(worker.name)
+        agent = self.agents.get(machine)
+        if agent is not None:
+            agent.crash()
+
+    def crash_workers(self, machine: str) -> None:
+        """Kill worker processes only (hung disks); the agent stays up."""
+        for worker in self.workers_on(machine):
+            worker.crash()
+            self.bus.unregister(worker.name)
+
+    def restart_machine(self, machine: str) -> None:
+        state = self.topology.state(machine)
+        state.reset_faults()
+        agent = self.agents.get(machine)
+        if agent is not None:
+            agent.restart()
+
+    def restart_agent(self, machine: str) -> None:
+        """Agent process bounce (workers keep running) — §4.3.1 failover."""
+        agent = self.agents.get(machine)
+        if agent is None:
+            raise KeyError(f"unknown machine {machine!r}")
+        agent.crash()
+        agent.restart()
+
+    # ------------------------------------------------------------------ #
+    # network degradation (chaos NetworkBurst)
+    # ------------------------------------------------------------------ #
+
+    def begin_network_burst(self, drop_prob: float,
+                            extra_latency: float = 0.0) -> None:
+        """Start a message loss/delay window; bursts may nest (worst wins)."""
+        config = self.bus.config
+        if self._burst_depth == 0:
+            self._burst_baseline = (config.drop_prob, config.jitter)
+        self._burst_depth += 1
+        config.drop_prob = max(config.drop_prob, drop_prob)
+        config.jitter = max(config.jitter, extra_latency)
+
+    def end_network_burst(self) -> None:
+        """End one burst; the baseline transport returns with the last one."""
+        if self._burst_depth == 0:
+            return
+        self._burst_depth -= 1
+        if self._burst_depth == 0:
+            config = self.bus.config
+            config.drop_prob, config.jitter = self._burst_baseline
+
+    def workers_on(self, machine: str) -> List[TaskWorker]:
+        found = []
+        for name, actor in list(self.bus._actors.items()):
+            if (name.startswith("worker:") and actor.alive
+                    and getattr(actor, "machine", None) == machine):
+                found.append(actor)
+        return found
+
+    def live_workers(self) -> int:
+        return sum(1 for name, actor in self.bus._actors.items()
+                   if name.startswith("worker:") and actor.alive)
+
+    # ------------------------------------------------------------------ #
+    # jobs
+    # ------------------------------------------------------------------ #
+
+    def submit_job(self, spec: JobSpec, group: str = DEFAULT_GROUP,
+                   app_id: Optional[str] = None,
+                   description_overrides: Optional[dict] = None) -> str:
+        """Submit a DAG job through the primary FuxiMaster (client RPC)."""
+        if app_id is None:
+            self._job_seq += 1
+            app_id = f"job-{self._job_seq:04d}"
+        description = spec.to_description()
+        description["submitted_at"] = self.loop.now
+        if description_overrides:
+            description.update(description_overrides)
+        primary = self.primary_master
+        if primary is None:
+            raise RuntimeError("no primary FuxiMaster (run warm_up first)")
+        primary.submit_job(app_id, description, group)
+        return app_id
+
+    def register_app_master_type(self, type_name: str,
+                                 factory: Callable) -> None:
+        """factory(cluster, app_id, description, machine) -> ApplicationMaster"""
+        self._am_factories[type_name] = factory
+
+    def start_app_master(self, app_id: str, description: dict,
+                         machine: str) -> None:
+        """Called by agents executing LaunchAppMaster."""
+        existing = self.app_masters.get(app_id)
+        if existing is not None:
+            if not existing.alive:
+                existing.restart()
+            return
+        factory = self._am_factories.get(description.get("type", "dag"))
+        if factory is None:
+            raise KeyError(f"no app master factory for {description!r}")
+        self.app_masters[app_id] = factory(self, app_id, description, machine)
+
+    def _make_dag_master(self, cluster: "FuxiCluster", app_id: str,
+                         description: dict, machine: str) -> DagJobMaster:
+        return DagJobMaster(self.loop, self.bus, app_id, description,
+                            services=self, config=self.app_master_config)
+
+    def _make_service_master(self, cluster: "FuxiCluster", app_id: str,
+                             description: dict, machine: str):
+        from repro.jobs.service import ServiceMaster
+        return ServiceMaster(self.loop, self.bus, app_id, description,
+                             services=self, config=self.app_master_config)
+
+    def submit_service(self, spec, group: str = DEFAULT_GROUP,
+                       app_id: Optional[str] = None) -> str:
+        """Submit a long-running replicated service (ServiceSpec)."""
+        if app_id is None:
+            self._job_seq += 1
+            app_id = f"svc-{self._job_seq:04d}"
+        description = spec.to_description()
+        primary = self.primary_master
+        if primary is None:
+            raise RuntimeError("no primary FuxiMaster (run warm_up first)")
+        primary.submit_job(app_id, description, group)
+        return app_id
+
+    def job_completed(self, app_id: str, result: JobResult) -> None:
+        """Callback the job masters invoke on completion."""
+        self.job_results[app_id] = result
+        self.job_snapshots.pop(app_id, None)
+
+    def reap_job(self, app_id: str) -> None:
+        """Release a *finished* job's simulation objects.
+
+        The entry in :attr:`job_results` survives; the finished application
+        master and its bus registration are dropped.  Closed-loop runs call
+        this per completed job — without it every finished job leaves a dead
+        actor graph behind and GC pauses grow with run length.
+        """
+        master = self.app_masters.get(app_id)
+        if master is None or not getattr(master, "finished", False):
+            return
+        del self.app_masters[app_id]
+        master.cancel_all_timers()
+        self.bus.unregister(master.name)
+
+    def crash_app_master(self, app_id: str) -> None:
+        master = self.app_masters.get(app_id)
+        if master is None:
+            raise KeyError(f"unknown application {app_id!r}")
+        master.crash()
+
+    # ------------------------------------------------------------------ #
+    # workers
+    # ------------------------------------------------------------------ #
+
+    def _create_worker(self, plan: msg.WorkPlan, machine: str) -> TaskWorker:
+        existing = self.bus.actor(f"worker:{plan.worker_id}")
+        if existing is not None and existing.alive:
+            return existing  # idempotent re-launch
+        return TaskWorker(self.loop, self.bus, plan,
+                          self.topology.state(machine))
+
+    # ------------------------------------------------------------------ #
+    # utilization sampling (Figure 10)
+    # ------------------------------------------------------------------ #
+
+    def sample_utilization(self) -> Dict[str, Dict[str, float]]:
+        """The four curves of Figure 10, per dimension, in absolute units."""
+        out: Dict[str, Dict[str, float]] = {}
+        primary = self.primary_master
+        scheduler = primary.scheduler if primary is not None else None
+        for dim in (CPU, MEMORY):
+            fm_total = fm_planned = 0.0
+            if scheduler is not None:
+                fm_total = scheduler.pool.total_capacity().get(dim)
+                fm_planned = scheduler.pool.total_allocated().get(dim)
+            am_obtained = 0.0
+            for app in self.app_masters.values():
+                if not app.alive or app.finished:
+                    continue
+                for unit_key, machines in app.holdings.items():
+                    unit = app.units.get(unit_key)
+                    if unit is None:
+                        continue
+                    am_obtained += unit.resources.get(dim) * sum(machines.values())
+            fa_planned = 0.0
+            for agent in self.agents.values():
+                if not agent.alive:
+                    continue
+                for unit_key, count in agent.allocations.items():
+                    app = self.app_masters.get(unit_key.app_id)
+                    unit = app.units.get(unit_key) if app is not None else None
+                    if unit is not None:
+                        fa_planned += unit.resources.get(dim) * count
+            out[dim] = {
+                "FM_total": fm_total,
+                "FM_planned": fm_planned,
+                "AM_obtained": am_obtained,
+                "FA_planned": fa_planned,
+            }
+        return out
+
+    def enable_utilization_sampling(self, interval: float = 5.0) -> None:
+        """Record the Figure-10 curves into the metrics collector."""
+
+        def sample() -> None:
+            snapshot = self.sample_utilization()
+            for dim, curves in snapshot.items():
+                for curve, value in curves.items():
+                    self.metrics.record(f"util.{dim}.{curve}",
+                                        self.loop.now, value)
+            self.loop.call_after(interval, sample)
+
+        self.loop.call_after(0.0, sample)

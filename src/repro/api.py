@@ -1,0 +1,290 @@
+"""``repro.api`` — the one public surface of the Fuxi reproduction.
+
+Everything a user needs lives here; reaching into ``repro.runtime``,
+``repro.experiments.workload_runner`` or ``repro.core.*`` directly is
+deprecated.  Two entry points:
+
+- :class:`ClusterBuilder` — construct a wired :class:`FuxiCluster` from
+  keyword arguments or fluent calls, for hands-on driving (submit specific
+  jobs, inject faults, inspect masters)::
+
+      cluster = (ClusterBuilder(racks=4, machines_per_rack=25)
+                 .seed(42).trace(True).build())
+      app_id = cluster.submit_job(mapreduce_job("wc", mappers=100))
+      cluster.run_until_complete([app_id])
+
+- :func:`simulate` — run the paper's §5.2 closed-loop synthetic workload
+  (the setup behind Figure 9/10 and Table 2) in one call and get a
+  :class:`RunResult` back::
+
+      result = simulate(RunSpec(racks=4, machines_per_rack=15,
+                                concurrent_jobs=80, duration=300.0),
+                        seed=7)
+      print(result.jobs_completed,
+            result.metrics.series("fm.schedule_ms").mean())
+
+Same spec + same seed is byte-identical: the entire simulation is
+deterministic, including trace export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._runtime import FuxiCluster
+from repro.cluster.network import NetworkConfig
+from repro.cluster.topology import ClusterTopology
+from repro.config import ConfigBase, conf
+from repro.core.agent import FuxiAgentConfig
+from repro.core.appmaster import AppMasterConfig
+from repro.core.master import FuxiMasterConfig
+from repro.core.resources import ResourceVector
+from repro.core.scheduler import SchedulerConfig
+from repro.workloads.synthetic import (SyntheticWorkload,
+                                       SyntheticWorkloadConfig)
+
+__all__ = ["ClusterBuilder", "RunSpec", "RunResult", "simulate",
+           "FuxiCluster", "SchedulerConfig"]
+
+
+@dataclass(kw_only=True)
+class RunSpec(ConfigBase):
+    """A §5.2-style synthetic run, validated and dict-round-trippable.
+
+    The default machine shape packs 8 paper instances ({0.5 core, 2 GB})
+    per machine by memory and slightly fewer by CPU, making memory the
+    binding dimension as in Figure 10.
+    """
+
+    racks: int = conf(4, help="racks in the cluster", min=1)
+    machines_per_rack: int = conf(15, help="machines per rack", min=1)
+    machine_cpu: float = conf(440.0, help="per-machine CPU (centi-cores)",
+                              min=1.0)
+    machine_memory: float = conf(8 * 2048.0, help="per-machine memory (MB)",
+                                 min=1.0)
+    concurrent_jobs: int = conf(80, help="closed-loop job population",
+                                min=1, cli="--jobs")
+    duration: float = conf(300.0, help="simulated seconds of steady state",
+                           min=0.0)
+    workload_scale: int = conf(100, help="job size scale factor", min=1)
+    workers_cap: int = conf(12, help="max workers per job", min=1)
+    seed: int = conf(7, help="simulation seed")
+    worker_start_delay: float = conf(
+        2.0, help="binary download + process start (Table 2)", min=0.0)
+    am_start_delay: float = conf(0.5, help="AppMaster start delay", min=0.0)
+    utilization_sample_interval: float = conf(
+        5.0, help="Figure-10 sampling period", min=0.0)
+    trace: bool = conf(False, help="structured tracing (repro.obs)")
+    closed_loop: bool = conf(
+        True, help="replace each finished job to hold the population "
+                   "('we keep 1,000 jobs concurrently running')", cli="")
+
+    @property
+    def machines(self) -> int:
+        return self.racks * self.machines_per_rack
+
+
+@dataclass
+class RunResult:
+    """What :func:`simulate` hands back."""
+
+    cluster: FuxiCluster
+    spec: RunSpec
+    submitted: List[str] = field(default_factory=list)
+    jobs_completed: int = 0
+
+    @property
+    def metrics(self):
+        return self.cluster.metrics
+
+    @property
+    def completed(self) -> int:
+        """Back-compat alias for :attr:`jobs_completed`."""
+        return self.jobs_completed
+
+    @property
+    def job_results(self) -> Dict[str, object]:
+        return self.cluster.job_results
+
+    def write_trace(self, path: str) -> bool:
+        """Export the run's JSONL trace; False if tracing was off."""
+        if not self.cluster.tracer.enabled:
+            return False
+        from repro.obs.export import dump_trace_jsonl
+        dump_trace_jsonl(self.cluster.tracer, path)
+        return True
+
+
+class ClusterBuilder:
+    """Fluent/kwargs construction of a wired, warmed-up FuxiCluster.
+
+    Every knob can be given as a constructor keyword or via the matching
+    fluent method; :meth:`build` assembles the cluster and (by default)
+    runs the warm-up window so a primary master is elected and every
+    machine is registered.
+    """
+
+    def __init__(self, *, racks: int = 4, machines_per_rack: int = 25,
+                 machine_cpu: float = 400.0,
+                 machine_memory: float = 16384.0,
+                 seed: int = 0, trace: bool = False,
+                 standby_master: bool = True,
+                 network: Optional[NetworkConfig] = None,
+                 master_config: Optional[FuxiMasterConfig] = None,
+                 agent_config: Optional[FuxiAgentConfig] = None,
+                 app_master_config: Optional[AppMasterConfig] = None):
+        self._racks = racks
+        self._machines_per_rack = machines_per_rack
+        self._machine_cpu = machine_cpu
+        self._machine_memory = machine_memory
+        self._seed = seed
+        self._trace = trace
+        self._standby_master = standby_master
+        self._network = network
+        self._master_config = master_config
+        self._agent_config = agent_config
+        self._app_master_config = app_master_config
+
+    # fluent setters ---------------------------------------------------- #
+
+    def topology(self, racks: int, machines_per_rack: int) -> "ClusterBuilder":
+        self._racks = racks
+        self._machines_per_rack = machines_per_rack
+        return self
+
+    def machine_shape(self, *, cpu: Optional[float] = None,
+                      memory: Optional[float] = None) -> "ClusterBuilder":
+        if cpu is not None:
+            self._machine_cpu = cpu
+        if memory is not None:
+            self._machine_memory = memory
+        return self
+
+    def seed(self, seed: int) -> "ClusterBuilder":
+        self._seed = seed
+        return self
+
+    def trace(self, enabled: bool = True) -> "ClusterBuilder":
+        self._trace = enabled
+        return self
+
+    def standby_master(self, enabled: bool = True) -> "ClusterBuilder":
+        self._standby_master = enabled
+        return self
+
+    def network(self, config: NetworkConfig) -> "ClusterBuilder":
+        self._network = config
+        return self
+
+    def master(self, config: FuxiMasterConfig) -> "ClusterBuilder":
+        self._master_config = config
+        return self
+
+    def scheduler(self, config: SchedulerConfig) -> "ClusterBuilder":
+        master = self._master_config or FuxiMasterConfig()
+        master.scheduler = config
+        self._master_config = master
+        return self
+
+    def agents(self, config: FuxiAgentConfig) -> "ClusterBuilder":
+        self._agent_config = config
+        return self
+
+    def app_masters(self, config: AppMasterConfig) -> "ClusterBuilder":
+        self._app_master_config = config
+        return self
+
+    # assembly ---------------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, object]:
+        """The builder's plain knobs (topology/seed/trace), for round-trip."""
+        return {
+            "racks": self._racks,
+            "machines_per_rack": self._machines_per_rack,
+            "machine_cpu": self._machine_cpu,
+            "machine_memory": self._machine_memory,
+            "seed": self._seed,
+            "trace": self._trace,
+            "standby_master": self._standby_master,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ClusterBuilder":
+        return cls(**data)
+
+    def build(self, warm_up: bool = True) -> FuxiCluster:
+        capacity = ResourceVector.of(cpu=self._machine_cpu,
+                                     memory=self._machine_memory)
+        topology = ClusterTopology.build(self._racks,
+                                         self._machines_per_rack,
+                                         capacity=capacity)
+        cluster = FuxiCluster(topology, seed=self._seed,
+                              network=self._network,
+                              master_config=self._master_config,
+                              agent_config=self._agent_config,
+                              app_master_config=self._app_master_config,
+                              standby_master=self._standby_master,
+                              trace=self._trace)
+        if warm_up:
+            cluster.warm_up()
+        return cluster
+
+
+def simulate(spec: Optional[RunSpec] = None, *,
+             seed: Optional[int] = None,
+             trace: Optional[bool] = None) -> RunResult:
+    """Run the closed-loop synthetic workload for ``spec.duration`` sim-s.
+
+    ``seed``/``trace`` override the spec's fields without mutating it.
+    """
+    spec = spec or RunSpec()
+    overrides = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    if trace is not None:
+        overrides["trace"] = trace
+    if overrides:
+        spec = spec.replace(**overrides)
+
+    cluster = (ClusterBuilder(racks=spec.racks,
+                              machines_per_rack=spec.machines_per_rack,
+                              machine_cpu=spec.machine_cpu,
+                              machine_memory=spec.machine_memory,
+                              seed=spec.seed, trace=spec.trace,
+                              agent_config=FuxiAgentConfig(
+                                  worker_start_delay=spec.worker_start_delay))
+               .build(warm_up=False))
+    cluster.enable_utilization_sampling(spec.utilization_sample_interval)
+    cluster.warm_up()
+
+    workload = SyntheticWorkload(
+        SyntheticWorkloadConfig(concurrent_jobs=spec.concurrent_jobs,
+                                scale=spec.workload_scale,
+                                workers_cap=spec.workers_cap),
+        cluster.rng)
+    result = RunResult(cluster=cluster, spec=spec)
+
+    def submit_one() -> None:
+        job = workload.next_job()
+        app_id = cluster.submit_job(
+            job, description_overrides={"am_start_delay":
+                                        spec.am_start_delay})
+        result.submitted.append(app_id)
+
+    for _ in range(spec.concurrent_jobs):
+        submit_one()
+
+    # Closed loop: replace each finished job until the window elapses.
+    deadline = cluster.loop.now + spec.duration
+    replaced: set = set()
+    while cluster.loop.now < deadline:
+        cluster.run_for(2.0)
+        for app_id in list(cluster.job_results):
+            if app_id not in replaced:
+                replaced.add(app_id)
+                result.jobs_completed += 1
+                cluster.reap_job(app_id)
+                if spec.closed_loop:
+                    submit_one()
+    return result

@@ -21,44 +21,56 @@ from typing import List, Optional
 
 from repro.chaos.invariants import InvariantChecker, Violation
 from repro.cluster.faults import FaultPlan
+from repro.config import ConfigBase, conf
 from repro.cluster.topology import ClusterTopology
 from repro.core.agent import FuxiAgentConfig
 from repro.core.resources import ResourceVector
 from repro.obs.export import dump_violation_trace
-from repro.runtime import FuxiCluster
+from repro._runtime import FuxiCluster
 from repro.sim.rng import SplitRandom
 from repro.workloads.synthetic import mapreduce_job
 
 SUBMIT_RETRY = 2.0  # how long to wait when no primary can take a job
 
 
-@dataclass
-class ChaosConfig:
-    """Knobs for one chaos run; every default keeps runs under a second."""
+@dataclass(kw_only=True)
+class ChaosConfig(ConfigBase):
+    """Knobs for one chaos run; every default keeps runs under a second.
+
+    A :class:`repro.config.ConfigBase`: keyword-only, validated on
+    construction, dict-round-trippable, and the source of the derived
+    ``fuxi-sim chaos`` CLI flags.
+    """
 
     # cluster shape
-    racks: int = 2
-    machines_per_rack: int = 5
-    cpu: float = 400.0
-    memory: float = 8192.0
+    racks: int = conf(2, min=1, help="racks in the chaos cluster")
+    machines_per_rack: int = conf(5, min=1, help="machines per rack")
+    cpu: float = conf(400.0, min=1.0, help="per-machine CPU (centi-cores)")
+    memory: float = conf(8192.0, min=1.0, help="per-machine memory (MB)")
     # workload (sizes are drawn per job from [1, max])
-    jobs: int = 3
-    max_mappers: int = 6
-    max_reducers: int = 3
-    submit_window: float = 20.0
+    jobs: int = conf(3, min=1, help="jobs submitted per run")
+    max_mappers: int = conf(6, min=1, help="mapper draw upper bound")
+    max_reducers: int = conf(3, min=1, help="reducer draw upper bound")
+    submit_window: float = conf(20.0, min=0.0,
+                                help="submissions staggered over this window")
     # fault schedule
-    faults: int = 6
-    fault_window: float = 60.0
-    master_failures: int = 1
-    network_bursts: int = 1
-    recover_after: float = 15.0
+    faults: int = conf(6, min=0, help="fault draws per schedule")
+    fault_window: float = conf(60.0, min=0.0,
+                               help="faults land within this window")
+    master_failures: int = conf(1, min=0, help="master kills per schedule")
+    network_bursts: int = conf(1, min=0, help="loss/delay bursts per schedule")
+    recover_after: float = conf(15.0, min=0.0,
+                                help="recovery delay after each fault")
     # run control
-    timeout: float = 600.0
-    settle: float = 25.0
-    slice: float = 5.0
-    check_every: int = 16
-    trace: bool = True
-    trace_dir: Optional[str] = None
+    timeout: float = conf(600.0, min=1.0,
+                          help="simulated-seconds budget per run")
+    settle: float = conf(25.0, min=0.0,
+                         help="quiet tail before final invariants")
+    slice: float = conf(5.0, min=0.1, help="sim-seconds per advance slice")
+    check_every: int = conf(16, min=1,
+                            help="invariant probe period (loop steps)")
+    trace: bool = conf(True, cli="")      # CLI drives this via --trace-dir
+    trace_dir: Optional[str] = conf(None, cli="")
 
 
 @dataclass

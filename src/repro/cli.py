@@ -28,17 +28,33 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.api import ClusterBuilder, FuxiCluster
+from repro.chaos.engine import ChaosConfig
 from repro.cluster.metrics import format_table
-from repro.cluster.topology import ClusterTopology
-from repro.core.resources import ResourceVector
+from repro.config import ConfigBase, add_config_args, conf, config_from_args
 from repro.jobs.spec import parse_job_description
-from repro.runtime import FuxiCluster
 
 EXPERIMENTS = ("fig09", "fig10", "table1", "table2", "table3", "table4",
                "scale", "ablation-protocol", "ablation-locality",
                "ablation-reuse")
+
+
+@dataclass(kw_only=True)
+class CliClusterConfig(ConfigBase):
+    """The small ad-hoc cluster behind ``submit``/``demo``/``metrics``.
+
+    ``submit``/``demo``/``metrics`` derive their shared flags from these
+    fields (see :func:`repro.config.add_config_args`), so the defaults live
+    in exactly one place.
+    """
+
+    machines: int = conf(20, min=1, help="machines in the cluster")
+    racks: int = conf(4, min=1, help="racks (machines are split evenly)")
+    jobs: int = conf(10, min=1, help="synthetic jobs to submit")
+    duration: float = conf(60.0, min=0.0, help="simulated seconds to run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,8 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     submit = sub.add_parser("submit", help="run a DAG job description")
     submit.add_argument("job_file", help="JSON job description (Figure 6)")
-    submit.add_argument("--machines", type=int, default=20)
-    submit.add_argument("--racks", type=int, default=4)
+    add_config_args(submit, CliClusterConfig, only=("machines", "racks"))
     submit.add_argument("--timeout", type=float, default=3600.0)
     submit.add_argument("--watch", action="store_true",
                         help="print task progress while running")
@@ -61,10 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run with tracing on, export JSONL trace here")
 
     demo = sub.add_parser("demo", help="run a synthetic workload")
-    demo.add_argument("--machines", type=int, default=20)
-    demo.add_argument("--racks", type=int, default=4)
-    demo.add_argument("--jobs", type=int, default=10)
-    demo.add_argument("--duration", type=float, default=60.0)
+    add_config_args(demo, CliClusterConfig)
     demo.add_argument("--trace-out", metavar="FILE", default=None,
                       help="run with tracing on, export JSONL trace here")
 
@@ -79,10 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     metrics = sub.add_parser(
         "metrics", help="run a short traced workload, dump Prometheus text")
-    metrics.add_argument("--machines", type=int, default=20)
-    metrics.add_argument("--racks", type=int, default=4)
-    metrics.add_argument("--jobs", type=int, default=10)
-    metrics.add_argument("--duration", type=float, default=60.0)
+    add_config_args(metrics, CliClusterConfig)
 
     sub.add_parser("sortbench", help="Table-4 GraySort comparison")
 
@@ -93,14 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first campaign seed (default: global --seed)")
     chaos.add_argument("--seeds", type=int, default=10,
                        help="how many consecutive seeds to run (default 10)")
-    chaos.add_argument("--racks", type=int, default=2)
-    chaos.add_argument("--machines-per-rack", type=int, default=5)
-    chaos.add_argument("--jobs", type=int, default=3,
-                       help="jobs submitted per run (default 3)")
-    chaos.add_argument("--faults", type=int, default=6,
-                       help="fault draws per schedule (default 6)")
-    chaos.add_argument("--timeout", type=float, default=600.0,
-                       help="simulated-seconds budget per run")
+    # every ChaosConfig knob becomes a flag, defaults straight from the
+    # dataclass; tracing is driven by --trace-dir below
+    add_config_args(chaos, ChaosConfig)
     chaos.add_argument("--schedule", metavar="SPEC", default=None,
                        help="explicit fault schedule "
                             "(kind@time[:machine][:k=v];... — replays one "
@@ -123,11 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _make_cluster(machines: int, racks: int, seed: int,
                   trace: bool = False) -> FuxiCluster:
     per_rack = max(1, machines // max(racks, 1))
-    topology = ClusterTopology.build(
-        racks, per_rack, capacity=ResourceVector.of(cpu=400, memory=16384))
-    cluster = FuxiCluster(topology, seed=seed, trace=trace)
-    cluster.warm_up()
-    return cluster
+    return (ClusterBuilder(racks=racks, machines_per_rack=per_rack,
+                           machine_cpu=400, machine_memory=16384)
+            .seed(seed).trace(trace).build())
 
 
 def _export_trace(cluster: FuxiCluster, path: Optional[str]) -> int:
@@ -263,9 +265,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos.shrink import violation_matcher
     from repro.cluster.faults import FaultPlan, ScheduleParseError
 
-    config = ChaosConfig(
-        racks=args.racks, machines_per_rack=args.machines_per_rack,
-        jobs=args.jobs, faults=args.faults, timeout=args.timeout,
+    config = config_from_args(
+        ChaosConfig, args,
         trace=args.trace_dir is not None, trace_dir=args.trace_dir)
 
     if args.schedule is not None:

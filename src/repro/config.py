@@ -1,0 +1,184 @@
+"""Shared configuration machinery for the public API surface.
+
+Every user-facing knob bundle (:class:`repro.api.RunSpec`,
+:class:`repro.core.scheduler.SchedulerConfig`, the chaos campaign's
+:class:`repro.chaos.engine.ChaosConfig`) is a keyword-only dataclass built
+on :class:`ConfigBase`, which provides:
+
+- validation on construction (type coercion for int/float fields, per-field
+  ``min``/``max``/``choices`` bounds declared via :func:`conf`);
+- a shared ``to_dict`` / ``from_dict`` round-trip (unknown keys rejected);
+- CLI derivation: :func:`add_config_args` turns the dataclass fields into
+  ``argparse`` flags (``--machines-per-rack`` style, or an explicit ``cli``
+  override) and :func:`config_from_args` builds the config back from the
+  parsed namespace — so ``repro/cli.py`` no longer hand-maintains a parallel
+  copy of every default.
+
+This module deliberately imports nothing from the rest of ``repro`` so the
+core packages can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import typing
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional, Type, TypeVar
+
+C = TypeVar("C", bound="ConfigBase")
+
+_CLI_TYPES = (int, float, str, bool)
+
+
+def conf(default: Any, *, help: str = "", min: Optional[float] = None,
+         max: Optional[float] = None, choices: Optional[Iterable] = None,
+         cli: Optional[str] = None) -> Any:
+    """A validated config field.
+
+    ``help`` feeds the derived CLI flag; ``min``/``max``/``choices`` are
+    enforced by :meth:`ConfigBase.validate`; ``cli`` overrides the derived
+    flag name (``None`` derives ``--field-name``, ``""`` hides the field
+    from the CLI entirely).
+    """
+    metadata = {"help": help, "min": min, "max": max,
+                "choices": tuple(choices) if choices is not None else None,
+                "cli": cli}
+    return dataclasses.field(default=default, metadata=metadata)
+
+
+def _field_types(cls: type) -> Dict[str, type]:
+    """Resolve the (string) annotations of a config class to runtime types."""
+    hints = typing.get_type_hints(cls)
+    out: Dict[str, type] = {}
+    for name, hint in hints.items():
+        origin = typing.get_origin(hint)
+        if origin is typing.Union:  # Optional[X] -> X
+            args = [a for a in typing.get_args(hint) if a is not type(None)]
+            hint = args[0] if len(args) == 1 else str
+        out[name] = hint if isinstance(hint, type) else str
+    return out
+
+
+@dataclass(kw_only=True)
+class ConfigBase:
+    """Keyword-only, validated, dict-round-trippable config dataclass."""
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Coerce numeric fields and enforce the declared bounds."""
+        types = _field_types(type(self))
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            want = types.get(f.name)
+            if value is None:
+                continue
+            if want is float and isinstance(value, int) \
+                    and not isinstance(value, bool):
+                value = float(value)
+                object.__setattr__(self, f.name, value)
+            if want in (int, float) and (isinstance(value, bool)
+                                         or not isinstance(value, (int, float))):
+                raise ValueError(f"{type(self).__name__}.{f.name}: expected "
+                                 f"{want.__name__}, got {value!r}")
+            lo = f.metadata.get("min")
+            hi = f.metadata.get("max")
+            choices = f.metadata.get("choices")
+            if lo is not None and value < lo:
+                raise ValueError(f"{type(self).__name__}.{f.name}: "
+                                 f"{value!r} < minimum {lo!r}")
+            if hi is not None and value > hi:
+                raise ValueError(f"{type(self).__name__}.{f.name}: "
+                                 f"{value!r} > maximum {hi!r}")
+            if choices is not None and value not in choices:
+                raise ValueError(f"{type(self).__name__}.{f.name}: "
+                                 f"{value!r} not in {choices!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict snapshot (field order, primitives only)."""
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls: Type[C], data: Mapping[str, Any]) -> C:
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"{cls.__name__}: unknown config keys "
+                             f"{sorted(unknown)}")
+        return cls(**dict(data))
+
+    def replace(self: C, **changes: Any) -> C:
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+def cli_flag(f: dataclasses.Field) -> Optional[str]:
+    """The CLI flag for a config field, or None if it has none."""
+    override = f.metadata.get("cli") if f.metadata else None
+    if override == "":
+        return None
+    return override or "--" + f.name.replace("_", "-")
+
+
+def add_config_args(parser: argparse.ArgumentParser, cls: type, *,
+                    only: Optional[Iterable[str]] = None,
+                    exclude: Iterable[str] = ()) -> None:
+    """Derive argparse flags from a :class:`ConfigBase` subclass's fields.
+
+    Only int/float/str/bool fields are exposed; bool fields with a False
+    default become ``store_true`` switches, True defaults get a
+    ``--no-<flag>`` form.  Defaults come straight from the dataclass, so the
+    CLI can never drift from the config.
+    """
+    only_set = set(only) if only is not None else None
+    exclude_set = set(exclude)
+    types = _field_types(cls)
+    for f in dataclasses.fields(cls):
+        if only_set is not None and f.name not in only_set:
+            continue
+        if f.name in exclude_set:
+            continue
+        flag = cli_flag(f)
+        if flag is None:
+            continue
+        ftype = types.get(f.name)
+        if ftype not in _CLI_TYPES:
+            continue
+        default = f.default
+        if default is dataclasses.MISSING:
+            if f.default_factory is dataclasses.MISSING:  # pragma: no cover
+                continue
+            default = f.default_factory()
+        help_text = (f.metadata.get("help") if f.metadata else "") or ""
+        if help_text:
+            help_text += f" (default {default})"
+        else:
+            help_text = f"default {default}"
+        if ftype is bool:
+            if default:
+                parser.add_argument(flag, dest=f.name, default=True,
+                                    action=argparse.BooleanOptionalAction,
+                                    help=help_text)
+            else:
+                parser.add_argument(flag, dest=f.name, default=False,
+                                    action="store_true", help=help_text)
+        else:
+            choices = f.metadata.get("choices") if f.metadata else None
+            parser.add_argument(flag, dest=f.name, type=ftype,
+                                default=default, choices=choices,
+                                help=help_text)
+
+
+def config_from_args(cls: Type[C], args: argparse.Namespace,
+                     **overrides: Any) -> C:
+    """Build a config from a parsed namespace + explicit overrides."""
+    kwargs: Dict[str, Any] = {}
+    for f in dataclasses.fields(cls):
+        if hasattr(args, f.name):
+            kwargs[f.name] = getattr(args, f.name)
+    kwargs.update(overrides)
+    return cls(**kwargs)

@@ -21,7 +21,7 @@ from repro.core.resources import ResourceVector, total_of
 from repro.core.units import UnitKey
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Grant:
     """A (possibly negative) change of allocation: ``count`` units on ``machine``.
 
@@ -47,12 +47,14 @@ class AllocationLedger:
 
     def __init__(self) -> None:
         self._counts: Dict[Tuple[UnitKey, str], int] = {}
-        # machine -> unit -> count and unit -> machine -> count indexes so
-        # per-machine queries (machine-local scheduling, preemption
-        # planning) and per-unit queries (grant caps, full syncs) do not
-        # scan the whole ledger.
+        # machine -> unit -> count, unit -> machine -> count and
+        # app -> unit-key set indexes so per-machine queries (machine-local
+        # scheduling, preemption planning), per-unit queries (grant caps,
+        # full syncs) and per-app queries (grant-state syncs, app exit) do
+        # not scan the whole ledger.
         self._by_machine: Dict[str, Dict[UnitKey, int]] = {}
         self._by_unit: Dict[UnitKey, Dict[str, int]] = {}
+        self._by_app: Dict[str, set] = {}
 
     def _set(self, unit_key: UnitKey, machine: str, count: int) -> None:
         key = (unit_key, machine)
@@ -68,10 +70,16 @@ class AllocationLedger:
                 per_unit.pop(machine, None)
                 if not per_unit:
                     del self._by_unit[unit_key]
+                    per_app = self._by_app.get(unit_key.app_id)
+                    if per_app is not None:
+                        per_app.discard(unit_key)
+                        if not per_app:
+                            del self._by_app[unit_key.app_id]
         else:
             self._counts[key] = count
             self._by_machine.setdefault(machine, {})[unit_key] = count
             self._by_unit.setdefault(unit_key, {})[machine] = count
+            self._by_app.setdefault(unit_key.app_id, set()).add(unit_key)
 
     def apply(self, grant: Grant) -> None:
         """Fold a grant/revocation in.  Over-revocation raises."""
@@ -107,22 +115,33 @@ class AllocationLedger:
             yield unit_key, machine, count
 
     def entries_for_app(self, app_id: str) -> Iterator[Tuple[UnitKey, str, int]]:
-        for unit_key, machine, count in self.entries():
-            if unit_key.app_id == app_id:
-                yield unit_key, machine, count
+        for unit_key in sorted(self._by_app.get(app_id, ())):
+            per_unit = self._by_unit[unit_key]
+            for machine in sorted(per_unit):
+                yield unit_key, machine, per_unit[machine]
 
     def entries_for_machine(self, machine: str) -> Iterator[Tuple[UnitKey, int]]:
         per_machine = self._by_machine.get(machine, {})
         for unit_key in sorted(per_machine):
             yield unit_key, per_machine[unit_key]
 
+    def books_match(self, machine: str, reported: Dict[UnitKey, int]) -> bool:
+        """True iff ``reported`` equals this ledger's books for ``machine``.
+
+        Compares against the live per-machine index — no sort and no dict
+        rebuild, because this runs on every agent heartbeat.
+        """
+        books = self._by_machine.get(machine)
+        if not reported:
+            return not books
+        return books == reported
+
     def drop_app(self, app_id: str) -> List[Grant]:
         """Remove all allocations of ``app_id``; returns the revocations applied."""
-        revoked = []
-        for (unit_key, machine) in [k for k in self._counts if k[0].app_id == app_id]:
-            count = self._counts[(unit_key, machine)]
-            self._set(unit_key, machine, 0)
-            revoked.append(Grant(unit_key, machine, -count))
+        revoked = [Grant(unit_key, machine, -count)
+                   for unit_key, machine, count in self.entries_for_app(app_id)]
+        for grant in revoked:
+            self._set(grant.unit_key, grant.machine, 0)
         return revoked
 
     def drop_machine(self, machine: str) -> List[Grant]:
@@ -159,6 +178,7 @@ class AllocationLedger:
                              for m, units in self._by_machine.items()}
         clone._by_unit = {u: dict(machines)
                           for u, machines in self._by_unit.items()}
+        clone._by_app = {a: set(units) for a, units in self._by_app.items()}
         return clone
 
     def __len__(self) -> int:

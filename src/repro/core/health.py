@@ -104,18 +104,25 @@ class HealthMonitor:
         self.threshold = threshold
         self.grace_seconds = grace_seconds
         self._machines: Dict[str, _MachineHealth] = {}
+        self._total_weight = sum(p.weight for p in self.plugins)
 
     def add_plugin(self, plugin: HealthPlugin) -> None:
         """Administrators can add more check items at runtime."""
         self.plugins.append(plugin)
+        self._total_weight += plugin.weight
 
     def record_sample(self, machine: str, sample: Mapping[str, float],
                       now: float) -> float:
         """Fold one raw sample in; returns the combined score."""
-        total_weight = sum(p.weight for p in self.plugins)
-        score = sum(
-            p.weight * min(max(p.evaluate(sample), 0.0), 1.0) for p in self.plugins
-        ) / total_weight
+        weighted = 0.0
+        for p in self.plugins:
+            value = p.evaluate(sample)
+            if value < 0.0:
+                value = 0.0
+            elif value > 1.0:
+                value = 1.0
+            weighted += p.weight * value
+        score = weighted / self._total_weight
         state = self._machines.setdefault(machine, _MachineHealth())
         state.score = score
         if score < self.threshold:

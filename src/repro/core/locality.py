@@ -82,6 +82,9 @@ class LocalityTree:
         self._machine_queues: Dict[str, _Queue] = {}
         self._rack_queues: Dict[str, _Queue] = {}
         self._cluster_queue = _Queue()
+        # reverse index: which queues each demand was ever pushed into, so
+        # remove() touches only those instead of every queue in the tree
+        self._queues_of: Dict[UnitKey, Set[_Queue]] = {}
 
     # --------------------------------------------------------------- #
     # topology
@@ -101,22 +104,31 @@ class LocalityTree:
               machine_hints: Dict[str, int], rack_hints: Dict[str, int],
               total: int) -> None:
         """(Re-)register a demand's queue entries after any demand change."""
+        queues = self._queues_of.get(unit_key)
+        if queues is None:
+            queues = self._queues_of[unit_key] = set()
         for machine, count in machine_hints.items():
             if count > 0:
-                self._machine_queue(machine).push(priority, seq, unit_key)
+                queue = self._machine_queue(machine)
+                queue.push(priority, seq, unit_key)
+                queues.add(queue)
         for rack, count in rack_hints.items():
             if count > 0:
-                self._rack_queue(rack).push(priority, seq, unit_key)
+                queue = self._rack_queue(rack)
+                queue.push(priority, seq, unit_key)
+                queues.add(queue)
         if total > 0:
             self._cluster_queue.push(priority, seq, unit_key)
+            queues.add(self._cluster_queue)
 
     def remove(self, unit_key: UnitKey) -> None:
-        """Drop a demand from every queue (application exit / demand zeroed)."""
-        for queue in self._machine_queues.values():
+        """Drop a demand from every queue it was indexed into.
+
+        Served by the reverse index, so cost is O(queues this demand ever
+        touched), independent of cluster size.
+        """
+        for queue in self._queues_of.pop(unit_key, ()):
             queue.discard(unit_key)
-        for queue in self._rack_queues.values():
-            queue.discard(unit_key)
-        self._cluster_queue.discard(unit_key)
 
     # --------------------------------------------------------------- #
     # candidate iteration

@@ -204,7 +204,7 @@ class FuxiMaster(Actor):
                 self._send_alloc_full(machine)
             decisions = self.scheduler.schedule_all_machines()
         if self._failover_span is not None:
-            machines = (len(self.scheduler.pool.machines())
+            machines = (self.scheduler.pool.machine_count()
                         if self.scheduler is not None else 0)
             self.tracer.end_span(self._failover_span,
                                  machines=machines, grants=len(decisions))
@@ -377,7 +377,10 @@ class FuxiMaster(Actor):
         self._last_agent_seen[beat.machine] = self.loop.now
         score = self.health.record_sample(beat.machine, beat.health_sample,
                                           self.loop.now)
-        self.metrics.record(f"health.{beat.machine}", self.loop.now, score)
+        if self.tracer.enabled:
+            # Per-machine health series are a debugging aid; at 5k machines
+            # they dominate metric volume, so only record them under tracing.
+            self.metrics.record(f"health.{beat.machine}", self.loop.now, score)
         if not self.scheduler.pool.has_machine(beat.machine):
             if self.recovering:
                 # Ask for the full allocation picture before re-adding.
@@ -385,7 +388,7 @@ class FuxiMaster(Actor):
                 return
             decisions = self.scheduler.add_machine(beat.machine, beat.rack,
                                                    beat.capacity)
-            self.blacklist.set_known_machines(len(self.scheduler.pool.machines()))
+            self.blacklist.set_known_machines(self.scheduler.pool.machine_count())
             if self.blacklist.is_disabled(beat.machine):
                 self.scheduler.disable_machine(beat.machine)
             # The agent may have outlived its removal (e.g. its heartbeats
@@ -402,7 +405,8 @@ class FuxiMaster(Actor):
                                                    beat.capacity)
             self._disseminate(decisions)
         elif (not self.recovering
-              and dict(beat.allocations) != self._alloc_state(beat.machine)):
+              and not self.scheduler.ledger.books_match(beat.machine,
+                                                        beat.allocations)):
             # Periodic safety sync (§3.1), agent side: the books drifted —
             # e.g. a fire-and-forget full sync was lost in a partition, or
             # revocations were undeliverable while the machine was out of
@@ -434,12 +438,37 @@ class FuxiMaster(Actor):
             pending = self._pending_allocations.setdefault(report.machine, {})
             for unit_key, count in report.allocations.items():
                 pending[unit_key] = int(count)
-            self._retry_pending_allocations()
+            # Targeted install: re-scanning *every* buffered report per
+            # arriving report is quadratic across a 5k-machine recovery;
+            # entries whose units are still missing are swept up by
+            # _install_pending_allocations when the window closes.
+            self._install_machine_report(report.machine)
         else:
             if not self.scheduler.pool.has_machine(report.machine):
                 decisions = self.scheduler.add_machine(
                     report.machine, report.rack, report.capacity)
                 self._disseminate(decisions)
+
+    def _install_machine_report(self, machine: str) -> None:
+        """Install one machine's buffered report (single-machine form of
+        :meth:`_retry_pending_allocations`)."""
+        report = self._pending_agent_reports[machine]
+        if not self.scheduler.pool.has_machine(machine):
+            self.scheduler.add_machine(machine, report.rack,
+                                       report.capacity, schedule=False)
+            self.blacklist.set_known_machines(
+                self.scheduler.pool.machine_count())
+            if self.blacklist.is_disabled(machine):
+                self.scheduler.disable_machine(machine)
+        entries = self._pending_allocations.get(machine)
+        if not entries:
+            return
+        for unit_key in list(entries):
+            if unit_key in self.scheduler.units:
+                self.scheduler.restore_allocation(unit_key, machine,
+                                                  entries.pop(unit_key))
+        if not entries:
+            del self._pending_allocations[machine]
 
     def _retry_pending_allocations(self) -> None:
         """Install buffered (machine, unit, count) entries whose pieces arrived."""
@@ -448,7 +477,7 @@ class FuxiMaster(Actor):
                 self.scheduler.add_machine(machine, report.rack,
                                            report.capacity, schedule=False)
                 self.blacklist.set_known_machines(
-                    len(self.scheduler.pool.machines()))
+                    self.scheduler.pool.machine_count())
                 if self.blacklist.is_disabled(machine):
                     self.scheduler.disable_machine(machine)
         for machine, entries in list(self._pending_allocations.items()):
@@ -564,12 +593,20 @@ class FuxiMaster(Actor):
         hosted: Dict[str, int] = {}
         for machine in self._app_master_machine.values():
             hosted[machine] = hosted.get(machine, 0) + 1
-        candidates = sorted(
-            (m for m in self._last_agent_seen
-             if m != avoid and not self.blacklist.is_disabled(m)),
-            key=lambda m: (hosted.get(m, 0), m),
-        )
-        return candidates[0] if candidates else None
+        # Single min-scan over live agents: sorting every candidate per
+        # submission is O(M log M) and shows up at 5k machines.
+        best: Optional[str] = None
+        best_load = 0
+        is_disabled = self.blacklist.is_disabled
+        for machine in self._last_agent_seen:
+            if machine == avoid or is_disabled(machine):
+                continue
+            load = hosted.get(machine, 0)
+            if (best is None or load < best_load
+                    or (load == best_load and machine < best)):
+                best = machine
+                best_load = load
+        return best
 
     # ------------------------------------------------------------------ #
     # blacklist
@@ -653,7 +690,7 @@ class FuxiMaster(Actor):
             "role": self.role,
             "recovering": self.recovering,
             "failovers": self.failovers,
-            "machines": (len(self.scheduler.pool.machines())
+            "machines": (self.scheduler.pool.machine_count()
                          if self.scheduler is not None else 0),
             "disabled": sorted(self.blacklist.disabled_machines()),
         }

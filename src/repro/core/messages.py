@@ -21,21 +21,21 @@ from repro.core.units import ScheduleUnit, UnitKey
 # application master -> FuxiMaster (payloads inside protocol envelopes)
 # ------------------------------------------------------------------ #
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DefineUnit:
     """Declare (or redeclare) a ScheduleUnit definition."""
 
     unit: ScheduleUnit
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DemandDelta:
     """Incremental change to demand (the paper's resource request message)."""
 
     delta: RequestDelta
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReturnResource:
     """Give back ``count`` granted units on ``machine``."""
 
@@ -44,7 +44,7 @@ class ReturnResource:
     count: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppFullState:
     """Periodic full-state sync from an app master (safety measure, §3.1).
 
@@ -60,21 +60,21 @@ class AppFullState:
     recovering: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppExit:
     """Application finished; all its resources return to the pool."""
 
     app_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppHeartbeat:
     """Lightweight AM liveness signal; FuxiMaster restarts silent AMs."""
 
     app_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubmitJob:
     """Client -> FuxiMaster: launch an application (hard state, checkpointed)."""
 
@@ -83,7 +83,7 @@ class SubmitJob:
     group: str = "default"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlacklistReport:
     """JobMaster -> FuxiMaster: this machine looks bad from where I stand."""
 
@@ -95,14 +95,14 @@ class BlacklistReport:
 # FuxiMaster -> application master
 # ------------------------------------------------------------------ #
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GrantBatch:
     """Grants/revocations for one application (may mix signs)."""
 
     grants: Tuple[Grant, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MasterHello:
     """New (or failed-over) FuxiMaster announcing itself; peers must re-sync."""
 
@@ -110,7 +110,7 @@ class MasterHello:
     epoch: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResyncRequest:
     """Failover soft-state recollection: peers must send their full state."""
 
@@ -122,7 +122,7 @@ class ResyncRequest:
 # FuxiAgent <-> FuxiMaster
 # ------------------------------------------------------------------ #
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AgentHeartbeat:
     """Periodic agent report: capacity, load, health — and the agent's
     allocation books, so the master can detect drift (the §3.1 "full state
@@ -136,7 +136,7 @@ class AgentHeartbeat:
     allocations: Dict[UnitKey, int] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AgentFullState:
     """Agent's allocation books, re-sent during FuxiMaster failover."""
 
@@ -146,14 +146,14 @@ class AgentFullState:
     allocations: Dict[UnitKey, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AllocationUpdate:
     """FuxiMaster -> agent: the granted amount for units on this machine."""
 
     grants: Tuple[Grant, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LaunchAppMaster:
     """FuxiMaster -> agent: start an application master process."""
 
@@ -161,7 +161,7 @@ class LaunchAppMaster:
     description: dict
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppMasterStarted:
     """Agent -> FuxiMaster: the app master process is up."""
 
@@ -173,7 +173,7 @@ class AppMasterStarted:
 # application master <-> FuxiAgent (work plans), worker <-> masters
 # ------------------------------------------------------------------ #
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkPlan:
     """App master -> agent: launch a worker inside a granted container."""
 
@@ -184,7 +184,7 @@ class WorkPlan:
     spec: dict = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StopWorker:
     """App master -> agent: terminate a worker (resource being returned)."""
 
@@ -192,7 +192,7 @@ class StopWorker:
     worker_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkerStarted:
     """Agent -> app master: worker process is running."""
 
@@ -200,7 +200,7 @@ class WorkerStarted:
     machine: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkerLaunchFailed:
     """Agent -> app master: process could not be started (bad disk etc.)."""
 
@@ -209,7 +209,7 @@ class WorkerLaunchFailed:
     reason: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkerExited:
     """Agent -> app master: worker process ended (crash or kill)."""
 
@@ -218,14 +218,14 @@ class WorkerExited:
     reason: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkerListRequest:
     """Recovering agent -> app master: which of my workers should exist?"""
 
     machine: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkerListReply:
     """App master -> recovering agent: expected workers on that machine."""
 
@@ -237,7 +237,7 @@ class WorkerListReply:
 # generic
 # ------------------------------------------------------------------ #
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ack:
     """Stream acknowledgement for retransmission bookkeeping."""
 
@@ -246,7 +246,7 @@ class Ack:
     seq: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """Protocol envelope carrier (wraps Delta/FullSync envelopes on the bus)."""
 

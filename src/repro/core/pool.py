@@ -4,13 +4,73 @@ One of the two data structures of the FuxiMaster scheduler (paper §3.3); the
 other is the locality tree.  The pool answers "how many units of size *u*
 still fit on machine *m*" and conserves ``free + allocated == capacity`` at
 all times (a property test pins this).
+
+Placement ranking is served by incrementally-maintained *shape indexes*:
+for each distinct unit size the scheduler asks about, the pool keeps every
+machine's whole-unit fit count bucketed by count (machines sorted by name
+inside a bucket).  An allocate/release touches only that machine's entry in
+each index, so :meth:`best_fit_machines` degenerates to walking buckets in
+descending order — no per-machine vector math and no sort per request.  The
+returned ranking is exactly the old scan's ``(-units, name)`` order, which
+an equivalence test pins on randomized demand sets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.resources import ResourceVector
+
+#: stop indexing new shapes beyond this many distinct unit sizes (real
+#: workloads use a handful; the fallback scan keeps exotic callers correct).
+_MAX_SHAPE_INDEXES = 32
+
+
+class _ShapeIndex:
+    """Per-unit-size fit counts, bucketed by count for ranked iteration."""
+
+    __slots__ = ("unit_size", "units", "buckets", "bucket_keys")
+
+    def __init__(self, unit_size: ResourceVector):
+        self.unit_size = unit_size
+        self.units: Dict[str, int] = {}          # machine -> fit count (> 0)
+        self.buckets: Dict[int, List[str]] = {}  # count -> sorted machines
+        self.bucket_keys: List[int] = []         # ascending counts
+
+    def update(self, machine: str, units: int) -> None:
+        old = self.units.get(machine, 0)
+        if units == old:
+            return
+        if old:
+            bucket = self.buckets[old]
+            if len(bucket) == 1:
+                del self.buckets[old]
+                del self.bucket_keys[bisect_left(self.bucket_keys, old)]
+            else:
+                del bucket[bisect_left(bucket, machine)]
+        if units > 0:
+            self.units[machine] = units
+            bucket = self.buckets.get(units)
+            if bucket is None:
+                self.buckets[units] = [machine]
+                insort(self.bucket_keys, units)
+            else:
+                insort(bucket, machine)
+        else:
+            self.units.pop(machine, None)
+
+    def ranked(self, disabled: set) -> List[Tuple[str, int]]:
+        """Snapshot of (machine, units), most units first, name tie-break."""
+        out: List[Tuple[str, int]] = []
+        if disabled:
+            for units in reversed(self.bucket_keys):
+                out.extend((m, units) for m in self.buckets[units]
+                           if m not in disabled)
+        else:
+            for units in reversed(self.bucket_keys):
+                out.extend((m, units) for m in self.buckets[units])
+        return out
 
 
 class FreeResourcePool:
@@ -24,13 +84,34 @@ class FreeResourcePool:
         # this set instead of every machine, so a saturated cluster costs
         # O(1) per request instead of O(machines).
         self._has_free: set = set()
+        # unit-size -> incrementally maintained fit index (see module doc)
+        self._shape_indexes: Dict[ResourceVector, _ShapeIndex] = {}
+        self._sorted_machines: Optional[List[str]] = None
 
     def _update_free(self, machine: str, free: ResourceVector) -> None:
         self._free[machine] = free
         if free.is_zero():
             self._has_free.discard(machine)
+            for index in self._shape_indexes.values():
+                index.update(machine, 0)
         else:
             self._has_free.add(machine)
+            for index in self._shape_indexes.values():
+                index.update(machine,
+                             index.unit_size.max_units_in(free))
+
+    def _shape_index(self, unit_size: ResourceVector) -> Optional[_ShapeIndex]:
+        """The (lazily built) index for this unit size, or None if over cap."""
+        index = self._shape_indexes.get(unit_size)
+        if index is None:
+            if len(self._shape_indexes) >= _MAX_SHAPE_INDEXES:
+                return None
+            index = _ShapeIndex(unit_size)
+            max_units_in = unit_size.max_units_in
+            for machine in self._has_free:
+                index.update(machine, max_units_in(self._free[machine]))
+            self._shape_indexes[unit_size] = index
+        return index
 
     # --------------------------------------------------------------- #
     # machine membership
@@ -48,14 +129,18 @@ class FreeResourcePool:
             self._update_free(machine, capacity.monus(allocated))
         else:
             self._capacity[machine] = capacity
+            self._sorted_machines = None
             self._update_free(machine, capacity)
 
     def remove_machine(self, machine: str) -> None:
         """Drop a machine entirely (node down)."""
-        self._capacity.pop(machine, None)
+        if self._capacity.pop(machine, None) is not None:
+            self._sorted_machines = None
         self._free.pop(machine, None)
         self._disabled.discard(machine)
         self._has_free.discard(machine)
+        for index in self._shape_indexes.values():
+            index.update(machine, 0)
 
     def disable(self, machine: str) -> None:
         """Keep the machine's books but stop offering its resources (blacklist)."""
@@ -71,12 +156,21 @@ class FreeResourcePool:
     def has_machine(self, machine: str) -> bool:
         return machine in self._capacity
 
+    def machine_count(self) -> int:
+        """Number of registered machines (O(1))."""
+        return len(self._capacity)
+
     def machines(self) -> List[str]:
-        return sorted(self._capacity)
+        """Sorted machine names.  Cached; callers must not mutate it."""
+        cached = self._sorted_machines
+        if cached is None:
+            cached = self._sorted_machines = sorted(self._capacity)
+        return cached
 
     def schedulable_machines(self) -> Iterator[str]:
-        for machine in sorted(self._capacity):
-            if machine not in self._disabled:
+        disabled = self._disabled
+        for machine in self.machines():
+            if machine not in disabled:
                 yield machine
 
     # --------------------------------------------------------------- #
@@ -92,17 +186,19 @@ class FreeResourcePool:
     def allocated(self, machine: str) -> ResourceVector:
         return self.capacity(machine).monus(self.free(machine))
 
+    @staticmethod
+    def _sum(vectors: Iterable[ResourceVector]) -> ResourceVector:
+        acc: Dict[str, float] = {}
+        for vector in vectors:
+            for name, amount in vector.as_dict().items():
+                acc[name] = acc.get(name, 0.0) + amount
+        return ResourceVector(acc)
+
     def total_capacity(self) -> ResourceVector:
-        acc = ResourceVector()
-        for vector in self._capacity.values():
-            acc = acc + vector
-        return acc
+        return self._sum(self._capacity.values())
 
     def total_free(self) -> ResourceVector:
-        acc = ResourceVector()
-        for vector in self._free.values():
-            acc = acc + vector
-        return acc
+        return self._sum(self._free.values())
 
     def total_allocated(self) -> ResourceVector:
         return self.total_capacity().monus(self.total_free())
@@ -126,8 +222,11 @@ class FreeResourcePool:
             return
         restored = self._free[machine] + amount
         capacity = self._capacity[machine]
-        clamped = {n: min(a, capacity.get(n)) for n, a in restored.as_dict().items()}
-        self._update_free(machine, ResourceVector(clamped))
+        if not restored.fits_in(capacity):
+            clamped = {n: min(a, capacity.get(n))
+                       for n, a in restored.as_dict().items()}
+            restored = ResourceVector(clamped)
+        self._update_free(machine, restored)
 
     def fits(self, machine: str, amount: ResourceVector) -> bool:
         if machine in self._disabled:
@@ -152,15 +251,32 @@ class FreeResourcePool:
         """Candidate machines ordered most-free-first with unit counts.
 
         Sorting by descending free units spreads load (the paper's "load
-        balance will also be considered").
+        balance will also be considered").  Served from the shape index —
+        the result is a snapshot, so callers may allocate while iterating.
         """
+        index = self._shape_index(unit_size)
         if candidates is not None:
-            pool = candidates
-        else:
-            pool = sorted(m for m in self._has_free
-                          if m not in self._disabled)
+            disabled = self._disabled
+            if index is not None:
+                fit_units = index.units
+                scored = [(machine, fit_units[machine])
+                          for machine in candidates
+                          if machine in fit_units
+                          and machine not in disabled]
+            else:
+                scored = []
+                for machine in candidates:
+                    units = self.max_units(machine, unit_size)
+                    if units > 0:
+                        scored.append((machine, units))
+            scored.sort(key=lambda pair: (-pair[1], pair[0]))
+            return scored
+        if index is not None:
+            return index.ranked(self._disabled)
+        # over the shape cap: fall back to the direct scan
         scored = []
-        for machine in pool:
+        for machine in sorted(m for m in self._has_free
+                              if m not in self._disabled):
             units = self.max_units(machine, unit_size)
             if units > 0:
                 scored.append((machine, units))

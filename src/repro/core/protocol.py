@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeltaEnvelope:
     """One in-order delta on a stream."""
 
@@ -32,7 +32,7 @@ class DeltaEnvelope:
     payload: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FullSyncEnvelope:
     """Complete sender state; resynchronizes the stream at (epoch, seq)."""
 

@@ -31,7 +31,7 @@ class LocalityLevel(enum.Enum):
     CLUSTER = "cluster"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LocalityHint:
     """One hint line from a request (Figure 4's ``Locality_hints`` block)."""
 
@@ -40,7 +40,7 @@ class LocalityHint:
     count: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestDelta:
     """An incremental change to an application's demand for one unit.
 

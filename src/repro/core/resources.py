@@ -8,16 +8,25 @@ therefore component-wise, not lexicographic.
 CPU is measured in centi-cores (100 == one core) and memory in megabytes,
 matching the paper's request example (``CPU: 100, Memory: 1024``).  Virtual
 dimensions use whatever unit the application chooses.
+
+The vector is immutable, which the grant/return hot path exploits: algebra
+results are built through a validation-free private constructor, hashes are
+computed once and cached, and each vector memoizes its small-integer scalar
+products (``unit.resources * count`` recurs constantly during scheduling).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 CPU = "CPU"
 MEMORY = "Memory"
 
 PHYSICAL_DIMENSIONS = (CPU, MEMORY)
+
+#: memoize scalar products for small integer factors only (grant counts);
+#: larger/float factors are rare and not worth the per-vector memory.
+_SCALE_CACHE_MAX_FACTOR = 64
 
 
 class ResourceVector:
@@ -32,7 +41,7 @@ class ResourceVector:
     that supply" test that drives all scheduling decisions.
     """
 
-    __slots__ = ("_dims",)
+    __slots__ = ("_dims", "_hash", "_scaled")
 
     def __init__(self, dims: Mapping[str, float] | None = None, **kw: float):
         merged: Dict[str, float] = {}
@@ -44,6 +53,21 @@ class ResourceVector:
                 if amount > 0:
                     merged[name] = merged.get(name, 0.0) + amount
         self._dims: Dict[str, float] = merged
+        self._hash: Optional[int] = None
+        self._scaled: Optional[Dict[int, "ResourceVector"]] = None
+
+    @classmethod
+    def _adopt(cls, dims: Dict[str, float]) -> "ResourceVector":
+        """Validation-free constructor for internal algebra results.
+
+        ``dims`` must already satisfy the invariant (all values > 0) and
+        must not be aliased by the caller afterwards.
+        """
+        vector = cls.__new__(cls)
+        vector._dims = dims
+        vector._hash = None
+        vector._scaled = None
+        return vector
 
     # --------------------------------------------------------------- #
     # constructors
@@ -97,14 +121,20 @@ class ResourceVector:
     def __add__(self, other: "ResourceVector") -> "ResourceVector":
         if not isinstance(other, ResourceVector):
             return NotImplemented
+        if not other._dims:
+            return self
+        if not self._dims:
+            return other
         dims = dict(self._dims)
         for name, amount in other._dims.items():
             dims[name] = dims.get(name, 0.0) + amount
-        return ResourceVector(dims)
+        return ResourceVector._adopt(dims)
 
     def __sub__(self, other: "ResourceVector") -> "ResourceVector":
         if not isinstance(other, ResourceVector):
             return NotImplemented
+        if not other._dims:
+            return self
         dims = dict(self._dims)
         for name, amount in other._dims.items():
             remaining = dims.get(name, 0.0) - amount
@@ -117,23 +147,42 @@ class ResourceVector:
                 dims.pop(name, None)
             else:
                 dims[name] = remaining
-        return ResourceVector(dims)
+        return ResourceVector._adopt(dims)
 
     def monus(self, other: "ResourceVector") -> "ResourceVector":
         """Component-wise subtraction clamped at zero (truncated minus)."""
+        other_dims = other._dims
         dims = {}
         for name, amount in self._dims.items():
-            remaining = amount - other.get(name)
+            remaining = amount - other_dims.get(name, 0.0)
             if remaining > 1e-9:
                 dims[name] = remaining
-        return ResourceVector(dims)
+        return ResourceVector._adopt(dims)
 
     def __mul__(self, factor: float) -> "ResourceVector":
         if not isinstance(factor, (int, float)):
             return NotImplemented
         if factor < 0:
             raise ValueError(f"negative factor {factor}")
-        return ResourceVector({n: a * factor for n, a in self._dims.items()})
+        if factor == 0 or not self._dims:
+            return _ZERO
+        if factor == 1:
+            return self
+        cacheable = (type(factor) is int
+                     and factor <= _SCALE_CACHE_MAX_FACTOR)
+        if cacheable:
+            cache = self._scaled
+            if cache is not None:
+                cached = cache.get(factor)
+                if cached is not None:
+                    return cached
+        product = ResourceVector._adopt(
+            {n: a * factor for n, a in self._dims.items()})
+        if cacheable:
+            if self._scaled is None:
+                self._scaled = {}
+            self._scaled[factor] = product
+        return product
 
     __rmul__ = __mul__
 
@@ -143,7 +192,11 @@ class ResourceVector:
 
     def fits_in(self, supply: "ResourceVector") -> bool:
         """True if every dimension of this demand is available in ``supply``."""
-        return all(amount <= supply.get(name) + 1e-9 for name, amount in self._dims.items())
+        supply_dims = supply._dims
+        for name, amount in self._dims.items():
+            if amount > supply_dims.get(name, 0.0) + 1e-9:
+                return False
+        return True
 
     def max_units_in(self, supply: "ResourceVector") -> int:
         """How many whole copies of this vector fit in ``supply``.
@@ -153,18 +206,23 @@ class ResourceVector:
         """
         if not self._dims:
             return 10 ** 9
-        units = None
+        supply_dims = supply._dims
+        units = 10 ** 9
         for name, amount in self._dims.items():
-            available = supply.get(name)
-            count = int(min((available + 1e-9) / amount, 10 ** 9))
-            units = count if units is None else min(units, count)
-        return max(units or 0, 0)
+            ratio = (supply_dims.get(name, 0.0) + 1e-9) / amount
+            count = 10 ** 9 if ratio >= 10 ** 9 else int(ratio)
+            if count < units:
+                units = count
+                if units <= 0:
+                    return 0
+        return units
 
     def dominant_share(self, total: "ResourceVector") -> float:
         """Max over dimensions of (this / total); 0 if total has no overlap."""
         share = 0.0
+        total_dims = total._dims
         for name, amount in self._dims.items():
-            capacity = total.get(name)
+            capacity = total_dims.get(name, 0.0)
             if capacity > 0:
                 share = max(share, amount / capacity)
         return share
@@ -172,6 +230,8 @@ class ResourceVector:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ResourceVector):
             return NotImplemented
+        if self is other or self._dims == other._dims:
+            return True
         names = set(self._dims) | set(other._dims)
         # Relative + absolute tolerance: float accumulation over many
         # grant/release cycles must not make conserved books "unequal".
@@ -182,7 +242,12 @@ class ResourceVector:
         )
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted((n, round(a, 9)) for n, a in self._dims.items())))
+        cached = self._hash
+        if cached is None:
+            cached = hash(tuple(sorted(
+                (n, round(a, 9)) for n, a in self._dims.items())))
+            self._hash = cached
+        return cached
 
     def __bool__(self) -> bool:
         return bool(self._dims)
@@ -192,9 +257,13 @@ class ResourceVector:
         return f"ResourceVector({inner})"
 
 
+_ZERO = ResourceVector()
+
+
 def total_of(vectors: Iterable[ResourceVector]) -> ResourceVector:
     """Sum an iterable of vectors (empty sum is the zero vector)."""
-    acc = ResourceVector()
+    acc: Dict[str, float] = {}
     for vector in vectors:
-        acc = acc + vector
-    return acc
+        for name, amount in vector._dims.items():
+            acc[name] = acc.get(name, 0.0) + amount
+    return ResourceVector(acc)

@@ -21,9 +21,11 @@ No event ever recomputes the global assignment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import copy
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.config import ConfigBase, conf
 from repro.core.grant import AllocationLedger, Grant
 from repro.core.locality import LocalityTree
 from repro.core.pool import FreeResourcePool
@@ -35,23 +37,28 @@ from repro.core.units import ScheduleUnit, UnitKey, UnitRegistry
 from repro.obs.tracer import NULL_TRACER
 
 
-@dataclass
-class SchedulerConfig:
-    """Knobs for the scheduling core.
+@dataclass(kw_only=True)
+class SchedulerConfig(ConfigBase):
+    """Knobs for the scheduling core (keyword-only, validated).
 
     Attributes:
         enable_preemption: turn the two-level preemption of §3.4 on/off.
         preemption_scan_limit: how many machines to consider as preemption
             sites for one starved request (bounds worst-case planning work).
+        schedule_scan_limit: stop serving a machine's queues after this many
+            consecutive waiting entries that want resources but cannot fit
+            (bounds per-event work under pathological unit-size mixes; the
+            zero-free early exit handles the common case).
     """
 
-    enable_preemption: bool = True
-    preemption_scan_limit: int = 20
-    #: stop serving a machine's queues after this many consecutive waiting
-    #: entries that want resources but cannot fit (bounds per-event work
-    #: under pathological unit-size mixes; the zero-free early exit handles
-    #: the common case).
-    schedule_scan_limit: int = 64
+    enable_preemption: bool = conf(
+        True, help="two-level preemption of §3.4")
+    preemption_scan_limit: int = conf(
+        20, min=1, help="machines considered as preemption sites per "
+                        "starved request")
+    schedule_scan_limit: int = conf(
+        64, min=1, help="consecutive non-fitting waiting entries served "
+                        "per machine event")
 
 
 @dataclass
@@ -61,7 +68,8 @@ class ScheduleStats:
     ``machine_local`` / ``rack_local`` / ``cluster_wide`` break
     ``units_granted`` down by the locality level each grant was served at
     (paper §3.3's three queues) — the tracing layer exports the same split
-    per decision span.
+    per decision span.  ``units_granted_by_app`` is the same total broken
+    down per application (benchmark sampling reads it between steps).
     """
 
     decisions: int = 0
@@ -72,9 +80,14 @@ class ScheduleStats:
     machine_local: int = 0
     rack_local: int = 0
     cluster_wide: int = 0
+    units_granted_by_app: Dict[str, int] = field(default_factory=dict)
 
     def copy(self) -> "ScheduleStats":
-        return ScheduleStats(**self.__dict__)
+        """A detached snapshot: nested counters are deep-copied, so callers
+        sampling stats mid-run can never alias live scheduler state."""
+        data = {f.name: copy.deepcopy(getattr(self, f.name))
+                for f in fields(self)}
+        return ScheduleStats(**data)
 
 
 class FuxiScheduler:
@@ -382,6 +395,8 @@ class FuxiScheduler:
         demand.consume(machine, self.rack_of(machine), count)
         self.stats.grants_issued += 1
         self.stats.units_granted += count
+        by_app = self.stats.units_granted_by_app
+        by_app[unit.app_id] = by_app.get(unit.app_id, 0) + count
         if level is LocalityLevel.MACHINE:
             self.stats.machine_local += count
         elif level is LocalityLevel.RACK:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.core.resources import ResourceVector
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduleUnit:
     """Unit-size resource description, identified by (app_id, slot_id).
 
@@ -50,7 +50,7 @@ class ScheduleUnit:
         )
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class UnitKey:
     """Globally unique ScheduleUnit identifier."""
 

@@ -14,23 +14,21 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api import RunResult, RunSpec, simulate
 from repro.experiments.harness import ExperimentReport
-from repro.experiments.workload_runner import (SyntheticRunConfig,
-                                               SyntheticRunResult,
-                                               run_synthetic_workload)
 
 PAPER_AVG_MS = 0.88
 PAPER_PEAK_MS = 3.0
 
 
-def run(config: Optional[SyntheticRunConfig] = None,
-        prior_run: Optional[SyntheticRunResult] = None) -> ExperimentReport:
+def run(config: Optional[RunSpec] = None,
+        prior_run: Optional[RunResult] = None) -> ExperimentReport:
     """Run the Figure 9 experiment; returns an ExperimentReport."""
     if prior_run is None and config is None:
         # Standalone runs trace by default: Figure 9 is about scheduling
         # decisions, and the trace records each one's locality level.
-        config = SyntheticRunConfig(trace=True)
-    result = prior_run or run_synthetic_workload(config)
+        config = RunSpec(trace=True)
+    result = prior_run or simulate(config)
     series = result.metrics.series("fm.schedule_ms")
     report = ExperimentReport(
         exp_id="fig09",

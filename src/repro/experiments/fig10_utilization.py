@@ -13,11 +13,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api import RunResult, RunSpec, simulate
 from repro.core.resources import CPU, MEMORY
 from repro.experiments.harness import ExperimentReport
-from repro.experiments.workload_runner import (SyntheticRunConfig,
-                                               SyntheticRunResult,
-                                               run_synthetic_workload)
 
 PAPER_PERCENT = {
     MEMORY: {"FM_planned": 97.1, "AM_obtained": 95.9, "FA_planned": 95.2},
@@ -28,10 +26,10 @@ PAPER_PERCENT = {
 WARMUP_FRACTION = 0.25
 
 
-def run(config: Optional[SyntheticRunConfig] = None,
-        prior_run: Optional[SyntheticRunResult] = None) -> ExperimentReport:
+def run(config: Optional[RunSpec] = None,
+        prior_run: Optional[RunResult] = None) -> ExperimentReport:
     """Run the Figure 10 experiment; returns an ExperimentReport."""
-    result = prior_run or run_synthetic_workload(config)
+    result = prior_run or simulate(config)
     metrics = result.metrics
     report = ExperimentReport(
         exp_id="fig10",

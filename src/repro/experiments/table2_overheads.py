@@ -19,10 +19,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.api import RunResult, RunSpec, simulate
 from repro.experiments.harness import ExperimentReport
-from repro.experiments.workload_runner import (SyntheticRunConfig,
-                                               SyntheticRunResult,
-                                               run_synthetic_workload)
 
 PAPER_JOB_RUNNING_S = 359.89
 PAPER_JM_START_S = 1.91
@@ -30,10 +28,10 @@ PAPER_WORKER_START_S = 11.84
 PAPER_INSTANCE_OVERHEAD_S = 0.33
 
 
-def run(config: Optional[SyntheticRunConfig] = None,
-        prior_run: Optional[SyntheticRunResult] = None) -> ExperimentReport:
+def run(config: Optional[RunSpec] = None,
+        prior_run: Optional[RunResult] = None) -> ExperimentReport:
     """Run the Table 2 experiment; returns an ExperimentReport."""
-    result = prior_run or run_synthetic_workload(config)
+    result = prior_run or simulate(config)
     results = [result.cluster.job_results[a] for a in result.submitted
                if a in result.cluster.job_results]
     report = ExperimentReport(

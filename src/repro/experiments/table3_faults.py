@@ -27,7 +27,7 @@ from repro.core.agent import FuxiAgentConfig
 from repro.core.resources import ResourceVector
 from repro.experiments.harness import ExperimentReport
 from repro.jobs.spec import BackupSpec, JobSpec, TaskSpec
-from repro.runtime import FuxiCluster
+from repro._runtime import FuxiCluster
 
 PAPER_NORMAL_S = 1437.0
 PAPER_5PCT_S = 1662.0

@@ -1,99 +1,36 @@
-"""Shared closed-loop synthetic-workload runner (§5.2's experiment setup).
+"""Deprecated import path — use :mod:`repro.api` instead.
 
-"We keep 1,000 jobs concurrently running by starting a new job when one job
-finishes."  The runner reproduces that closed loop at configurable scale on
-a FuxiCluster and returns the cluster plus run bookkeeping; the Figure 9,
-Figure 10 and Table 2 experiments all read their metrics off one such run.
+The closed-loop §5.2 runner moved behind the public facade::
 
-The default machine shape is chosen so the paper's per-instance request of
-{0.5 core, 2 GB} packs 8 instances per machine by memory and slightly fewer
-by CPU — making memory the binding dimension, as in Figure 10 where planned
-memory reaches ~96 % and planned CPU ~91 %.
+    from repro.api import RunSpec, simulate
+    result = simulate(RunSpec(concurrent_jobs=80, duration=300.0), seed=7)
+
+This shim keeps the old names importable (``SyntheticRunConfig`` is now an
+alias of :class:`repro.api.RunSpec`, ``SyntheticRunResult`` of
+:class:`repro.api.RunResult`) but warns on import.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+import warnings
+from typing import Optional
 
-from repro.cluster.topology import ClusterTopology
-from repro.core.agent import FuxiAgentConfig
-from repro.core.resources import ResourceVector
-from repro.runtime import FuxiCluster
-from repro.workloads.synthetic import (SyntheticWorkload,
-                                       SyntheticWorkloadConfig)
+from repro.api import RunResult, RunSpec, simulate
 
+warnings.warn(
+    "repro.experiments.workload_runner is deprecated; use "
+    "repro.api.simulate(RunSpec(...))",
+    DeprecationWarning, stacklevel=2)
 
-@dataclass
-class SyntheticRunConfig:
-    """Scaled-down §5.2 setup."""
-
-    racks: int = 4
-    machines_per_rack: int = 15
-    machine_cpu: float = 440.0          # centi-cores; 8 mem slots bind first
-    machine_memory: float = 8 * 2048.0  # 8 instances of 2 GB
-    concurrent_jobs: int = 80           # oversubscribes the 480 slots
-    duration: float = 300.0             # simulated seconds of steady state
-    workload_scale: int = 100
-    workers_cap: int = 12
-    seed: int = 7
-    worker_start_delay: float = 2.0     # models binary download (Table 2)
-    am_start_delay: float = 0.5
-    utilization_sample_interval: float = 5.0
-    trace: bool = False                 # structured tracing (repro.obs)
+#: Deprecated aliases for the facade types.
+SyntheticRunConfig = RunSpec
+SyntheticRunResult = RunResult
 
 
-@dataclass
-class SyntheticRunResult:
-    cluster: FuxiCluster
-    submitted: List[str] = field(default_factory=list)
-    completed: int = 0
-
-    @property
-    def metrics(self):
-        return self.cluster.metrics
+def run_synthetic_workload(config: Optional[RunSpec] = None) -> RunResult:
+    """Deprecated alias for :func:`repro.api.simulate`."""
+    return simulate(config)
 
 
-def run_synthetic_workload(config: Optional[SyntheticRunConfig] = None,
-                           ) -> SyntheticRunResult:
-    """Run the closed-loop mix for ``config.duration`` simulated seconds."""
-    config = config or SyntheticRunConfig()
-    capacity = ResourceVector.of(cpu=config.machine_cpu,
-                                 memory=config.machine_memory)
-    topology = ClusterTopology.build(config.racks, config.machines_per_rack,
-                                     capacity=capacity)
-    agent_config = FuxiAgentConfig(
-        worker_start_delay=config.worker_start_delay)
-    cluster = FuxiCluster(topology, seed=config.seed,
-                          agent_config=agent_config, trace=config.trace)
-    cluster.enable_utilization_sampling(config.utilization_sample_interval)
-    cluster.warm_up()
-
-    workload = SyntheticWorkload(
-        SyntheticWorkloadConfig(concurrent_jobs=config.concurrent_jobs,
-                                scale=config.workload_scale,
-                                workers_cap=config.workers_cap),
-        cluster.rng)
-    result = SyntheticRunResult(cluster=cluster)
-
-    def submit_one() -> None:
-        spec = workload.next_job()
-        app_id = cluster.submit_job(
-            spec, description_overrides={"am_start_delay":
-                                         config.am_start_delay})
-        result.submitted.append(app_id)
-
-    for _ in range(config.concurrent_jobs):
-        submit_one()
-
-    # Closed loop: replace each finished job until the window elapses.
-    deadline = cluster.loop.now + config.duration
-    replaced: set = set()
-    while cluster.loop.now < deadline:
-        cluster.run_for(2.0)
-        for app_id in list(cluster.job_results):
-            if app_id not in replaced:
-                replaced.add(app_id)
-                result.completed += 1
-                submit_one()
-    return result
+__all__ = ["SyntheticRunConfig", "SyntheticRunResult",
+           "run_synthetic_workload"]

@@ -8,7 +8,10 @@ for equal timestamps.
 Bookkeeping is O(1) per operation: a live-event counter backs
 :meth:`EventLoop.pending` (no heap scans), and the heap is compacted when
 cancelled entries outnumber live ones, so long-running simulations with
-heavy timer churn stay bounded in memory.
+heavy timer churn stay bounded in memory.  Heap entries are plain
+``(time, seq, event)`` tuples: the ``seq`` tie-break is unique, so heap
+ordering is decided entirely by C-level tuple comparison and the
+:class:`Event` object itself is never compared on the hot path.
 
 For observability the loop supports per-event hooks (see
 :meth:`EventLoop.add_hook` and the legacy single-hook
@@ -76,6 +79,8 @@ class Event:
             self._loop._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
+        # Kept for external sorting convenience; the loop's heap orders
+        # plain (time, seq, event) tuples and never calls this.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -99,7 +104,8 @@ class EventLoop:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: List[Event] = []
+        # heap of (time, seq, event): unique seq => pure tuple comparison
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -122,8 +128,9 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule event at {when} before current time {self._now}"
             )
-        event = Event(when, next(self._seq), callback, args, loop=self)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(when, seq, callback, args, loop=self)
+        heapq.heappush(self._heap, (when, seq, event))
         self._live += 1
         return event
 
@@ -151,7 +158,7 @@ class EventLoop:
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify (amortised O(1) per cancel)."""
-        self._heap = [e for e in self._heap if not e.cancelled]
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
@@ -201,7 +208,7 @@ class EventLoop:
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if the heap is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             if event.cancelled:
                 self._cancelled -= 1
                 continue
@@ -253,14 +260,15 @@ class EventLoop:
         self._stopped = False
         try:
             while not self._stopped:
-                if not self._heap:
+                heap = self._heap
+                if not heap:
                     break
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
+                head_time, _, head_event = heap[0]
+                if head_event.cancelled:
+                    heapq.heappop(heap)
                     self._cancelled -= 1
                     continue
-                if nxt.time > until:
+                if head_time > until:
                     break
                 self.step()
         finally:

@@ -9,7 +9,7 @@ import pytest
 from repro.cluster.topology import ClusterTopology
 from repro.core.agent import FuxiAgentConfig
 from repro.core.resources import ResourceVector
-from repro.runtime import FuxiCluster
+from repro.api import FuxiCluster
 
 try:
     from hypothesis import HealthCheck, settings

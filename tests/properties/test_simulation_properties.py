@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.cluster.topology import ClusterTopology
 from repro.core.agent import FuxiAgentConfig
 from repro.core.resources import ResourceVector
-from repro.runtime import FuxiCluster
+from repro.api import FuxiCluster
 from repro.workloads.synthetic import mapreduce_job
 
 CAP = ResourceVector.of(cpu=400, memory=8192)

@@ -1,0 +1,136 @@
+"""The shared config machinery: validation, round-trip, CLI derivation."""
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.config import (ConfigBase, add_config_args, cli_flag, conf,
+                          config_from_args)
+
+
+@dataclass(kw_only=True)
+class Knobs(ConfigBase):
+    count: int = conf(3, help="how many", min=1, max=10)
+    rate: float = conf(2.5, help="per second", min=0.0)
+    mode: str = conf("fast", choices=("fast", "slow"))
+    verbose: bool = conf(False, help="chatty")
+    enabled: bool = conf(True, help="on by default")
+    hidden: int = conf(9, cli="")
+    renamed: int = conf(1, cli="--other-name")
+    label: Optional[str] = conf(None)
+
+
+# ----------------------------- validation --------------------------- #
+
+def test_defaults_construct():
+    k = Knobs()
+    assert (k.count, k.rate, k.mode) == (3, 2.5, "fast")
+
+
+def test_int_coerced_to_float():
+    k = Knobs(rate=4)
+    assert isinstance(k.rate, float) and k.rate == 4.0
+
+
+def test_min_bound_enforced():
+    with pytest.raises(ValueError, match="count"):
+        Knobs(count=0)
+
+
+def test_max_bound_enforced():
+    with pytest.raises(ValueError, match="count"):
+        Knobs(count=11)
+
+
+def test_choices_enforced():
+    with pytest.raises(ValueError, match="mode"):
+        Knobs(mode="medium")
+
+
+def test_wrong_type_rejected():
+    with pytest.raises(ValueError, match="count"):
+        Knobs(count="three")
+
+
+def test_positional_args_rejected():
+    with pytest.raises(TypeError):
+        Knobs(5)  # kw_only
+
+
+# ----------------------------- round-trip --------------------------- #
+
+def test_to_dict_from_dict_round_trip():
+    k = Knobs(count=7, mode="slow", label="x")
+    assert Knobs.from_dict(k.to_dict()) == k
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown config keys"):
+        Knobs.from_dict({"count": 2, "typo": 1})
+
+
+def test_replace_revalidates():
+    k = Knobs()
+    assert k.replace(count=5).count == 5
+    with pytest.raises(ValueError):
+        k.replace(count=0)
+
+
+# --------------------------- CLI derivation ------------------------- #
+
+def test_cli_flag_derivation():
+    import dataclasses
+    by_name = {f.name: f for f in dataclasses.fields(Knobs)}
+    assert cli_flag(by_name["count"]) == "--count"
+    assert cli_flag(by_name["hidden"]) is None
+    assert cli_flag(by_name["renamed"]) == "--other-name"
+
+
+def _parser():
+    parser = argparse.ArgumentParser()
+    add_config_args(parser, Knobs)
+    return parser
+
+
+def test_derived_defaults_match_dataclass():
+    args = _parser().parse_args([])
+    k = config_from_args(Knobs, args)
+    assert k == Knobs()
+
+
+def test_derived_flags_parse():
+    args = _parser().parse_args(
+        ["--count", "8", "--rate", "0.5", "--mode", "slow",
+         "--verbose", "--no-enabled", "--other-name", "4"])
+    k = config_from_args(Knobs, args)
+    assert k.count == 8
+    assert k.rate == 0.5
+    assert k.mode == "slow"
+    assert k.verbose is True
+    assert k.enabled is False
+    assert k.renamed == 4
+    assert k.hidden == 9  # not on the CLI; default survives
+
+
+def test_hidden_field_has_no_flag():
+    with pytest.raises(SystemExit):
+        _parser().parse_args(["--hidden", "1"])
+
+
+def test_derived_choices_enforced_by_argparse():
+    with pytest.raises(SystemExit):
+        _parser().parse_args(["--mode", "medium"])
+
+
+def test_only_and_exclude_filters():
+    parser = argparse.ArgumentParser()
+    add_config_args(parser, Knobs, only=("count", "rate"), exclude=("rate",))
+    args = parser.parse_args(["--count", "2"])
+    assert args.count == 2 and not hasattr(args, "rate")
+
+
+def test_config_from_args_overrides_win():
+    args = _parser().parse_args(["--count", "8"])
+    assert config_from_args(Knobs, args, count=2).count == 2

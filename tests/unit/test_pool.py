@@ -174,3 +174,67 @@ def test_best_fit_index_matches_exhaustive_scan(ops):
     indexed = {m for m, _ in pool.best_fit_machines(SLOT)}
     exhaustive = {m for m in pool.machines() if pool.max_units(m, SLOT) > 0}
     assert indexed == exhaustive
+
+
+# ------------------- shape-index ranking equivalence ---------------- #
+
+MACHINES = tuple(f"m{i:02d}" for i in range(8))
+SIZES = (SLOT, ResourceVector.of(cpu=50, memory=1024),
+         ResourceVector.of(cpu=200, memory=512))
+
+
+def reference_ranking(pool, unit_size):
+    """The pre-index linear scan: (-units, name) over schedulable machines."""
+    scored = []
+    for machine in pool.machines():
+        if pool.is_disabled(machine):
+            continue
+        units = unit_size.max_units_in(pool.free(machine))
+        if units > 0:
+            scored.append((machine, units))
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scored
+
+
+@given(st.lists(st.tuples(st.sampled_from(MACHINES),
+                          st.sampled_from(range(len(SIZES))),
+                          st.integers(min_value=1, max_value=4),
+                          st.sampled_from(["alloc", "release", "disable",
+                                           "enable", "remove", "add"])),
+                max_size=60))
+def test_ranking_matches_reference_scan_on_random_demand(ops):
+    """best_fit_machines == the old exhaustive scan after arbitrary churn.
+
+    Exercises every mutation the incremental shape indexes must track:
+    allocate, release, disable/enable, machine removal and re-add —
+    interleaved with ranking queries for several distinct unit sizes.
+    """
+    pool = make_pool(MACHINES)
+    for machine, size_idx, units, op in ops:
+        amount = SIZES[size_idx] * units
+        if op == "alloc":
+            if pool.has_machine(machine) and amount.fits_in(pool.free(machine)):
+                pool.allocate(machine, amount)
+        elif op == "release":
+            pool.release(machine, amount)
+        elif op == "disable":
+            pool.disable(machine)
+        elif op == "enable":
+            pool.enable(machine)
+        elif op == "remove":
+            pool.remove_machine(machine)
+        else:
+            pool.add_machine(machine, CAP)
+        for size in SIZES:
+            assert pool.best_fit_machines(size) == reference_ranking(pool, size)
+
+
+def test_ranking_with_candidates_matches_reference():
+    pool = make_pool(MACHINES)
+    pool.allocate("m00", SLOT * 3)
+    pool.allocate("m01", SLOT * 1)
+    pool.disable("m02")
+    subset = ["m00", "m01", "m02", "m03"]
+    expected = [entry for entry in reference_ranking(pool, SLOT)
+                if entry[0] in subset]
+    assert pool.best_fit_machines(SLOT, candidates=iter(subset)) == expected

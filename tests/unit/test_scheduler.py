@@ -327,3 +327,25 @@ def test_random_ops_preserve_conservation(ops):
         scheduler.check_conservation()
         for key, demand in scheduler._demands.items():
             assert demand.total >= 0
+
+
+# -------------------------- stats snapshots ------------------------- #
+
+def test_schedule_stats_copy_is_deep():
+    from repro.core.scheduler import ScheduleStats
+
+    stats = ScheduleStats(decisions=3, units_granted=5,
+                          units_granted_by_app={"app1": 5})
+    snapshot = stats.copy()
+    assert snapshot == stats
+    stats.units_granted_by_app["app1"] = 9
+    stats.units_granted_by_app["app2"] = 1
+    assert snapshot.units_granted_by_app == {"app1": 5}
+    assert snapshot.decisions == 3
+
+
+def test_scheduler_tracks_per_app_grants():
+    scheduler = make_scheduler()
+    unit = app_unit(scheduler)
+    scheduler.apply_request_delta(RequestDelta.initial(unit.key, 3))
+    assert scheduler.stats.units_granted_by_app.get("app1", 0) == 3
