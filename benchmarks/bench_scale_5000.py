@@ -14,6 +14,13 @@ perf trajectory:
 - ``BENCH_fig09.json`` — the Figure-9 shape claims re-checked at full scale:
   sub-millisecond average scheduling time, bounded peak, no upward drift.
 
+Sweep mode (``--sweep N``) runs an N-seed sweep of the same shape through
+``repro.parallel`` twice — serial and with ``--sweep-jobs`` workers —
+verifies the merged results are byte-identical, and records the speedup,
+host cpu count, worker count and per-run wall-time spread under the
+mode's ``sweep`` key so campaign-level performance is comparable across
+differently-sized CI runners.
+
 Usage::
 
     # paper scale (5,000 machines, 1,000 concurrent jobs)
@@ -22,8 +29,13 @@ Usage::
     # CI-sized run (~500 machines), compared against the committed numbers
     python benchmarks/bench_scale_5000.py --quick --check BENCH_scale.json
 
+    # 8-seed sweep, serial vs 4 workers, recorded under modes.quick.sweep
+    python benchmarks/bench_scale_5000.py --quick --sweep 8 --sweep-jobs 4 \
+        --record current
+
 Exit codes: 0 ok, 2 bad arguments / missing baseline for --check,
-3 performance regression beyond the threshold.
+3 performance regression beyond the threshold (or a sweep merge that is
+not byte-identical to the serial run — a determinism regression).
 """
 
 from __future__ import annotations
@@ -72,6 +84,13 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional wall-clock regression for "
                              "--check (default 0.20)")
+    parser.add_argument("--sweep", type=int, default=None, metavar="N",
+                        help="run an N-seed sweep (seeds start at --seed) "
+                             "through repro.parallel, serial vs "
+                             "--sweep-jobs workers, instead of a single run")
+    parser.add_argument("--sweep-jobs", type=int, default=4, metavar="M",
+                        help="worker processes for the parallel leg of "
+                             "--sweep (default 4)")
     return parser.parse_args(argv)
 
 
@@ -116,6 +135,52 @@ def run_benchmark(racks: int, machines_per_rack: int, jobs: int,
         "schedule_ms_max": round(series.max(), 4),
         "schedule_drift": round(drift, 3),
         "peak_rss_mb": round(peak_rss_mb, 1),
+        "host_cpu_count": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+    }
+
+
+def run_sweep_benchmark(racks: int, machines_per_rack: int, jobs: int,
+                        duration: float, seed: int, seeds: int,
+                        workers: int) -> dict:
+    """N-seed sweep, serial vs pooled; returns the recorded sweep dict.
+
+    The parallel leg must merge byte-identically to the serial leg — a
+    mismatch is a determinism regression, reported as ``byte_identical:
+    false`` (and exit 3 from :func:`main`).  Wall-clock speedup is only
+    meaningful on multi-core hosts, so ``host_cpu_count`` travels with
+    the numbers instead of gating them.
+    """
+    from repro.parallel import make_tasks, run_sweep
+
+    params = dict(racks=racks, machines_per_rack=machines_per_rack,
+                  concurrent_jobs=jobs, duration=duration)
+    tasks = make_tasks("simulate", params=params,
+                       seeds=range(seed, seed + seeds))
+    machines = racks * machines_per_rack
+    print(f"sweep: {seeds} seeds x {machines} machines / {jobs} jobs, "
+          f"serial then {workers} worker(s) ...", flush=True)
+    serial = run_sweep(tasks, jobs=1)
+    pooled = run_sweep(tasks, jobs=workers,
+                       progress=lambda line: print(f"  {line}", flush=True))
+    identical = serial.merged_json() == pooled.merged_json()
+    timing = pooled.timing()
+    speedup = (serial.wall_seconds / pooled.wall_seconds
+               if pooled.wall_seconds > 0 else 0.0)
+    return {
+        "seeds": seeds,
+        "seed_start": seed,
+        "machines": machines,
+        "jobs": jobs,
+        "duration_sim_s": duration,
+        "host_cpu_count": timing["host_cpu_count"],
+        "workers": timing["workers"],
+        "serial_wall_seconds": round(serial.wall_seconds, 3),
+        "parallel_wall_seconds": round(pooled.wall_seconds, 3),
+        "speedup": round(speedup, 2),
+        "byte_identical": identical,
+        "failed": len(pooled.failures),
+        "task_wall_spread": timing["task_wall_spread"],
         "python": sys.version.split()[0],
     }
 
@@ -178,10 +243,12 @@ def check_regression(path: str, mode: str, result: dict,
     # Wall clock is hardware-dependent; CI runners vary run to run, so the
     # gate compares against the committed numbers with a generous threshold.
     limit = committed["wall_seconds"] * (1.0 + threshold)
+    committed_cpus = committed.get("host_cpu_count", "?")
     print(f"committed {mode} wall: {committed['wall_seconds']:.2f}s "
-          f"({committed['events_per_sec']:.0f} ev/s); this run: "
+          f"({committed['events_per_sec']:.0f} ev/s, "
+          f"{committed_cpus} cpus); this run: "
           f"{result['wall_seconds']:.2f}s ({result['events_per_sec']:.0f} "
-          f"ev/s); limit {limit:.2f}s")
+          f"ev/s, {result['host_cpu_count']} cpus); limit {limit:.2f}s")
     if result["wall_seconds"] > limit:
         print(f"PERF REGRESSION: wall {result['wall_seconds']:.2f}s exceeds "
               f"{limit:.2f}s (+{threshold:.0%} over committed)",
@@ -201,6 +268,37 @@ def main(argv=None) -> int:
     custom = (args.racks or args.machines_per_rack or args.jobs
               or args.duration)
     mode = "custom" if custom else ("quick" if args.quick else "full")
+
+    if args.sweep is not None:
+        if args.sweep < 2:
+            print("--sweep needs at least 2 seeds", file=sys.stderr)
+            return 2
+        if args.sweep_jobs < 1:
+            print("--sweep-jobs must be >= 1", file=sys.stderr)
+            return 2
+        sweep = run_sweep_benchmark(racks, machines_per_rack, jobs,
+                                    duration, args.seed, args.sweep,
+                                    args.sweep_jobs)
+        print(json.dumps(sweep, indent=2))
+        if args.record:
+            if mode == "custom":
+                print("--record requires a preset shape (no overrides)",
+                      file=sys.stderr)
+                return 2
+            store(args.out, mode, "sweep", sweep)
+            print(f"recorded {mode}/sweep in {args.out}")
+        if not sweep["byte_identical"]:
+            print("SWEEP REGRESSION: parallel merge differs from serial "
+                  "(determinism broken)", file=sys.stderr)
+            return 3
+        if sweep["failed"]:
+            print(f"SWEEP REGRESSION: {sweep['failed']} task(s) failed",
+                  file=sys.stderr)
+            return 3
+        print(f"sweep ok: byte-identical merge, speedup "
+              f"{sweep['speedup']}x with {sweep['workers']} worker(s) on "
+              f"{sweep['host_cpu_count']} cpu(s)")
+        return 0
 
     result = run_benchmark(racks, machines_per_rack, jobs, duration,
                            args.seed)

@@ -18,7 +18,10 @@ cluster simulator:
 - :mod:`repro.baselines` — YARN-, Mesos- and Hadoop-1.0-style schedulers
   used by the ablation benchmarks;
 - :mod:`repro.workloads` — synthetic, production-trace and sort workloads;
-- :mod:`repro.experiments` — one harness per paper table/figure.
+- :mod:`repro.experiments` — one harness per paper table/figure;
+- :mod:`repro.parallel` — the process-pool sweep engine: independent
+  runs (chaos seeds, config grids, repetitions) fanned over workers with
+  a serial-equivalent deterministic merge and a resumable JSONL journal.
 
 Quick start::
 

@@ -115,6 +115,27 @@ class RunResult:
         dump_trace_jsonl(self.cluster.tracer, path)
         return True
 
+    def summary_dict(self) -> Dict[str, object]:
+        """The run's deterministic counters as a plain JSON-able dict.
+
+        Everything here is a pure function of (spec, seed) — simulated
+        time, event counts, scheduler counters — with no wall-clock
+        readings, so sweep merges built from it are byte-reproducible.
+        This is the payload the parallel sweep engine ships back from
+        worker processes instead of the (unpicklable) live cluster.
+        """
+        loop = self.cluster.loop
+        return {
+            "spec": self.spec.to_dict(),
+            "seed": self.spec.seed,
+            "jobs_submitted": len(self.submitted),
+            "jobs_completed": self.jobs_completed,
+            "sim_seconds": round(loop.now, 6),
+            "events": loop.events_executed,
+            "sched_requests": int(self.metrics.counter("fm.requests")),
+            "grants": int(self.metrics.counter("fm.grants")),
+        }
+
 
 class ClusterBuilder:
     """Fluent/kwargs construction of a wired, warmed-up FuxiCluster.

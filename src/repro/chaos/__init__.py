@@ -11,12 +11,17 @@ hand-picked scenarios; this package checks it *systematically*:
   :class:`~repro.cluster.faults.FaultPlan` with the invariant checker
   attached; on violation the obs trace is captured;
 - :mod:`repro.chaos.shrink` — delta-debugs a violating fault schedule down
-  to a minimal reproducing subset and emits a one-line repro command.
+  to a minimal reproducing subset and emits a one-line repro command;
+- :mod:`repro.chaos.campaign` — fans a seed campaign over worker
+  processes via :mod:`repro.parallel` and aggregates every seed's
+  verdict (all failing seeds are reported, not just the first).
 
 Everything is deterministic in the seed: the same seed always yields the
 same workload, schedule, and verdict.
 """
 
+from repro.chaos.campaign import (CampaignSummary, SeedVerdict,
+                                  campaign_tasks, run_campaign)
 from repro.chaos.engine import (ChaosConfig, ChaosResult, run_chaos,
                                 run_with_schedule)
 from repro.chaos.invariants import (InvariantChecker, Violation,
@@ -24,12 +29,16 @@ from repro.chaos.invariants import (InvariantChecker, Violation,
 from repro.chaos.shrink import repro_command, shrink_schedule
 
 __all__ = [
+    "CampaignSummary",
     "ChaosConfig",
     "ChaosResult",
     "InvariantChecker",
+    "SeedVerdict",
     "Violation",
+    "campaign_tasks",
     "default_invariants",
     "repro_command",
+    "run_campaign",
     "run_chaos",
     "run_with_schedule",
     "shrink_schedule",

@@ -1,0 +1,103 @@
+"""Chaos campaigns through the parallel sweep engine.
+
+A campaign is N consecutive seeds of :func:`repro.chaos.engine.run_chaos`
+— embarrassingly parallel, since every run derives everything from its
+seed.  :func:`run_campaign` fans the seeds over ``jobs`` workers and
+aggregates *every* seed's verdict (the CLI used to stop reporting at the
+first violation; a campaign must name all failing seeds so one shrink
+session can't hide a second bug).
+
+Campaign merges are byte-identical between serial and parallel runs:
+each per-seed payload is :meth:`ChaosResult.to_dict`, which carries only
+seed-deterministic fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.chaos.engine import ChaosConfig
+from repro.parallel.engine import Progress, SweepResult, run_sweep
+from repro.parallel.envelope import RunOutcome, RunTask
+
+
+@dataclass
+class SeedVerdict:
+    """One campaign seed's aggregated outcome."""
+
+    seed: int
+    #: the chaos run's deterministic payload (None when the worker crashed)
+    result: Optional[dict]
+    #: engine-level failure traceback (worker crash, not a violation)
+    error: Optional[str]
+
+    @property
+    def crashed(self) -> bool:
+        return self.result is None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None and bool(self.result["ok"])
+
+    @property
+    def violations(self) -> List[dict]:
+        return list(self.result["violations"]) if self.result else []
+
+    def row(self) -> List[str]:
+        """One campaign-table row: seed, faults, jobs, sim s, verdict."""
+        if self.crashed:
+            return [str(self.seed), "-", "-", "-", "CRASH"]
+        r = self.result
+        verdict = "ok" if self.ok else self.violations[0]["invariant"]
+        return [str(self.seed), str(r["faults"]),
+                f"{len(r['completed'])}/{len(r['app_ids'])}",
+                f"{r['sim_time']:.1f}", verdict]
+
+
+@dataclass
+class CampaignSummary:
+    """Every seed's verdict plus the underlying sweep."""
+
+    verdicts: List[SeedVerdict]
+    sweep: SweepResult
+
+    @property
+    def failing(self) -> List[SeedVerdict]:
+        """Seeds that violated an invariant (engine crashes excluded)."""
+        return [v for v in self.verdicts if not v.crashed and not v.ok]
+
+    @property
+    def crashed(self) -> List[SeedVerdict]:
+        return [v for v in self.verdicts if v.crashed]
+
+    @property
+    def clean(self) -> bool:
+        return not self.failing and not self.crashed
+
+
+def campaign_tasks(seeds: Sequence[int],
+                   config: Optional[ChaosConfig] = None) -> List[RunTask]:
+    """One task per seed; the seed stays user-visible (no derivation)."""
+    config = config or ChaosConfig()
+    params = config.to_dict()
+    return [RunTask(index=i, task_id=f"chaos/seed={seed}", kind="chaos",
+                    seed=int(seed), params=params)
+            for i, seed in enumerate(seeds)]
+
+
+def run_campaign(seeds: Sequence[int],
+                 config: Optional[ChaosConfig] = None, *, jobs: int = 1,
+                 journal: Optional[str] = None, resume: bool = False,
+                 progress: Optional[Progress] = None) -> CampaignSummary:
+    """Run every seed (serially or pooled) and aggregate all verdicts."""
+    sweep = run_sweep(campaign_tasks(seeds, config), jobs=jobs,
+                      journal=journal, resume=resume, progress=progress)
+    verdicts = [_verdict(outcome) for outcome in sweep.outcomes]
+    return CampaignSummary(verdicts=verdicts, sweep=sweep)
+
+
+def _verdict(outcome: RunOutcome) -> SeedVerdict:
+    return SeedVerdict(seed=outcome.seed,
+                       result=outcome.result if outcome.ok else None,
+                       error=outcome.error)

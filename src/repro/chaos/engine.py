@@ -48,7 +48,8 @@ class ChaosConfig(ConfigBase):
     cpu: float = conf(400.0, min=1.0, help="per-machine CPU (centi-cores)")
     memory: float = conf(8192.0, min=1.0, help="per-machine memory (MB)")
     # workload (sizes are drawn per job from [1, max])
-    jobs: int = conf(3, min=1, help="jobs submitted per run")
+    jobs: int = conf(3, min=1, help="jobs submitted per run",
+                     cli="--workload-jobs")
     max_mappers: int = conf(6, min=1, help="mapper draw upper bound")
     max_reducers: int = conf(3, min=1, help="reducer draw upper bound")
     submit_window: float = conf(20.0, min=0.0,
@@ -89,6 +90,26 @@ class ChaosResult:
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-able form (sweep journal / merged reports).
+
+        Every field is a pure function of (seed, config): fault schedule,
+        job completion, violations stamped with simulated time.  No
+        wall-clock values, so campaign merges are byte-reproducible.
+        """
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "schedule": self.schedule.to_spec(),
+            "faults": len(self.schedule.events),
+            "app_ids": list(self.app_ids),
+            "completed": list(self.completed),
+            "violations": [v.to_dict() for v in self.violations],
+            "sim_time": round(self.sim_time, 6),
+            "events_executed": self.events_executed,
+            "trace_path": self.trace_path,
+        }
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else f"VIOLATION {self.violations[0]}"

@@ -80,6 +80,6 @@ def repro_command(seed: int, plan: FaultPlan,
     if config is not None:
         parts.append(f"--racks {config.racks}")
         parts.append(f"--machines-per-rack {config.machines_per_rack}")
-        parts.append(f"--jobs {config.jobs}")
+        parts.append(f"--workload-jobs {config.jobs}")
     parts.append(f'--schedule "{plan.to_spec()}"')
     return " ".join(parts)

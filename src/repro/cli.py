@@ -14,10 +14,15 @@ simulator, so the "cluster" lives for the duration of the command):
   registry in Prometheus text format;
 - ``fuxi-sim sortbench`` — print the Table-4 GraySort comparison;
 - ``fuxi-sim chaos`` — run a campaign of seeded randomized fault schedules
-  with cluster-wide invariant checking; on violation, delta-debug the
-  schedule to a minimal repro and print a pasteable repro command;
+  with cluster-wide invariant checking, optionally fanned over worker
+  processes (``--jobs N``); every failing seed is reported, then the first
+  one is delta-debugged to a minimal repro with a pasteable repro command;
+- ``fuxi-sim sweep`` — fan a grid of independent runs (seed sweeps, config
+  grids, experiment repetitions) over worker processes via
+  :mod:`repro.parallel` and write the deterministic merged report;
 - ``fuxi-sim experiment <name>`` — run one paper experiment and print the
-  paper-vs-measured report.
+  paper-vs-measured report; ``--repeat N --jobs M`` aggregates N parallel
+  repetitions.
 
 ``submit``, ``demo`` and ``experiment`` accept ``--trace-out FILE`` to run
 with structured tracing on and export the JSONL trace for later inspection.
@@ -115,12 +120,54 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-shrink", action="store_true",
                        help="report the full violating schedule without "
                             "delta-debugging it down")
+    chaos.add_argument("--jobs", dest="worker_jobs", type=int, default=1,
+                       metavar="N",
+                       help="worker processes for the campaign (default 1; "
+                            "results are byte-identical at any job count)")
+    chaos.add_argument("--journal", metavar="FILE", default=None,
+                       help="JSONL sweep journal (crash-resumable campaigns)")
+    chaos.add_argument("--resume", action="store_true",
+                       help="skip seeds already journaled ok in --journal")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan independent runs over worker processes (repro.parallel)")
+    sweep.add_argument("--spec", metavar="FILE", default=None,
+                       help="JSON sweep spec (kind/params/grid/seeds/repeat)")
+    sweep.add_argument("--kind", default=None,
+                       help="task kind when no --spec is given "
+                            "(simulate, chaos, experiment, selfcheck)")
+    sweep.add_argument("--seeds", type=int, default=None, metavar="N",
+                       help="sweep N consecutive seeds starting at --seed")
+    sweep.add_argument("--set", dest="assignments", action="append",
+                       default=[], metavar="KEY=VALUE",
+                       help="base config override (repeatable)")
+    sweep.add_argument("--grid", dest="grid_axes", action="append",
+                       default=[], metavar="KEY=V1,V2,...",
+                       help="grid axis (repeatable; cartesian product)")
+    sweep.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="repetitions per grid cell (default 1)")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default 1 = serial)")
+    sweep.add_argument("--journal", metavar="FILE", default=None,
+                       help="JSONL sweep journal (crash-resumable)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip tasks already journaled ok in --journal")
+    sweep.add_argument("--out", metavar="FILE", default=None,
+                       help="write the deterministic merged JSON here")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-task progress lines")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.add_argument("--trace-out", metavar="FILE", default=None,
                             help="export the run's JSONL trace here "
                                  "(traced experiments only)")
+    experiment.add_argument("--repeat", type=int, default=1, metavar="N",
+                            help="aggregate N seed-derived repetitions "
+                                 "(default 1 = the plain experiment)")
+    experiment.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes for --repeat (default 1)")
     return parser
 
 
@@ -257,10 +304,15 @@ def cmd_sortbench(_args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Chaos campaign: randomized faults + invariants, shrink on violation.
 
-    Exit codes: 0 all seeds clean, 1 invariant violated (a repro command is
-    printed), 2 bad arguments.
+    The campaign runs *every* seed (fanned over ``--jobs`` worker
+    processes) and aggregates all verdicts before reporting, so parallel
+    campaigns name every failing seed — only the first failing seed is
+    shrunk, to keep the delta-debugging cost bounded.
+
+    Exit codes: 0 all seeds clean, 1 invariant violated or a run crashed
+    (a repro command is printed for the first violation), 2 bad arguments.
     """
-    from repro.chaos import (ChaosConfig, repro_command, run_chaos,
+    from repro.chaos import (ChaosConfig, repro_command, run_campaign,
                              run_with_schedule, shrink_schedule)
     from repro.chaos.shrink import violation_matcher
     from repro.cluster.faults import FaultPlan, ScheduleParseError
@@ -283,47 +335,134 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             print(f"violation trace written to {result.trace_path}")
         return 0 if result.ok else 1
 
-    rows = []
-    for seed in range(args.seed, args.seed + args.seeds):
-        result = run_chaos(seed, config)
-        rows.append([seed, len(result.schedule.events),
-                     f"{len(result.completed)}/{len(result.app_ids)}",
-                     f"{result.sim_time:.1f}",
-                     "ok" if result.ok else result.violations[0].invariant])
-        if result.ok:
-            continue
-        print(format_table(["seed", "faults", "jobs", "sim s", "verdict"],
-                           rows, title="chaos campaign"))
-        print(f"\nseed {seed} violated an invariant:")
-        for violation in result.violations:
-            print(f"  {violation}")
-        if result.trace_path:
-            print(f"violation trace written to {result.trace_path}")
-        plan = result.schedule
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    summary = run_campaign(
+        seeds, config, jobs=args.worker_jobs, journal=args.journal,
+        resume=args.resume,
+        progress=(lambda line: print(line, flush=True))
+        if args.worker_jobs > 1 else None)
+    print(format_table(["seed", "faults", "jobs", "sim s", "verdict"],
+                       [v.row() for v in summary.verdicts],
+                       title="chaos campaign"))
+
+    for verdict in summary.crashed:
+        print(f"\nseed {verdict.seed} crashed (harness failure, "
+              f"not an invariant):\n{verdict.error}", file=sys.stderr)
+    for verdict in summary.failing:
+        print(f"\nseed {verdict.seed} violated an invariant:")
+        for violation in verdict.violations:
+            print(f"  [{violation['invariant']}] t={violation['time']:.3f}: "
+                  f"{violation['detail']}")
+        trace_path = verdict.result.get("trace_path")
+        if trace_path:
+            print(f"violation trace written to {trace_path}")
+
+    if summary.clean:
+        print(f"\nall {args.seeds} seeds clean — every run conserved "
+              "resources, kept master/agent books consistent, and "
+              "terminated")
+        return 0
+
+    if summary.failing:
+        first = summary.failing[0]
+        seed = first.seed
+        plan = FaultPlan.from_spec(first.result["schedule"])
         if not args.no_shrink:
-            invariant = result.violations[0].invariant
-            print(f"\nshrinking {len(plan.events)}-fault schedule "
-                  f"(target: {invariant}) ...")
+            invariant = first.violations[0]["invariant"]
+            print(f"\nshrinking {len(plan.events)}-fault schedule for seed "
+                  f"{seed} (target: {invariant}) ...")
             plan = shrink_schedule(
                 plan, violation_matcher(
                     lambda p: run_with_schedule(seed, p, config).violations,
                     invariant))
             print(f"minimal schedule: {len(plan.events)} fault(s)")
         print("\nreproduce with:\n  " + repro_command(seed, plan, config))
-        return 1
-    print(format_table(["seed", "faults", "jobs", "sim s", "verdict"],
-                       rows, title="chaos campaign"))
-    print(f"\nall {args.seeds} seeds clean — every run conserved resources, "
-          "kept master/agent books consistent, and terminated")
-    return 0
+    return 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Fan a grid of independent runs over workers; write the merged report.
+
+    Exit codes: 0 every task ok, 1 at least one task failed (errors are
+    listed, the merged report still covers every task), 2 bad arguments.
+    """
+    from repro.parallel import (SweepJournalError, make_tasks, run_sweep,
+                                parse_assignments, parse_grid_axes,
+                                tasks_from_spec)
+
+    try:
+        if args.spec is not None:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                tasks = tasks_from_spec(json.load(handle))
+        elif args.kind is not None:
+            seeds = (list(range(args.seed, args.seed + args.seeds))
+                     if args.seeds is not None else None)
+            tasks = make_tasks(args.kind,
+                               params=parse_assignments(args.assignments),
+                               grid=parse_grid_axes(args.grid_axes),
+                               seeds=seeds, repeat=args.repeat,
+                               root_seed=args.seed)
+        else:
+            print("sweep needs --spec FILE or --kind KIND", file=sys.stderr)
+            return 2
+    except (OSError, ValueError) as exc:
+        print(f"bad sweep specification: {exc}", file=sys.stderr)
+        return 2
+
+    say = None if args.quiet else (lambda line: print(line, flush=True))
+    try:
+        result = run_sweep(tasks, jobs=args.jobs, journal=args.journal,
+                           resume=args.resume, progress=say)
+    except SweepJournalError as exc:
+        print(f"journal error: {exc}", file=sys.stderr)
+        return 2
+
+    timing = result.timing()
+    spread = timing["task_wall_spread"]
+    rows = [
+        ["tasks", len(result.outcomes)],
+        ["failed", len(result.failures)],
+        ["resumed from journal", timing["tasks_resumed"]],
+        ["workers", f"{timing['workers']} "
+                    f"(host cpus: {timing['host_cpu_count']})"],
+        ["sweep wall s", f"{timing['wall_seconds']:.2f}"],
+        ["task wall min/med/max s", f"{spread['min']}/{spread['median']}/"
+                                    f"{spread['max']}"],
+    ]
+    print(format_table(["metric", "value"], rows, title="sweep summary"))
+    for outcome in result.failures:
+        print(f"\ntask {outcome.task_id} FAILED:\n{outcome.error}",
+              file=sys.stderr)
+    if args.out is not None:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(result.merged_json())
+        except OSError as exc:
+            print(f"cannot write merged report {args.out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"merged report written to {args.out}")
+    return 0 if result.ok else 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    """Run one named paper experiment and print its report."""
+    """Run one named paper experiment and print its report.
+
+    ``--repeat N`` runs N seed-derived repetitions through the parallel
+    sweep engine (``--jobs`` workers) and prints the aggregated report
+    (median measured value per comparison plus the min/median/max
+    spread).
+    """
     from repro.experiments import (ablations, fig09_scheduling_time,
                                    fig10_utilization, scale_instances,
                                    table1_production, table2_overheads,
                                    table3_faults, table4_graysort)
+    if args.repeat > 1 or args.jobs > 1:
+        from repro.experiments.sweep import repeat_experiment
+        report = repeat_experiment(args.name, max(args.repeat, 1),
+                                   jobs=args.jobs, root_seed=args.seed)
+        print(report.render())
+        return 0
     runners = {
         "fig09": lambda: fig09_scheduling_time.run(),
         "fig10": lambda: fig10_utilization.run(),
@@ -364,6 +503,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": cmd_metrics,
         "sortbench": cmd_sortbench,
         "chaos": cmd_chaos,
+        "sweep": cmd_sweep,
         "experiment": cmd_experiment,
     }
     return handlers[args.command](args)

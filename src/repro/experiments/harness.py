@@ -68,6 +68,18 @@ class ExperimentReport:
                 return comparison
         raise KeyError(f"no comparison named {name!r} in {self.exp_id}")
 
+    def __getstate__(self) -> Dict[str, Any]:
+        # The tracer holds the live event loop's clock closure, which
+        # cannot cross a process boundary.  Reports travel through the
+        # repro.parallel worker pool, so pickling detaches it; traces are
+        # exported in the worker via write_trace before the report ships.
+        state = dict(self.__dict__)
+        state["tracer"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
     def write_trace(self, path) -> bool:
         """Export the run's trace as JSONL next to the results.
 

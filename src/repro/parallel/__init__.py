@@ -1,0 +1,58 @@
+"""``repro.parallel`` — process-pool fan-out for independent runs.
+
+The evaluation layer of this reproduction is sweep-shaped: chaos
+campaigns over seeds, experiment repetitions, per-scale benchmark
+matrices (§6 of the paper is built from dozens of such runs).  A single
+simulation is single-threaded by design — determinism comes from one
+event loop — so multi-run workloads scale by running *many* simulations
+at once, one per process, and merging the results exactly as the serial
+loop would have produced them.
+
+- :mod:`repro.parallel.envelope` — picklable :class:`RunTask` /
+  :class:`RunOutcome` + per-task child-seed derivation;
+- :mod:`repro.parallel.runners` — the ``kind`` → runner registry;
+- :mod:`repro.parallel.engine` — :func:`run_sweep`: pool fan-out,
+  streamed outcomes, failure isolation, serial-equivalent merge;
+- :mod:`repro.parallel.journal` — crash-resumable JSONL sweep journal;
+- :mod:`repro.parallel.grid` — seed ranges × config grids × repeats.
+
+Quick start::
+
+    from repro.parallel import make_tasks, run_sweep
+
+    tasks = make_tasks("chaos", seeds=range(8),
+                       params={"machines_per_rack": 3})
+    sweep = run_sweep(tasks, jobs=4, journal="sweep.jsonl")
+    print(sweep.timing(), sweep.merged()["sweep"]["failed"])
+
+``run_sweep(tasks, jobs=4)`` produces byte-identical
+:meth:`SweepResult.merged_json` to ``run_sweep(tasks, jobs=1)``.
+"""
+
+from repro.parallel.engine import SweepResult, execute_task, run_sweep
+from repro.parallel.envelope import RunOutcome, RunTask, derive_seed
+from repro.parallel.grid import (expand_grid, make_tasks, parse_assignments,
+                                 parse_grid_axes, tasks_from_spec)
+from repro.parallel.journal import SweepJournal, SweepJournalError
+from repro.parallel.runners import (known_kinds, register_runner,
+                                    resolve_runner, unregister_runner)
+
+__all__ = [
+    "RunOutcome",
+    "RunTask",
+    "SweepJournal",
+    "SweepJournalError",
+    "SweepResult",
+    "derive_seed",
+    "execute_task",
+    "expand_grid",
+    "known_kinds",
+    "make_tasks",
+    "parse_assignments",
+    "parse_grid_axes",
+    "register_runner",
+    "resolve_runner",
+    "run_sweep",
+    "tasks_from_spec",
+    "unregister_runner",
+]

@@ -1,0 +1,104 @@
+"""Picklable task/outcome envelopes for the parallel sweep engine.
+
+A sweep is a list of :class:`RunTask` — plain-data descriptions of one
+independent simulation run (a chaos seed, a config-grid cell, an
+experiment repetition).  Workers execute tasks and hand back
+:class:`RunOutcome` records.  Both sides are frozen plain data so they
+pickle across process boundaries and JSON-serialize into the sweep
+journal.
+
+Determinism contract: everything a task needs is inside the envelope
+(``kind`` + ``params`` + ``seed``), so the result is a pure function of
+the envelope — independent of which worker runs it, in which order, or
+whether it runs in-process at all.  The nondeterministic measurements
+(wall time, worker pid) live only on the outcome and are excluded from
+the deterministic merge (:meth:`RunOutcome.merged_entry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.sim.rng import SplitRandom
+
+
+def derive_seed(root_seed: int, task_id: str) -> int:
+    """A task's own child seed, derived through :class:`SplitRandom`.
+
+    The same (root seed, task id) pair always yields the same child seed,
+    and distinct task ids yield independent streams — so per-task
+    randomness never depends on sweep ordering or worker assignment.
+    """
+    return SplitRandom(root_seed).child_seed(f"sweep/{task_id}")
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One independent run in a sweep (picklable, JSON-able).
+
+    ``index`` fixes the task's position in the canonical (serial) order;
+    ``task_id`` is the stable journal key; ``kind`` names a registered
+    runner (:mod:`repro.parallel.runners`); ``params`` is the runner's
+    plain-dict payload and ``seed`` the run's own (already derived) seed.
+    """
+
+    index: int
+    task_id: str
+    kind: str
+    seed: int
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"index": self.index, "task_id": self.task_id,
+                "kind": self.kind, "seed": self.seed,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunTask":
+        return cls(index=int(data["index"]), task_id=str(data["task_id"]),
+                   kind=str(data["kind"]), seed=int(data["seed"]),
+                   params=dict(data.get("params") or {}))
+
+
+@dataclass
+class RunOutcome:
+    """What one task produced (picklable, JSON-able).
+
+    ``result`` is the runner's deterministic JSON payload (None on
+    failure); ``error`` carries the formatted traceback when the runner
+    raised.  ``wall_seconds`` / ``worker_pid`` are measurement metadata —
+    deliberately kept out of :meth:`merged_entry` so serial and parallel
+    sweeps merge to identical bytes.
+    """
+
+    task_id: str
+    index: int
+    kind: str
+    seed: int
+    ok: bool
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+
+    def merged_entry(self) -> Dict[str, Any]:
+        """The deterministic slice of this outcome (merge/journal key)."""
+        return {"task_id": self.task_id, "index": self.index,
+                "kind": self.kind, "seed": self.seed, "ok": self.ok,
+                "result": self.result, "error": self.error}
+
+    def to_dict(self) -> Dict[str, Any]:
+        entry = self.merged_entry()
+        entry["wall_seconds"] = round(self.wall_seconds, 6)
+        entry["worker_pid"] = self.worker_pid
+        return entry
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunOutcome":
+        return cls(task_id=str(data["task_id"]), index=int(data["index"]),
+                   kind=str(data["kind"]), seed=int(data["seed"]),
+                   ok=bool(data["ok"]), result=data.get("result"),
+                   error=data.get("error"),
+                   wall_seconds=float(data.get("wall_seconds", 0.0)),
+                   worker_pid=int(data.get("worker_pid", 0)))

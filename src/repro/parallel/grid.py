@@ -1,0 +1,151 @@
+"""Sweep construction: seed ranges × config grids × repetitions → tasks.
+
+The canonical ordering (and therefore the serial-equivalent merge order)
+is: grid combinations first (axes sorted by name, values in the order
+given), then seeds, then repetitions.  Task ids spell the coordinates
+out (``chaos/machines_per_rack=5/seed=3``) so journals and progress
+lines are self-describing.
+
+Seed policy: an explicit sweep seed with no repetition keeps its
+user-visible value (a chaos campaign over seeds 0..7 really runs seeds
+0..7); repeated tasks get child seeds derived through
+:func:`repro.parallel.envelope.derive_seed` so repetitions are
+independent draws that never collide with the sweep axis.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.parallel.envelope import RunTask, derive_seed
+from repro.parallel.runners import known_kinds
+
+SPEC_KEYS = {"kind", "params", "grid", "seeds", "repeat", "root_seed"}
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of the axes, axes iterated in sorted-name order."""
+    if not grid:
+        return [{}]
+    names = sorted(grid)
+    for name in names:
+        values = grid[name]
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ValueError(f"grid axis {name!r} must be a non-empty list")
+    return [dict(zip(names, combo))
+            for combo in itertools.product(*(grid[n] for n in names))]
+
+
+def make_tasks(kind: str, *, params: Optional[Mapping[str, Any]] = None,
+               grid: Optional[Mapping[str, Sequence[Any]]] = None,
+               seeds: Optional[Sequence[int]] = None, repeat: int = 1,
+               root_seed: int = 0) -> List[RunTask]:
+    """Expand (kind, params, grid, seeds, repeat) into ordered RunTasks."""
+    if kind not in known_kinds():
+        raise ValueError(f"unknown sweep kind {kind!r}; known: "
+                         f"{', '.join(known_kinds())}")
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    seed_axis: List[Optional[int]] = (
+        [int(s) for s in seeds] if seeds is not None else [None])
+    tasks: List[RunTask] = []
+    index = 0
+    for combo in expand_grid(grid or {}):
+        cell = {**dict(params or {}), **combo}
+        for seed in seed_axis:
+            for rep in range(repeat):
+                bits = [kind]
+                bits += [f"{k}={v}" for k, v in sorted(combo.items())]
+                if seed is not None:
+                    bits.append(f"seed={seed}")
+                if repeat > 1:
+                    bits.append(f"rep={rep}")
+                task_id = "/".join(bits)
+                if seed is not None and repeat == 1:
+                    task_seed = seed
+                else:
+                    task_seed = derive_seed(
+                        seed if seed is not None else root_seed, task_id)
+                tasks.append(RunTask(index=index, task_id=task_id,
+                                     kind=kind, seed=task_seed,
+                                     params=cell))
+                index += 1
+    return tasks
+
+
+def tasks_from_spec(spec: Mapping[str, Any]) -> List[RunTask]:
+    """Build a sweep from a spec document (the ``--spec FILE`` format).
+
+    ::
+
+        {"kind": "chaos",
+         "seeds": {"start": 0, "count": 8},     # or an explicit list
+         "params": {"machines_per_rack": 3},    # base config overrides
+         "grid": {"faults": [4, 8]},            # optional axes
+         "repeat": 1, "root_seed": 0}
+    """
+    unknown = set(spec) - SPEC_KEYS
+    if unknown:
+        raise ValueError(f"unknown sweep spec keys {sorted(unknown)}; "
+                         f"known: {sorted(SPEC_KEYS)}")
+    if "kind" not in spec:
+        raise ValueError("sweep spec needs a 'kind'")
+    return make_tasks(
+        str(spec["kind"]),
+        params=spec.get("params"),
+        grid=spec.get("grid"),
+        seeds=_seed_list(spec.get("seeds")),
+        repeat=int(spec.get("repeat", 1)),
+        root_seed=int(spec.get("root_seed", 0)))
+
+
+def _seed_list(seeds: Any) -> Optional[List[int]]:
+    if seeds is None:
+        return None
+    if isinstance(seeds, Mapping):
+        extra = set(seeds) - {"start", "count"}
+        if extra:
+            raise ValueError(f"seeds range takes 'start'/'count', "
+                             f"got {sorted(extra)}")
+        start = int(seeds.get("start", 0))
+        count = int(seeds["count"])
+        if count < 1:
+            raise ValueError("seeds.count must be >= 1")
+        return list(range(start, start + count))
+    if isinstance(seeds, Sequence) and not isinstance(seeds, (str, bytes)):
+        if not seeds:
+            raise ValueError("seeds list must be non-empty")
+        return [int(s) for s in seeds]
+    raise ValueError("seeds must be a list or {'start':..,'count':..}")
+
+
+def parse_value(text: str) -> Any:
+    """Parse a ``--set``/``--grid`` value: JSON when it parses, else str."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def parse_assignments(pairs: Sequence[str]) -> Dict[str, Any]:
+    """``key=value`` tokens → params dict (values JSON-parsed)."""
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"expected key=value, got {pair!r}")
+        out[key] = parse_value(value)
+    return out
+
+
+def parse_grid_axes(pairs: Sequence[str]) -> Dict[str, List[Any]]:
+    """``key=v1,v2,...`` tokens → grid axes (values JSON-parsed)."""
+    out: Dict[str, List[Any]] = {}
+    for pair in pairs:
+        key, sep, values = pair.partition("=")
+        if not sep or not key or not values:
+            raise ValueError(f"expected key=v1,v2,..., got {pair!r}")
+        out[key] = [parse_value(v) for v in values.split(",")]
+    return out

@@ -1,0 +1,115 @@
+"""JSONL sweep journal: crash-resumable bookkeeping for a sweep.
+
+One header line pins the sweep's *fingerprint* (a hash of every task
+envelope), then one line per completed outcome, appended and flushed as
+each result streams out of the pool.  If the sweep process dies, a rerun
+with ``resume=True`` replays the journal: tasks with a journaled ``ok``
+outcome are skipped (their recorded results are merged as-is), failed or
+missing tasks run again.  Resuming against a journal whose fingerprint
+does not match the task list is an error — a changed grid means the old
+outcomes describe different runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, IO, Iterable, List, Optional, Tuple
+
+from repro.parallel.envelope import RunOutcome, RunTask
+
+SCHEMA = 1
+
+
+class SweepJournalError(ValueError):
+    """The journal cannot be used for this sweep (corrupt or mismatched)."""
+
+
+def fingerprint(tasks: Iterable[RunTask]) -> str:
+    """A stable hash of the full task list (ids, kinds, seeds, params)."""
+    canon = json.dumps([t.to_dict() for t in
+                        sorted(tasks, key=lambda t: t.index)],
+                       sort_keys=True)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+class SweepJournal:
+    """Append-only JSONL journal for one sweep."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+
+    # -- reading ------------------------------------------------------- #
+
+    def load(self) -> Tuple[Optional[str], Dict[str, RunOutcome]]:
+        """Return (fingerprint, task_id → last journaled outcome)."""
+        if not os.path.exists(self.path):
+            return None, {}
+        journal_fp = None
+        outcomes: Dict[str, RunOutcome] = {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    raise SweepJournalError(
+                        f"{self.path}:{lineno}: bad JSONL line: {exc}")
+                kind = record.get("record")
+                if kind == "header":
+                    journal_fp = record.get("fingerprint")
+                elif kind == "outcome":
+                    outcome = RunOutcome.from_dict(record)
+                    outcomes[outcome.task_id] = outcome   # last wins
+        return journal_fp, outcomes
+
+    def resumable(self, tasks: List[RunTask]) -> Dict[str, RunOutcome]:
+        """The journaled ``ok`` outcomes reusable for this task list.
+
+        Raises :class:`SweepJournalError` when the journal belongs to a
+        different sweep (fingerprint mismatch).
+        """
+        want = fingerprint(tasks)
+        have, outcomes = self.load()
+        if have is None:
+            return {}
+        if have != want:
+            raise SweepJournalError(
+                f"{self.path}: journal fingerprint {have} does not match "
+                f"this sweep ({want}); it records a different task list — "
+                "delete the journal or rerun without --resume")
+        ids = {t.task_id for t in tasks}
+        return {tid: out for tid, out in outcomes.items()
+                if out.ok and tid in ids}
+
+    # -- writing ------------------------------------------------------- #
+
+    def open(self, tasks: List[RunTask], *, fresh: bool) -> None:
+        """Open for appending; a fresh journal starts with a header line."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        mode = "w" if fresh else "a"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if fresh or os.path.getsize(self.path) == 0:
+            self._write({"record": "header", "schema": SCHEMA,
+                         "fingerprint": fingerprint(tasks),
+                         "tasks": len(tasks)})
+
+    def append(self, outcome: RunOutcome) -> None:
+        record = {"record": "outcome"}
+        record.update(outcome.to_dict())
+        self._write(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _write(self, record: dict) -> None:
+        assert self._handle is not None, "journal not open"
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()

@@ -1,0 +1,130 @@
+"""The sweep engine's runner registry: ``kind`` → callable.
+
+A runner is ``fn(params: dict, seed: int) -> dict`` returning a plain,
+JSON-able, *deterministic* payload — deterministic meaning: a pure
+function of ``(params, seed)``, with no wall-clock readings inside (wall
+time is measured by the engine and kept out of the merge).  Runners are
+resolved by name so :class:`~repro.parallel.envelope.RunTask` stays
+plain-data picklable; the heavyweight simulator imports happen lazily
+inside each runner, once per worker process (warm start).
+
+Built-in kinds:
+
+- ``simulate`` — one :func:`repro.api.simulate` closed-loop synthetic run
+  (params = :class:`repro.api.RunSpec` fields);
+- ``chaos`` — one seeded chaos run with invariant checking
+  (params = :class:`repro.chaos.engine.ChaosConfig` fields);
+- ``experiment`` — one paper experiment repetition
+  (params = ``{"name": ..., "config": {...}}``; measured values may be
+  wall-clock for timing experiments, so only ``simulate``/``chaos``
+  sweeps carry the byte-identical merge guarantee);
+- ``selfcheck`` — a microsecond no-sim runner used by smoke tests and the
+  CI sweep job to exercise fan-out, crash isolation and resume.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, Tuple
+
+Runner = Callable[[Dict[str, Any], int], Dict[str, Any]]
+
+_REGISTRY: Dict[str, Runner] = {}
+
+
+def register_runner(kind: str, runner: Runner) -> None:
+    """Register (or replace) the runner behind ``kind``."""
+    _REGISTRY[kind] = runner
+
+
+def unregister_runner(kind: str) -> None:
+    """Remove ``kind`` from the registry (no-op when absent)."""
+    _REGISTRY.pop(kind, None)
+
+
+def resolve_runner(kind: str) -> Runner:
+    """The runner behind ``kind``; KeyError lists the known kinds."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise KeyError(f"unknown sweep task kind {kind!r}; known kinds: "
+                       f"{', '.join(sorted(_REGISTRY))}") from None
+
+
+def known_kinds() -> Tuple[str, ...]:
+    """All registered kinds, sorted (the valid ``RunTask.kind`` values)."""
+    return tuple(sorted(_REGISTRY))
+
+
+# --------------------------------------------------------------------- #
+# built-in runners (lazy imports: once per worker process)
+# --------------------------------------------------------------------- #
+
+def run_simulate(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One closed-loop synthetic run; returns the deterministic counters."""
+    from repro.api import RunSpec, simulate
+    spec = RunSpec(**params)
+    result = simulate(spec, seed=seed)
+    return result.summary_dict()
+
+
+def run_chaos_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One seeded chaos run (workload + fault schedule + invariants)."""
+    from repro.chaos.engine import ChaosConfig, run_chaos
+    config = ChaosConfig(**params)
+    return run_chaos(seed, config).to_dict()
+
+
+def run_experiment_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One repetition of a named paper experiment."""
+    from repro.experiments.sweep import run_named
+    report = run_named(params["name"], seed=seed,
+                       overrides=params.get("config"))
+    return {
+        "exp_id": report.exp_id,
+        "title": report.title,
+        "seed": seed,
+        "comparisons": [
+            {"name": c.name, "paper": c.paper, "measured": c.measured,
+             "unit": c.unit, "direction": c.direction}
+            for c in report.comparisons
+        ],
+        "notes": list(report.notes),
+    }
+
+
+def run_selfcheck(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """A no-simulation runner for smoke tests: echo + seeded draw.
+
+    ``params["fail"]`` forces a failure (crash-isolation tests);
+    ``params["fail_unless_exists"]`` fails until the named path exists
+    (journal-resume tests, where the retry must succeed);
+    ``params["spin"]`` burns that many iterations of a deterministic
+    integer loop — CPU-bound ballast for speedup tests, whose result
+    (``spin_result``) stays a pure function of (seed, spin).
+    """
+    if params.get("fail"):
+        raise RuntimeError(f"selfcheck: injected failure (seed {seed})")
+    gate = params.get("fail_unless_exists")
+    if gate and not os.path.exists(gate):
+        raise RuntimeError(f"selfcheck: gate file missing: {gate}")
+    payload: Dict[str, Any] = {}
+    spin = int(params.get("spin", 0))
+    if spin:
+        acc = seed & 0x7FFFFFFF
+        for i in range(spin):
+            acc = (acc * 1103515245 + i) % 2147483648
+        payload["spin_result"] = acc
+    from repro.sim.rng import SplitRandom
+    draw = SplitRandom(seed).stream("selfcheck")
+    payload.update(
+        seed=seed, value=round(draw.random(), 12),
+        echo={k: v for k, v in params.items()
+              if k not in ("fail", "fail_unless_exists", "spin")})
+    return payload
+
+
+register_runner("simulate", run_simulate)
+register_runner("chaos", run_chaos_task)
+register_runner("experiment", run_experiment_task)
+register_runner("selfcheck", run_selfcheck)

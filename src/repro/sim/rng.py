@@ -34,6 +34,16 @@ class SplitRandom:
         digest = hashlib.sha256(f"{self.seed}:{name}".encode("utf-8")).digest()
         return SplitRandom(int.from_bytes(digest[8:16], "big"))
 
+    def child_seed(self, name: str) -> int:
+        """The derived child's root seed (``split(name).seed``).
+
+        Used where only the integer needs to travel — e.g. the parallel
+        sweep engine derives each task's seed in the parent process and
+        ships it inside the picklable task envelope, so a task's
+        randomness is fixed before any worker touches it.
+        """
+        return self.split(name).seed
+
 
 def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
     """Pick one of ``items`` with the given relative ``weights``."""

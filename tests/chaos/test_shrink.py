@@ -101,4 +101,4 @@ def test_repro_command_carries_topology_knobs():
         7, PLAN, ChaosConfig(racks=3, machines_per_rack=4, jobs=2))
     assert "--racks 3" in command
     assert "--machines-per-rack 4" in command
-    assert "--jobs 2" in command
+    assert "--workload-jobs 2" in command

@@ -1,0 +1,130 @@
+"""End-to-end sweep determinism: serial vs multi-worker, crash + resume.
+
+The acceptance bar for the sweep engine is *serial equivalence*: the
+same seed set pushed through ``repro.parallel`` with 1 worker and with
+4 workers must merge to byte-identical JSON, with real simulation runs
+(chaos and the public ``simulate`` API) — not just the synthetic
+selfcheck runner.  A worker crash mid-sweep must surface as a failed
+outcome (never kill the sweep) and a resume from the journal must fill
+exactly the hole and reproduce the serial bytes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import ChaosConfig, campaign_tasks, run_campaign
+from repro.parallel import make_tasks, run_sweep
+
+SMALL_CHAOS = dict(racks=2, machines_per_rack=3, jobs=2, faults=3,
+                   timeout=200.0, trace=False)
+SIM_PARAMS = dict(racks=2, machines_per_rack=3, concurrent_jobs=4,
+                  duration=10.0)
+
+
+def chaos_tasks(seeds):
+    return make_tasks("chaos", params=dict(SMALL_CHAOS), seeds=seeds)
+
+
+def test_chaos_sweep_four_workers_merges_byte_identical():
+    tasks = chaos_tasks([0, 1, 2, 3])
+    serial = run_sweep(tasks, jobs=1)
+    pooled = run_sweep(tasks, jobs=4)
+    assert not serial.failures and not pooled.failures
+    assert pooled.merged_json() == serial.merged_json()
+    # and the parallel outcomes really are full chaos verdicts
+    entry = pooled.merged()["sweep"]["tasks"][0]
+    assert entry["result"]["seed"] == 0
+    assert "schedule" in entry["result"]
+
+
+def test_simulate_sweep_four_workers_merges_byte_identical():
+    tasks = make_tasks("simulate", params=dict(SIM_PARAMS),
+                       seeds=[7, 8, 9, 10])
+    serial = run_sweep(tasks, jobs=1)
+    pooled = run_sweep(tasks, jobs=4)
+    assert not serial.failures and not pooled.failures
+    assert pooled.merged_json() == serial.merged_json()
+    entry = pooled.merged()["sweep"]["tasks"][0]
+    assert entry["result"]["jobs_submitted"] > 0
+    assert entry["result"]["events"] > 0
+
+
+def test_campaign_matches_direct_run_chaos():
+    """The campaign wrapper reports exactly what run_chaos would."""
+    from repro.chaos.engine import run_chaos
+
+    config = ChaosConfig(**SMALL_CHAOS)
+    summary = run_campaign([5, 6], config, jobs=1)
+    direct = run_chaos(5, config).to_dict()
+    assert summary.verdicts[0].result == direct
+    assert not summary.crashed
+
+
+def test_worker_crash_is_isolated_and_resume_fills_the_hole(tmp_path):
+    """A crashing task yields a failed outcome; --resume completes it."""
+    journal = tmp_path / "sweep.jsonl"
+    gate = tmp_path / "gate"
+    tasks = (make_tasks("selfcheck", seeds=[1, 2])
+             + [task for task in make_tasks(
+                 "selfcheck", params={"fail_unless_exists": str(gate)},
+                 seeds=[3])])
+    # reindex into one coherent sweep
+    from repro.parallel import RunTask
+    tasks = [RunTask(index=i, task_id=t.task_id, kind=t.kind, seed=t.seed,
+                     params=t.params) for i, t in enumerate(tasks)]
+
+    first = run_sweep(tasks, jobs=2, journal=str(journal))
+    assert len(first.failures) == 1
+    assert first.failures[0].task_id == "selfcheck/seed=3"
+    assert "RuntimeError" in first.failures[0].error
+
+    gate.write_text("open", encoding="utf-8")
+    second = run_sweep(tasks, jobs=2, journal=str(journal), resume=True)
+    assert second.resumed == 2          # the two ok outcomes were reused
+    assert not second.failures
+
+    # the healed sweep matches a from-scratch serial run byte for byte
+    clean = run_sweep(tasks, jobs=1)
+    assert second.merged_json() == clean.merged_json()
+
+
+def test_campaign_journal_resume_round_trip(tmp_path):
+    journal = tmp_path / "campaign.jsonl"
+    config = ChaosConfig(**SMALL_CHAOS)
+    seeds = [0, 1, 2]
+    first = run_campaign(seeds, config, jobs=2, journal=str(journal))
+    assert not first.crashed
+    resumed = run_campaign(seeds, config, jobs=2, journal=str(journal),
+                           resume=True)
+    assert resumed.sweep.resumed == len(seeds)
+    assert resumed.sweep.merged_json() == first.sweep.merged_json()
+    # journal rows round-trip as JSON (header + one outcome per seed)
+    lines = journal.read_text(encoding="utf-8").splitlines()
+    assert json.loads(lines[0])["record"] == "header"
+    assert len(lines) == 1 + len(seeds)
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup needs a >=4-core host")
+def test_four_workers_beat_serial_on_multicore():
+    """8 CPU-bound tasks, 4 workers: >=2x wall-clock win, same bytes.
+
+    The issue's bar is ~3x for real campaigns; the test asserts a
+    conservative 2x so scheduler noise on shared CI runners doesn't
+    flake it, while still catching a sweep engine that serializes.
+    """
+    tasks = make_tasks("selfcheck", params={"spin": 3_000_000},
+                       seeds=list(range(8)))
+    serial = run_sweep(tasks, jobs=1)
+    pooled = run_sweep(tasks, jobs=4)
+    assert pooled.merged_json() == serial.merged_json()
+    assert serial.wall_seconds / pooled.wall_seconds >= 2.0
+
+
+def test_campaign_tasks_use_literal_seeds():
+    config = ChaosConfig(**SMALL_CHAOS)
+    tasks = campaign_tasks([4, 9], config)
+    assert [t.seed for t in tasks] == [4, 9]
+    assert [t.task_id for t in tasks] == ["chaos/seed=4", "chaos/seed=9"]

@@ -130,3 +130,17 @@ def test_package_root_reexports():
     assert repro.ClusterBuilder is ClusterBuilder
     assert repro.RunSpec is RunSpec
     assert repro.simulate is simulate
+
+
+def test_summary_dict_is_deterministic_and_json_able():
+    spec = RunSpec(racks=2, machines_per_rack=3, concurrent_jobs=4,
+                   duration=10.0)
+    first = simulate(spec, seed=7).summary_dict()
+    second = simulate(spec, seed=7).summary_dict()
+    assert first == second
+    assert json.dumps(first, sort_keys=True) == \
+        json.dumps(second, sort_keys=True)
+    assert first["seed"] == 7
+    assert first["spec"] == spec.to_dict()
+    assert first["jobs_submitted"] > 0
+    assert first["events"] > 0

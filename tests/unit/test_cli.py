@@ -191,3 +191,125 @@ def test_metrics_dumps_prometheus_text(capsys):
     assert 'fm_schedule_ms{stat="p99"}' in out
     assert "# TYPE sim_callback_ms histogram" in out
     assert 'sim_callback_ms_bucket{le="+Inf"}' in out
+
+
+def test_chaos_campaign_reports_every_failing_seed(monkeypatch, capsys):
+    """Aggregation fix: all failing seeds are named, not just the first."""
+    from repro.chaos.engine import ChaosResult
+    from repro.chaos.invariants import Violation
+    from repro.cluster.faults import FaultEvent, FaultPlan
+    import repro.chaos.engine as engine
+
+    plan = FaultPlan(events=[FaultEvent(at=5.0, kind="FuxiMasterFailure")])
+
+    def fake_run_chaos(seed, config=None):
+        violations = ([Violation("resource-conservation", 1.0, "leak")]
+                      if seed % 2 else [])
+        return ChaosResult(seed=seed, schedule=plan, app_ids=["a"],
+                           completed=["a"], violations=violations,
+                           sim_time=10.0, events_executed=100)
+
+    monkeypatch.setattr(engine, "run_chaos", fake_run_chaos)
+    code = main(["chaos", "--seed", "0", "--seeds", "4", "--no-shrink"])
+    captured = capsys.readouterr()
+    assert code == 1
+    # both failing seeds (1 and 3) are reported, plus a repro command
+    assert "seed 1 violated an invariant" in captured.out
+    assert "seed 3 violated an invariant" in captured.out
+    assert "reproduce with" in captured.out
+
+
+def test_chaos_campaign_isolates_crashed_seed(monkeypatch, capsys):
+    from repro.chaos.engine import ChaosResult
+    from repro.cluster.faults import FaultPlan
+    import repro.chaos.engine as engine
+
+    def fake_run_chaos(seed, config=None):
+        if seed == 2:
+            raise RuntimeError("boom in the harness")
+        return ChaosResult(seed=seed, schedule=FaultPlan(events=[]),
+                           app_ids=["a"], completed=["a"],
+                           sim_time=1.0, events_executed=10)
+
+    monkeypatch.setattr(engine, "run_chaos", fake_run_chaos)
+    code = main(["chaos", "--seed", "0", "--seeds", "3", "--no-shrink"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "CRASH" in captured.out
+    assert "seed 2 crashed" in captured.err
+    assert "boom in the harness" in captured.err
+
+
+def test_sweep_selfcheck_writes_merged_report(tmp_path, capsys):
+    out = tmp_path / "merged.json"
+    code = main(["sweep", "--kind", "selfcheck", "--seeds", "3",
+                 "--out", str(out), "--quiet"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "sweep summary" in captured.out
+    assert "merged report written to" in captured.out
+    doc = json.loads(out.read_text())
+    assert doc["sweep"]["total"] == 3
+    assert doc["sweep"]["failed"] == 0
+
+
+def test_sweep_resume_reproduces_identical_bytes(tmp_path, capsys):
+    journal = tmp_path / "sweep.jsonl"
+    first_out = tmp_path / "first.json"
+    second_out = tmp_path / "second.json"
+    assert main(["sweep", "--kind", "selfcheck", "--seeds", "3",
+                 "--journal", str(journal), "--out", str(first_out),
+                 "--quiet"]) == 0
+    assert main(["sweep", "--kind", "selfcheck", "--seeds", "3",
+                 "--journal", str(journal), "--resume",
+                 "--out", str(second_out), "--quiet"]) == 0
+    capsys.readouterr()
+    assert first_out.read_bytes() == second_out.read_bytes()
+
+
+def test_sweep_spec_file_with_grid(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "kind": "selfcheck",
+        "seeds": {"start": 0, "count": 2},
+        "grid": {"n": [1, 2]},
+    }))
+    out = tmp_path / "merged.json"
+    code = main(["sweep", "--spec", str(spec), "--out", str(out),
+                 "--quiet"])
+    capsys.readouterr()
+    assert code == 0
+    doc = json.loads(out.read_text())
+    ids = [t["task_id"] for t in doc["sweep"]["tasks"]]
+    assert ids == ["selfcheck/n=1/seed=0", "selfcheck/n=1/seed=1",
+                   "selfcheck/n=2/seed=0", "selfcheck/n=2/seed=1"]
+
+
+def test_sweep_failure_exits_one_and_reports(tmp_path, capsys):
+    code = main(["sweep", "--kind", "selfcheck", "--seeds", "2",
+                 "--set", "fail=true", "--quiet"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "FAILED" in captured.err
+
+
+def test_sweep_bad_arguments_exit_two(tmp_path, capsys):
+    # no spec and no kind
+    assert main(["sweep"]) == 2
+    # unknown kind
+    assert main(["sweep", "--kind", "nope", "--seeds", "2"]) == 2
+    # malformed --set
+    assert main(["sweep", "--kind", "selfcheck", "--seeds", "2",
+                 "--set", "noequals"]) == 2
+    # unreadable spec file
+    assert main(["sweep", "--spec", str(tmp_path / "missing.json")]) == 2
+    capsys.readouterr()
+
+
+def test_experiment_repeat_aggregates(capsys):
+    code = main(["experiment", "ablation-reuse", "--repeat", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Container reuse" in out
+    assert "2 repetitions" in out
+    assert "repro.parallel" in out

@@ -1,0 +1,48 @@
+"""Reports must cross process boundaries (satellite of the sweep engine).
+
+``ExperimentReport`` used to hold the run's live tracer, whose clock is
+a closure over the event loop — unpicklable, which killed any attempt
+to return a report from a worker process.  Pickling now detaches the
+tracer (traces are exported worker-side before the report ships);
+``ChaosResult`` is plain data and must stay that way.
+"""
+
+import pickle
+
+from repro.chaos.engine import ChaosConfig, run_chaos
+from repro.experiments.harness import ExperimentReport
+
+
+def test_experiment_report_pickles_with_live_tracer():
+    from repro._runtime import FuxiCluster
+    from repro.cluster.topology import ClusterTopology
+
+    cluster = FuxiCluster(ClusterTopology.build(1, 2), seed=1, trace=True)
+    report = ExperimentReport(exp_id="t", title="pickle probe",
+                              tracer=cluster.tracer)
+    report.add_comparison("latency", paper=1.0, measured=0.9, unit="ms")
+    report.notes.append("a note")
+
+    clone = pickle.loads(pickle.dumps(report))
+    assert clone.tracer is None                 # detached, not carried
+    assert report.tracer is cluster.tracer      # original untouched
+    assert clone.exp_id == "t"
+    assert clone.comparison("latency").measured == 0.9
+    assert clone.notes == ["a note"]
+    assert clone.write_trace("/nonexistent/ignored") is False
+
+
+def test_experiment_report_render_survives_round_trip():
+    report = ExperimentReport(exp_id="r", title="render")
+    report.add_comparison("x", paper=2.0, measured=4.0)
+    clone = pickle.loads(pickle.dumps(report))
+    assert clone.render() == report.render()
+
+
+def test_chaos_result_pickles_and_keeps_verdict():
+    config = ChaosConfig(racks=2, machines_per_rack=3, jobs=2, faults=2,
+                         trace=False)
+    result = run_chaos(3, config)
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.to_dict() == result.to_dict()
+    assert clone.ok == result.ok

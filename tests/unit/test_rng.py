@@ -75,3 +75,18 @@ def test_bounded_lognormal_validates_bounds():
     rng = SplitRandom(5).stream("ln")
     with pytest.raises(ValueError):
         bounded_lognormal(rng, 0.0, 1.0, low=2.0, high=1.0)
+
+
+def test_child_seed_matches_split_and_is_independent():
+    root = SplitRandom(42)
+    seed = root.child_seed("sweep/chaos/seed=3")
+    # stable, equal to the named split's seed, distinct across names/roots
+    assert seed == SplitRandom(42).split("sweep/chaos/seed=3").seed
+    assert seed == SplitRandom(42).child_seed("sweep/chaos/seed=3")
+    assert seed != SplitRandom(42).child_seed("sweep/chaos/seed=4")
+    assert seed != SplitRandom(43).child_seed("sweep/chaos/seed=3")
+    # deriving a child never perturbs the parent's own streams
+    before = SplitRandom(42).stream("probe").random()
+    parent = SplitRandom(42)
+    parent.child_seed("anything")
+    assert parent.stream("probe").random() == before
