@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Event-substrate microbenchmark: timer-wheel tier vs plain heap.
+
+The simulator's periodic-timer population (one heartbeat + liveness +
+retransmit chain per actor) dominates event volume at paper scale.  This
+harness drives N self-re-arming periodic timers for a window of simulated
+time twice — once through the default heap tier, once through the
+timer-wheel/freelist tier (``wheel=True, recycle=True``) — and reports
+wall clock, events/sec and the wheel-over-heap speedup.
+
+Both legs execute the identical timer schedule, so the fire counts must
+match exactly; a mismatch means the wheel tier broke event ordering and
+the run fails regardless of speed.
+
+Usage::
+
+    python benchmarks/bench_event_loop.py                # report only
+    python benchmarks/bench_event_loop.py --check        # CI budget gate
+
+Exit codes: 0 ok, 3 budget violation (wheel slower than --min-speedup x
+heap, or fire-count divergence between the tiers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.events import EventLoop  # noqa: E402
+
+
+class _Chain:
+    """Self-re-arming periodic callback (mirrors Actor periodic timers)."""
+
+    __slots__ = ("loop", "interval", "wheel", "recycle", "fires")
+
+    def __init__(self, loop: EventLoop, interval: float,
+                 wheel: bool, recycle: bool):
+        self.loop = loop
+        self.interval = interval
+        self.wheel = wheel
+        self.recycle = recycle
+        self.fires = 0
+
+    def __call__(self) -> None:
+        self.fires += 1
+        self.loop.call_after(self.interval, self,
+                             wheel=self.wheel, recycle=self.recycle)
+
+
+def run_leg(timers: int, duration: float, wheel: bool) -> dict:
+    """One leg: ``timers`` periodic chains for ``duration`` sim-seconds."""
+    loop = EventLoop()
+    chains = []
+    for i in range(timers):
+        # Staggered 1.0..1.3s intervals and start offsets: a realistic
+        # spread of periodic traffic rather than one synchronized burst.
+        interval = 1.0 + (i % 7) * 0.05
+        chain = _Chain(loop, interval, wheel=wheel, recycle=wheel)
+        chains.append(chain)
+        loop.call_at((i % 13) * 0.01, chain, wheel=wheel, recycle=wheel)
+    started = time.perf_counter()
+    loop.run_until(duration)
+    wall = time.perf_counter() - started
+    events = loop.events_executed
+    return {
+        "tier": "wheel" if wheel else "heap",
+        "timers": timers,
+        "duration_sim_s": duration,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "fires": sum(c.fires for c in chains),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timers", type=int, default=5000,
+                        help="periodic timer population (default 5000, "
+                             "one heartbeat chain per paper-scale agent)")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="simulated seconds per leg (default 30)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 3 unless the wheel tier meets "
+                             "--min-speedup over the heap tier")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="required wheel-over-heap wall-clock ratio "
+                             "for --check (default 1.0: never slower)")
+    args = parser.parse_args(argv)
+
+    heap = run_leg(args.timers, args.duration, wheel=False)
+    wheel = run_leg(args.timers, args.duration, wheel=True)
+    speedup = (heap["wall_seconds"] / wheel["wall_seconds"]
+               if wheel["wall_seconds"] > 0 else 0.0)
+    report = {
+        "bench": "event_loop",
+        "heap": heap,
+        "wheel": wheel,
+        "speedup": round(speedup, 2),
+    }
+    print(json.dumps(report, indent=2))
+
+    if heap["fires"] != wheel["fires"] or heap["events"] != wheel["events"]:
+        print(f"TIER DIVERGENCE: heap fired {heap['fires']} "
+              f"({heap['events']} events), wheel fired {wheel['fires']} "
+              f"({wheel['events']} events) — identical schedules must "
+              f"execute identically", file=sys.stderr)
+        return 3
+    if args.check and speedup < args.min_speedup:
+        print(f"PERF REGRESSION: wheel tier speedup {speedup:.2f}x is "
+              f"below the {args.min_speedup:.2f}x budget", file=sys.stderr)
+        return 3
+    if args.check:
+        print(f"event-loop budget ok: wheel {speedup:.2f}x heap, "
+              f"fire counts identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -307,7 +307,7 @@ class FuxiCluster:
         if master is None or not getattr(master, "finished", False):
             return
         del self.app_masters[app_id]
-        master.cancel_all_timers()
+        master.dispose()
         self.bus.unregister(master.name)
 
     def crash_app_master(self, app_id: str) -> None:

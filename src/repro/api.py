@@ -41,6 +41,7 @@ from repro.core.appmaster import AppMasterConfig
 from repro.core.master import FuxiMasterConfig
 from repro.core.resources import ResourceVector
 from repro.core.scheduler import SchedulerConfig
+from repro.sim.gctune import collect_young, deferred_gc
 from repro.workloads.synthetic import (SyntheticWorkload,
                                        SyntheticWorkloadConfig)
 
@@ -79,6 +80,10 @@ class RunSpec(ConfigBase):
     closed_loop: bool = conf(
         True, help="replace each finished job to hold the population "
                    "('we keep 1,000 jobs concurrently running')", cli="")
+    gc_isolation: bool = conf(
+        True, help="freeze the setup heap and defer GC to slice "
+                   "boundaries (kills multi-hundred-ms collection pauses "
+                   "inside timed scheduling sections)")
 
     @property
     def machines(self) -> int:
@@ -297,15 +302,20 @@ def simulate(spec: Optional[RunSpec] = None, *,
         submit_one()
 
     # Closed loop: replace each finished job until the window elapses.
+    # deferred_gc: no collection pause can land inside a timed scheduling
+    # section; young garbage is reclaimed between slices instead.
     deadline = cluster.loop.now + spec.duration
     replaced: set = set()
-    while cluster.loop.now < deadline:
-        cluster.run_for(2.0)
-        for app_id in list(cluster.job_results):
-            if app_id not in replaced:
-                replaced.add(app_id)
-                result.jobs_completed += 1
-                cluster.reap_job(app_id)
-                if spec.closed_loop:
-                    submit_one()
+    with deferred_gc(spec.gc_isolation):
+        while cluster.loop.now < deadline:
+            cluster.run_for(2.0)
+            for app_id in list(cluster.job_results):
+                if app_id not in replaced:
+                    replaced.add(app_id)
+                    result.jobs_completed += 1
+                    cluster.reap_job(app_id)
+                    if spec.closed_loop:
+                        submit_one()
+            if spec.gc_isolation:
+                collect_young()
     return result

@@ -99,7 +99,10 @@ class MessageBus:
         if (self.config.reorder_prob
                 and self._rng.random() < self.config.reorder_prob):
             delay += self._rng.random() * self.config.reorder_jitter
-        self.loop.call_after(delay, self._deliver, sender, dest, message)
+        # recycle: delivery events are fire-and-forget — nothing retains
+        # the handle, so the loop can reuse the Event object.
+        self.loop.call_after(delay, self._deliver, sender, dest, message,
+                             recycle=True)
 
     def _deliver(self, sender: str, dest: str, message: Any) -> None:
         actor = self._actors.get(self.resolve(dest))

@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 from repro.cluster.machine import MachineState
 from repro.core import messages as msg
-from repro.core.grant import Grant
+from repro.core.grant import Grant, book_entry_hash, books_digest
 from repro.core.protocol import StreamHub
 from repro.core.resources import ResourceVector
 from repro.core.units import UnitKey
@@ -66,10 +66,18 @@ class FuxiAgent(Actor):
         self.machine_state = machine_state
         self.config = config or FuxiAgentConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.hub = StreamHub(self)
+        # Agents normally have no outgoing streams; the retransmit timer is
+        # armed lazily the first time one appears instead of ticking idly
+        # on thousands of machines.
+        self.hub = StreamHub(self, on_first_sender=self._arm_retransmit)
         self.worker_factory = worker_factory
-        # allocation books: granted units per (app, slot) on this machine
+        # allocation books: granted units per (app, slot) on this machine,
+        # plus the incrementally-maintained digest the heartbeat carries
+        # (§3.1 safety sync without copying the books every beat)
         self.allocations: Dict[UnitKey, int] = {}
+        self._book_version = 0
+        self._book_digest = 0
+        self._heartbeat: Optional[msg.AgentHeartbeat] = None
         # running workers: worker_id -> plan; plus per-unit worker sets
         self.workers: Dict[str, msg.WorkPlan] = {}
         self._workers_by_unit: Dict[UnitKey, Set[str]] = {}
@@ -96,20 +104,26 @@ class FuxiAgent(Actor):
     def _start_timers(self) -> None:
         self.set_periodic_timer("heartbeat", self.config.heartbeat_interval,
                                 self._send_heartbeat)
+        if self.hub.has_senders():
+            self._arm_retransmit()
+        self.loop.call_after(0.0, self._send_heartbeat)
+
+    def _arm_retransmit(self) -> None:
         self.set_periodic_timer("retransmit", self.config.retransmit_interval,
                                 self.hub.retransmit_pending)
-        self.loop.call_after(0.0, self._send_heartbeat)
 
     def _send_heartbeat(self) -> None:
         if not self.alive:
             return
-        self.send(self.config.master_address, msg.AgentHeartbeat(
-            machine=self.machine,
-            rack=self.rack,
-            capacity=self.capacity,
-            health_sample=self.machine_state.health_sample(),
-            allocations=dict(self.allocations),
-        ))
+        beat = self._heartbeat
+        if beat is None:
+            beat = self._heartbeat = msg.AgentHeartbeat(
+                machine=self.machine, rack=self.rack, capacity=self.capacity)
+        beat.capacity = self.capacity  # "can be changed at any time" (§3.2.1)
+        beat.health_sample = self.machine_state.health_sample()
+        beat.book_version = self._book_version
+        beat.book_digest = self._book_digest
+        self.send(self.config.master_address, beat)
 
     # ------------------------------------------------------------------ #
     # message handling
@@ -151,14 +165,24 @@ class FuxiAgent(Actor):
 
     def _apply_allocation_full(self, state: Dict[UnitKey, int]) -> None:
         self.allocations = {k: int(v) for k, v in state.items() if v > 0}
+        self._book_version += 1
+        self._book_digest = books_digest(self.allocations)
         self._enforce_capacity()
 
     def _apply_grant(self, grant: Grant) -> None:
-        count = self.allocations.get(grant.unit_key, 0) + grant.count
+        old = self.allocations.get(grant.unit_key, 0)
+        count = old + grant.count
         if count > 0:
             self.allocations[grant.unit_key] = count
         else:
             self.allocations.pop(grant.unit_key, None)
+        digest = self._book_digest
+        if old:
+            digest ^= book_entry_hash(grant.unit_key, old)
+        if count > 0:
+            digest ^= book_entry_hash(grant.unit_key, count)
+        self._book_digest = digest
+        self._book_version += 1
 
     def _enforce_capacity(self) -> None:
         """Kill workers of units whose grants shrank below worker count.
@@ -255,8 +279,12 @@ class FuxiAgent(Actor):
 
     def on_crash(self) -> None:
         # Worker processes are independent; they keep running.  Only the
-        # agent's own volatile books vanish.
+        # agent's own volatile books vanish.  The version stays monotonic
+        # across incarnations so the master never mistakes a post-restart
+        # digest for a stale pre-crash one.
         self.allocations = {}
+        self._book_version += 1
+        self._book_digest = 0
         self.workers = {}
         self._workers_by_unit = {}
 

@@ -68,6 +68,12 @@ class ApplicationMaster(Actor):
         self.finished = False
         self._start_timers()
 
+    def dispose(self) -> None:
+        super().dispose()
+        # Break the actor<->hub cycle so the finished AM's whole graph
+        # (books, demands, stream buffers) is freed by refcounting.
+        self.hub = None
+
     # ------------------------------------------------------------------ #
     # public API for subclasses
     # ------------------------------------------------------------------ #

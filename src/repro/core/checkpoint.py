@@ -36,6 +36,16 @@ class CheckpointStore:
         value = self._entries.get(key, default)
         return copy.deepcopy(value)
 
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Read ``key`` without the defensive deepcopy.
+
+        The returned value is the store's own object — callers must treat
+        it as read-only.  Use on hot paths that only inspect a field (e.g.
+        looking up an app's quota group per request delta); use :meth:`get`
+        whenever the value escapes into mutable state.
+        """
+        return self._entries.get(key, default)
+
     def delete(self, key: str) -> None:
         if key in self._entries:
             del self._entries[key]

@@ -15,10 +15,39 @@ consistency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Mapping, Tuple
 
 from repro.core.resources import ResourceVector, total_of
 from repro.core.units import UnitKey
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def book_entry_hash(unit_key: UnitKey, count: int) -> int:
+    """Stable 64-bit hash of one allocation-book entry.
+
+    FNV-1a over a canonical encoding — deliberately *not* Python's
+    ``hash()``, whose per-process randomization would make digest values
+    differ between processes.  Book digests are the XOR of their entries'
+    hashes, so they are order-independent and can be maintained
+    incrementally: changing one entry XORs the old hash out and the new
+    one in.
+    """
+    h = _FNV_OFFSET
+    for byte in (f"{unit_key.app_id}\x00{unit_key.slot_id}\x00{count}"
+                 .encode("utf-8")):
+        h = ((h ^ byte) * _FNV_PRIME) & _MASK64
+    return h
+
+
+def books_digest(books: Mapping[UnitKey, int]) -> int:
+    """Digest of a whole allocation-book dict (0 for empty books)."""
+    digest = 0
+    for unit_key, count in books.items():
+        digest ^= book_entry_hash(unit_key, count)
+    return digest
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,9 +84,20 @@ class AllocationLedger:
         self._by_machine: Dict[str, Dict[UnitKey, int]] = {}
         self._by_unit: Dict[UnitKey, Dict[str, int]] = {}
         self._by_app: Dict[str, set] = {}
+        # machine -> XOR of book_entry_hash over its books; lets the agent
+        # heartbeat digest check (§3.1 safety sync) run in O(1).
+        self._machine_digest: Dict[str, int] = {}
 
     def _set(self, unit_key: UnitKey, machine: str, count: int) -> None:
         key = (unit_key, machine)
+        old = self._counts.get(key, 0)
+        if count != old:
+            digest = self._machine_digest.get(machine, 0)
+            if old:
+                digest ^= book_entry_hash(unit_key, old)
+            if count:
+                digest ^= book_entry_hash(unit_key, count)
+            self._machine_digest[machine] = digest
         if count == 0:
             self._counts.pop(key, None)
             per_machine = self._by_machine.get(machine)
@@ -65,6 +105,7 @@ class AllocationLedger:
                 per_machine.pop(unit_key, None)
                 if not per_machine:
                     del self._by_machine[machine]
+                    self._machine_digest.pop(machine, None)
             per_unit = self._by_unit.get(unit_key)
             if per_unit is not None:
                 per_unit.pop(machine, None)
@@ -129,12 +170,24 @@ class AllocationLedger:
         """True iff ``reported`` equals this ledger's books for ``machine``.
 
         Compares against the live per-machine index — no sort and no dict
-        rebuild, because this runs on every agent heartbeat.
+        rebuild.  Kept for full-book comparisons (tests, repair paths); the
+        per-heartbeat drift check uses :meth:`machine_digest` instead.
         """
         books = self._by_machine.get(machine)
         if not reported:
             return not books
         return books == reported
+
+    def machine_digest(self, machine: str) -> int:
+        """Incrementally maintained digest of ``machine``'s books (O(1)).
+
+        Equals :func:`books_digest` of the machine's book dict; 0 when the
+        machine holds nothing.  Agents maintain the same digest over their
+        own books, so equal digests mean (up to a 2^-64 collision, which
+        only delays the repair until the books next change) that agent and
+        master agree — the O(1) form of the §3.1 periodic safety sync.
+        """
+        return self._machine_digest.get(machine, 0)
 
     def drop_app(self, app_id: str) -> List[Grant]:
         """Remove all allocations of ``app_id``; returns the revocations applied."""
@@ -179,6 +232,7 @@ class AllocationLedger:
         clone._by_unit = {u: dict(machines)
                           for u, machines in self._by_unit.items()}
         clone._by_app = {a: set(units) for a, units in self._by_app.items()}
+        clone._machine_digest = dict(self._machine_digest)
         return clone
 
     def __len__(self) -> int:

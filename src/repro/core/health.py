@@ -91,6 +91,9 @@ def default_plugins() -> List[HealthPlugin]:
 class _MachineHealth:
     score: float = 1.0
     below_since: Optional[float] = None
+    # Copy of the last raw sample (copied because agents reuse the
+    # heartbeat's sample dict in place) and a memo of its score.
+    last_sample: Optional[Dict[str, float]] = None
 
 
 class HealthMonitor:
@@ -110,10 +113,22 @@ class HealthMonitor:
         """Administrators can add more check items at runtime."""
         self.plugins.append(plugin)
         self._total_weight += plugin.weight
+        # The plugin set changed: memoized scores are no longer valid.
+        for state in self._machines.values():
+            state.last_sample = None
 
     def record_sample(self, machine: str, sample: Mapping[str, float],
                       now: float) -> float:
         """Fold one raw sample in; returns the combined score."""
+        state = self._machines.get(machine)
+        if state is None:
+            state = self._machines[machine] = _MachineHealth()
+        elif state.last_sample == sample:
+            # Identical raw sample to the last beat — the overwhelmingly
+            # common case for a healthy machine.  Plugins are pure functions
+            # of the sample, and below_since was already settled for this
+            # score last time, so the whole fold can be skipped.
+            return state.score
         weighted = 0.0
         for p in self.plugins:
             value = p.evaluate(sample)
@@ -123,7 +138,7 @@ class HealthMonitor:
                 value = 1.0
             weighted += p.weight * value
         score = weighted / self._total_weight
-        state = self._machines.setdefault(machine, _MachineHealth())
+        state.last_sample = dict(sample)
         state.score = score
         if score < self.threshold:
             if state.below_since is None:

@@ -122,18 +122,45 @@ class ResyncRequest:
 # FuxiAgent <-> FuxiMaster
 # ------------------------------------------------------------------ #
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class AgentHeartbeat:
-    """Periodic agent report: capacity, load, health — and the agent's
-    allocation books, so the master can detect drift (the §3.1 "full state
-    periodically ... to fix any possible inconsistency" safety measure,
-    applied to the master↔agent stream)."""
+    """Periodic agent report: capacity, load, health — and a *digest* of the
+    agent's allocation books, so the master can detect drift in O(1) (the
+    §3.1 "full state periodically ... to fix any possible inconsistency"
+    safety measure, applied to the master↔agent stream).
+
+    ``book_digest`` is the XOR of :func:`repro.core.grant.book_entry_hash`
+    over the agent's books; the master maintains the same digest per machine
+    inside its ledger and compares two integers instead of two dicts.  On
+    mismatch it pushes the full books wholesale (the existing repair path).
+    ``book_version`` increments on every book mutation, so an unchanged
+    (version, digest) pair additionally certifies the books have not moved
+    between beats.
+
+    Mutable (unlike the other messages): an agent reuses one heartbeat
+    object across beats, refreshing the volatile fields in place.  The
+    in-process bus delivers references, so a late-delivered heartbeat shows
+    the agent's *current* snapshot — which is exactly what the safety sync
+    wants to compare, and deterministic either way.
+    """
 
     machine: str
     rack: str
     capacity: ResourceVector
     health_sample: Dict[str, float] = field(default_factory=dict)
-    allocations: Dict[UnitKey, int] = field(default_factory=dict)
+    book_version: int = 0
+    book_digest: int = 0
+
+    def payload_bytes(self) -> int:
+        """Serialized-size proxy: what this beat would cost on a real wire.
+
+        Fixed header (capacity vector, version, digest) plus the health
+        sample's key/value pairs.  The benchmark sums this per received
+        heartbeat into ``fm.heartbeat_bytes`` to track the win over
+        shipping a book dict copy (which cost ~40 bytes per entry).
+        """
+        return (48 + len(self.machine) + len(self.rack)
+                + 16 * len(self.health_sample))
 
 
 @dataclass(frozen=True, slots=True)

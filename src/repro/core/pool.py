@@ -60,16 +60,31 @@ class _ShapeIndex:
         else:
             self.units.pop(machine, None)
 
-    def ranked(self, disabled: set) -> List[Tuple[str, int]]:
-        """Snapshot of (machine, units), most units first, name tie-break."""
+    def ranked(self, disabled: set,
+               limit: Optional[int] = None) -> List[Tuple[str, int]]:
+        """Snapshot of (machine, units), most units first, name tie-break.
+
+        ``limit`` truncates to the first ``limit`` machines — the exact
+        prefix of the unlimited ranking — so budgeted callers don't pay to
+        materialize every machine in the cluster per decision.
+        """
         out: List[Tuple[str, int]] = []
-        if disabled:
-            for units in reversed(self.bucket_keys):
-                out.extend((m, units) for m in self.buckets[units]
-                           if m not in disabled)
-        else:
-            for units in reversed(self.bucket_keys):
-                out.extend((m, units) for m in self.buckets[units])
+        if limit is None:
+            if disabled:
+                for units in reversed(self.bucket_keys):
+                    out.extend((m, units) for m in self.buckets[units]
+                               if m not in disabled)
+            else:
+                for units in reversed(self.bucket_keys):
+                    out.extend((m, units) for m in self.buckets[units])
+            return out
+        for units in reversed(self.bucket_keys):
+            for machine in self.buckets[units]:
+                if machine in disabled:
+                    continue
+                out.append((machine, units))
+                if len(out) >= limit:
+                    return out
         return out
 
 
@@ -247,12 +262,15 @@ class FreeResourcePool:
         return self.total_allocated().get(dimension) / cap
 
     def best_fit_machines(self, unit_size: ResourceVector,
-                          candidates: Optional[Iterator[str]] = None) -> List[Tuple[str, int]]:
+                          candidates: Optional[Iterator[str]] = None,
+                          limit: Optional[int] = None) -> List[Tuple[str, int]]:
         """Candidate machines ordered most-free-first with unit counts.
 
         Sorting by descending free units spreads load (the paper's "load
         balance will also be considered").  Served from the shape index —
         the result is a snapshot, so callers may allocate while iterating.
+        ``limit`` keeps only the first ``limit`` machines of the ranking
+        (exact prefix — see :meth:`_ShapeIndex.ranked`).
         """
         index = self._shape_index(unit_size)
         if candidates is not None:
@@ -270,9 +288,9 @@ class FreeResourcePool:
                     if units > 0:
                         scored.append((machine, units))
             scored.sort(key=lambda pair: (-pair[1], pair[0]))
-            return scored
+            return scored if limit is None else scored[:limit]
         if index is not None:
-            return index.ranked(self._disabled)
+            return index.ranked(self._disabled, limit)
         # over the shape cap: fall back to the direct scan
         scored = []
         for machine in sorted(m for m in self._has_free
@@ -281,4 +299,4 @@ class FreeResourcePool:
             if units > 0:
                 scored.append((machine, units))
         scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored
+        return scored if limit is None else scored[:limit]

@@ -179,7 +179,8 @@ class StreamHub:
     owning actor arms.
     """
 
-    def __init__(self, actor: Any, stats: Optional["ProtocolStats"] = None):
+    def __init__(self, actor: Any, stats: Optional["ProtocolStats"] = None,
+                 on_first_sender: Optional[Callable[[], None]] = None):
         # ``actor`` needs .name, .send(dest, message), .set_periodic_timer().
         self.actor = actor
         self.stats = stats or ProtocolStats()
@@ -187,19 +188,29 @@ class StreamHub:
         self._dest_of: Dict[str, str] = {}
         self._receivers: Dict[str, StreamReceiver] = {}
         self._full_state_of: Dict[tuple, Callable[[], Any]] = {}
+        # Fired when the hub goes from zero to one outgoing stream; lets
+        # receive-only actors (FuxiAgents) arm their retransmit timer lazily
+        # instead of ticking it forever with nothing to resend.
+        self._on_first_sender = on_first_sender
 
     # ------------------------- sending ---------------------------- #
+
+    def has_senders(self) -> bool:
+        return bool(self._senders)
 
     def sender(self, dest: str, kind: str,
                full_state: Optional[Callable[[], Any]] = None) -> StreamSender:
         key = (dest, kind)
         sender = self._senders.get(key)
         if sender is None:
+            first = not self._senders
             stream = f"{self.actor.name}>{dest}:{kind}"
             sender = self._senders[key] = StreamSender(stream)
             self._dest_of[stream] = dest
             if full_state is not None:
                 self._full_state_of[key] = full_state
+            if first and self._on_first_sender is not None:
+                self._on_first_sender()
         elif full_state is not None:
             self._full_state_of[key] = full_state
         return sender

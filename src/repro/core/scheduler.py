@@ -21,7 +21,6 @@ No event ever recomputes the global assignment.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -49,6 +48,14 @@ class SchedulerConfig(ConfigBase):
             consecutive waiting entries that want resources but cannot fit
             (bounds per-event work under pathological unit-size mixes; the
             zero-free early exit handles the common case).
+        place_scan_limit: cap on machines taken from the cluster-wide fit
+            ranking for one placement decision.  ``wanted + len(avoid)``
+            machines provably suffice for an exact result (every ranked
+            machine fits ≥1 unit, so it either grants or a *global* limit —
+            quota/max_count — has been hit), so the cap only clips
+            pathological requests wanting more units than this in one delta;
+            those pick their remaining units up from _schedule_machine as
+            resources free.  Bounds the scheduling-latency tail (p100).
     """
 
     enable_preemption: bool = conf(
@@ -59,6 +66,9 @@ class SchedulerConfig(ConfigBase):
     schedule_scan_limit: int = conf(
         64, min=1, help="consecutive non-fitting waiting entries served "
                         "per machine event")
+    place_scan_limit: int = conf(
+        512, min=1, help="machines taken from the cluster-wide ranking "
+                         "per placement decision")
 
 
 @dataclass
@@ -83,10 +93,12 @@ class ScheduleStats:
     units_granted_by_app: Dict[str, int] = field(default_factory=dict)
 
     def copy(self) -> "ScheduleStats":
-        """A detached snapshot: nested counters are deep-copied, so callers
-        sampling stats mid-run can never alias live scheduler state."""
-        data = {f.name: copy.deepcopy(getattr(self, f.name))
-                for f in fields(self)}
+        """A detached snapshot: the nested counter dict is copied, so callers
+        sampling stats mid-run can never alias live scheduler state.  (A
+        plain dict() suffices — keys are strings, values ints; the generic
+        deepcopy this replaces dominated benchmark sampling.)"""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["units_granted_by_app"] = dict(self.units_granted_by_app)
         return ScheduleStats(**data)
 
 
@@ -432,18 +444,30 @@ class FuxiScheduler:
                 if count > 0:
                     grants.append(self._apply_grant(unit, demand, machine,
                                                     count, LocalityLevel.RACK))
-        # 3. anywhere in the cluster, most-free first.
-        if not demand.is_empty():
-            for machine, _ in self.pool.best_fit_machines(unit.resources):
-                if demand.is_empty():
-                    break
-                if machine in demand.avoid:
-                    continue
-                count = self._grant_limit(unit, machine, demand.wants_anywhere())
-                if count > 0:
-                    grants.append(self._apply_grant(unit, demand, machine,
-                                                    count,
-                                                    LocalityLevel.CLUSTER))
+        # 3. anywhere in the cluster, most-free first — under a budget.
+        # Every ranked machine fits ≥1 unit, so a scanned machine that
+        # grants nothing means a *global* stop (max_count reached, quota
+        # ceiling, or demand satisfied): ``wanted + len(avoid)`` machines
+        # always suffice for the exact unlimited result.  The config cap on
+        # top bounds the latency tail for pathologically wide requests.
+        wanted = demand.wants_anywhere()
+        if wanted > 0:
+            cap = unit.max_count - self.ledger.total_units(unit_key)
+            if cap > 0 and self.quota.within_max(unit.app_id, unit.resources):
+                budget = min(self.config.place_scan_limit,
+                             wanted + len(demand.avoid))
+                for machine, _ in self.pool.best_fit_machines(unit.resources,
+                                                              limit=budget):
+                    if demand.is_empty():
+                        break
+                    if machine in demand.avoid:
+                        continue
+                    count = self._grant_limit(unit, machine,
+                                              demand.wants_anywhere())
+                    if count > 0:
+                        grants.append(self._apply_grant(unit, demand, machine,
+                                                        count,
+                                                        LocalityLevel.CLUSTER))
         return grants
 
     def _schedule_machine(self, machine: str) -> List[Grant]:

@@ -13,6 +13,23 @@ heavy timer churn stay bounded in memory.  Heap entries are plain
 ordering is decided entirely by C-level tuple comparison and the
 :class:`Event` object itself is never compared on the hot path.
 
+Two fast paths keep the periodic-timer tier (heartbeats, housekeeping,
+health probes — thousands of recurring timers at cluster scale) from
+churning the main heap:
+
+- a **timer wheel** (``call_at(..., wheel=True)``): events land in coarse
+  time slots keyed by ``int(time / tick)``; a slot is drained — filtered of
+  cancellations and sorted once — only when the clock approaches it.  The
+  merge against the main heap preserves the exact global ``(time, seq)``
+  order, so a wheel-scheduled run is event-for-event identical to a
+  heap-scheduled one; the wheel only changes *how* the order is computed.
+- an **Event freelist** (``call_at(..., recycle=True)``): the loop reuses
+  the Event object after the callback fires.  Callers opting in MUST NOT
+  retain the returned handle past the firing (a recycled handle may already
+  belong to a different scheduled event); it is safe for fire-and-forget
+  deliveries and self-re-arming periodic timers that replace their handle
+  inside the callback.
+
 For observability the loop supports per-event hooks (see
 :meth:`EventLoop.add_hook` and the legacy single-hook
 :meth:`EventLoop.set_hook`): every ``sample_every``-th executed event is
@@ -20,6 +37,8 @@ timed with the wall clock and reported together with the loop state.
 Multiple hooks with independent sampling intervals can coexist — the obs
 layer samples wall time while the chaos harness checks invariants — and
 with no hook installed the execution path pays a single truthiness check.
+Hooks run before the fired event is recycled, so they always observe a
+coherent Event.
 """
 
 from __future__ import annotations
@@ -27,10 +46,17 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 #: below this heap size compaction is pointless (rebuild cost > scan cost)
 _COMPACT_MIN = 64
+
+#: wheel slot width in simulated seconds; coarse enough that a slot batches
+#: many periodic timers, fine enough that near-term one-shots skip the wheel
+_WHEEL_TICK = 0.25
+
+#: recycled Event objects kept around at most
+_FREELIST_MAX = 4096
 
 
 class SimulationError(RuntimeError):
@@ -52,21 +78,25 @@ class Event:
     """A scheduled callback.
 
     Events are returned by :meth:`EventLoop.call_at` / :meth:`EventLoop.call_after`
-    and can be cancelled.  A cancelled event stays in the heap but is skipped
-    when popped (and reclaimed wholesale when the loop compacts).
+    and can be cancelled.  A cancelled event stays in its tier (heap or wheel
+    slot) but is skipped when popped (and reclaimed wholesale when the loop
+    compacts or drains the slot).
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "done",
-                 "_loop")
+                 "wheel", "recycle", "_loop")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any],
-                 args: tuple, loop: Optional["EventLoop"] = None):
+                 args: tuple, loop: Optional["EventLoop"] = None,
+                 recycle: bool = False):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.done = False
+        self.wheel = False
+        self.recycle = recycle
         self._loop = loop
 
     def cancel(self) -> None:
@@ -76,7 +106,7 @@ class Event:
             return
         self.cancelled = True
         if self._loop is not None:
-            self._loop._on_cancel()
+            self._loop._on_cancel(self)
 
     def __lt__(self, other: "Event") -> bool:
         # Kept for external sorting convenience; the loop's heap orders
@@ -111,9 +141,20 @@ class EventLoop:
         self._stopped = False
         self.events_executed = 0
         # live/cancelled counters: pending() must be O(1) and compaction
-        # needs to know when the heap is mostly garbage.
+        # needs to know when the heap is mostly garbage.  Wheel-tier
+        # cancellations are counted separately — they are reclaimed on slot
+        # drain and must not trigger (or skew) heap compaction.
         self._live = 0
         self._cancelled = 0
+        self._wheel_cancelled = 0
+        # timer wheel: slot id -> [(time, seq, event)], plus a min-heap of
+        # populated slot ids and the sorted ready run of the drained slots.
+        self._wheel: Dict[int, List[tuple]] = {}
+        self._wheel_slots: List[int] = []
+        self._wheel_drained = -1
+        self._ready: List[tuple] = []
+        self._ready_pos = 0
+        self._free: List[Event] = []
         # optional instrumentation (see add_hook / set_hook)
         self._hooks: List[LoopHook] = []
 
@@ -122,23 +163,60 @@ class EventLoop:
         """Current simulated time in seconds."""
         return self._now
 
-    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any,
+                wheel: bool = False, recycle: bool = False) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``.
+
+        ``wheel=True`` routes the event through the timer-wheel tier (same
+        execution order, cheaper for far-out recurring timers).  With
+        ``recycle=True`` the returned handle is reused after the callback
+        fires and must not be retained past that point.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule event at {when} before current time {self._now}"
             )
         seq = next(self._seq)
-        event = Event(when, seq, callback, args, loop=self)
-        heapq.heappush(self._heap, (when, seq, event))
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = when
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.done = False
+            event.recycle = recycle
+            event._loop = self
+        else:
+            event = Event(when, seq, callback, args, loop=self, recycle=recycle)
+        entry = (when, seq, event)
+        if wheel:
+            slot = int(when * (1.0 / _WHEEL_TICK))
+            if when < slot * _WHEEL_TICK:
+                slot -= 1  # float rounding pushed us across a boundary
+            if slot > self._wheel_drained:
+                event.wheel = True
+                bucket = self._wheel.get(slot)
+                if bucket is None:
+                    self._wheel[slot] = [entry]
+                    heapq.heappush(self._wheel_slots, slot)
+                else:
+                    bucket.append(entry)
+                self._live += 1
+                return event
+        event.wheel = False
+        heapq.heappush(self._heap, entry)
         self._live += 1
         return event
 
-    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any,
+                   wheel: bool = False, recycle: bool = False) -> Event:
         """Schedule ``callback(*args)`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, callback, *args)
+        return self.call_at(self._now + delay, callback, *args,
+                            wheel=wheel, recycle=recycle)
 
     def stop(self) -> None:
         """Make the currently running :meth:`run` loop return after this event."""
@@ -148,9 +226,14 @@ class EventLoop:
     # cancellation bookkeeping
     # ------------------------------------------------------------------ #
 
-    def _on_cancel(self) -> None:
-        """Called by :meth:`Event.cancel`; compacts when mostly garbage."""
+    def _on_cancel(self, event: Event) -> None:
+        """Called by :meth:`Event.cancel`; compacts the heap when mostly garbage."""
         self._live -= 1
+        if event.wheel:
+            # Reclaimed when the slot drains; slot lifetime is bounded by
+            # the timer interval, so no compaction pass is needed.
+            self._wheel_cancelled += 1
+            return
         self._cancelled += 1
         if (self._cancelled * 2 > len(self._heap)
                 and len(self._heap) >= _COMPACT_MIN):
@@ -161,6 +244,61 @@ class EventLoop:
         self._heap = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
+
+    # ------------------------------------------------------------------ #
+    # timer wheel
+    # ------------------------------------------------------------------ #
+
+    def _drain_slot(self) -> None:
+        """Move the earliest wheel slot into the sorted ready run."""
+        slot = heapq.heappop(self._wheel_slots)
+        entries = self._wheel.pop(slot)
+        live = [entry for entry in entries if not entry[2].cancelled]
+        self._wheel_cancelled -= len(entries) - len(live)
+        live.sort()
+        remaining = self._ready[self._ready_pos:] if self._ready else []
+        if remaining:
+            if live and remaining[-1] > live[0]:
+                # Float rounding let an entry land one slot early; a merge
+                # keeps the ready run globally sorted.
+                remaining.extend(live)
+                remaining.sort()
+                live = remaining
+            else:
+                remaining.extend(live)
+                live = remaining
+        self._ready = live
+        self._ready_pos = 0
+        self._wheel_drained = slot
+
+    def _peek(self) -> Optional[tuple]:
+        """Next runnable (time, seq, event) across heap, ready run and wheel.
+
+        Skips cancelled heads and drains every wheel slot that could hold an
+        earlier event than the current candidate, so the returned entry is
+        the true global minimum.  The entry is left in place; :meth:`step`
+        consumes it.
+        """
+        heap = self._heap
+        while True:
+            while heap and heap[0][2].cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+            ready = self._ready
+            pos = self._ready_pos
+            while pos < len(ready) and ready[pos][2].cancelled:
+                self._wheel_cancelled -= 1
+                pos += 1
+            self._ready_pos = pos
+            candidate = ready[pos] if pos < len(ready) else None
+            if heap and (candidate is None or heap[0] < candidate):
+                candidate = heap[0]
+            slots = self._wheel_slots
+            if slots and (candidate is None
+                          or slots[0] * _WHEEL_TICK <= candidate[0]):
+                self._drain_slot()
+                continue
+            return candidate
 
     # ------------------------------------------------------------------ #
     # instrumentation
@@ -206,32 +344,48 @@ class EventLoop:
     # ------------------------------------------------------------------ #
 
     def step(self) -> bool:
-        """Execute the next pending event.  Returns False if the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)[2]
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
-            event.done = True
-            self._live -= 1
-            self._now = event.time
-            self.events_executed += 1
-            hooks = self._hooks
-            if hooks:
-                count = self.events_executed
-                due = [h for h in hooks if count % h.every == 0]
-                if due:
-                    started = _time.perf_counter()
-                    event.callback(*event.args)
-                    wall = _time.perf_counter() - started
-                    for handle in due:
-                        handle.callback(self, event, wall)
-                else:
-                    event.callback(*event.args)
+        """Execute the next pending event.  Returns False if nothing is pending."""
+        entry = self._peek()
+        if entry is None:
+            return False
+        ready = self._ready
+        pos = self._ready_pos
+        if pos < len(ready) and ready[pos] is entry:
+            pos += 1
+            if pos >= len(ready):
+                self._ready = []
+                self._ready_pos = 0
+            else:
+                self._ready_pos = pos
+        else:
+            heapq.heappop(self._heap)
+        event = entry[2]
+        event.done = True
+        self._live -= 1
+        self._now = event.time
+        self.events_executed += 1
+        hooks = self._hooks
+        if hooks:
+            count = self.events_executed
+            due = [h for h in hooks if count % h.every == 0]
+            if due:
+                started = _time.perf_counter()
+                event.callback(*event.args)
+                wall = _time.perf_counter() - started
+                for handle in due:
+                    handle.callback(self, event, wall)
             else:
                 event.callback(*event.args)
-            return True
-        return False
+        else:
+            event.callback(*event.args)
+        if event.recycle:
+            free = self._free
+            if len(free) < _FREELIST_MAX:
+                event.callback = None
+                event.args = ()
+                event._loop = None
+                free.append(event)
+        return True
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the heap drains, :meth:`stop` is called, or ``max_events`` fire."""
@@ -260,15 +414,8 @@ class EventLoop:
         self._stopped = False
         try:
             while not self._stopped:
-                heap = self._heap
-                if not heap:
-                    break
-                head_time, _, head_event = heap[0]
-                if head_event.cancelled:
-                    heapq.heappop(heap)
-                    self._cancelled -= 1
-                    continue
-                if head_time > until:
+                entry = self._peek()
+                if entry is None or entry[0] > until:
                     break
                 self.step()
         finally:

@@ -1,0 +1,107 @@
+"""Chaos regression: a dropped drift-digest heartbeat still converges.
+
+The heartbeat no longer carries a copy of the agent's allocation books —
+only a version counter and an order-independent digest.  The periodic
+safety sync (§3.1) therefore hinges on two properties this test pins down:
+
+1. a digest mismatch on ANY later heartbeat triggers the wholesale
+   full-sync repair (losing the first beat that carries the drift must
+   not lose the repair — heartbeats are periodic, the protocol has no
+   one-shot state), and
+2. after the repair the agent's books and digest match the master's
+   ledger exactly, so subsequent beats stop reporting drift.
+"""
+
+from repro.chaos.engine import ChaosConfig, build_cluster
+from repro.core import messages as msg
+from repro.core.grant import books_digest
+from repro.workloads.synthetic import mapreduce_job
+
+CONFIG = ChaosConfig(trace=False)
+
+
+def _loaded_agent(cluster):
+    """First (machine-ordered) agent holding a non-empty allocation book."""
+    for machine in sorted(cluster.agents):
+        agent = cluster.agents[machine]
+        if agent.allocation_books():
+            return agent
+    raise AssertionError("workload produced no allocations")
+
+
+def test_dropped_drift_heartbeat_still_repairs_books():
+    cluster = build_cluster(seed=11, config=CONFIG)
+    cluster.warm_up()
+    cluster.submit_job(mapreduce_job("drift-000", mappers=4, reducers=2,
+                                     map_duration=30.0, reduce_duration=30.0))
+    cluster.run_for(5.0)
+
+    agent = _loaded_agent(cluster)
+    master = cluster.primary_master
+    machine = agent.machine
+
+    # Seed the drift: the agent's view grows a phantom unit (the same shape
+    # a lost revocation or a partitioned full sync leaves behind).
+    unit_key, count = next(iter(sorted(agent.allocations.items())))
+    agent.allocations[unit_key] = count + 1
+    agent._book_digest = books_digest(agent.allocations)
+    agent._book_version += 1
+    drift_digest = agent._book_digest
+    assert drift_digest != master.scheduler.ledger.machine_digest(machine)
+
+    # Drop the FIRST heartbeat that carries the drifted digest on the wire.
+    original_deliver = master.deliver
+    dropped = []
+
+    def lossy_deliver(sender, message):
+        # An in-flight pre-drift beat may still arrive first; the wire
+        # eats specifically the FIRST beat that carries the drift digest.
+        if (isinstance(message, msg.AgentHeartbeat)
+                and message.machine == machine
+                and message.book_digest == drift_digest and not dropped):
+            dropped.append(message.book_digest)
+            return
+        original_deliver(sender, message)
+
+    master.deliver = lossy_deliver
+    drift_before = master.metrics.counter("fm.digest_drift")
+
+    # One heartbeat interval loses the beat; the next ones carry the same
+    # drifted digest and must trigger the full-sync repair.
+    cluster.run_for(agent.config.heartbeat_interval * 4)
+    master.deliver = original_deliver
+    cluster.run_for(agent.config.heartbeat_interval * 2)
+
+    assert dropped and dropped[0] == drift_digest
+    assert master.metrics.counter("fm.digest_drift") > drift_before
+
+    # Convergence: books, digest, and the master's alloc view all agree.
+    ledger_view = {k: v for k, v in master.alloc_view(machine).items() if v}
+    assert agent.allocation_books() == ledger_view
+    assert (agent._book_digest
+            == master.scheduler.ledger.machine_digest(machine))
+    assert unit_key not in agent.allocations or \
+        agent.allocations[unit_key] == ledger_view.get(unit_key)
+
+
+def test_repair_is_idempotent_after_convergence():
+    # After the repair no further drift is reported: the digest compare is
+    # the steady-state no-op the O(1) protocol promises.
+    cluster = build_cluster(seed=11, config=CONFIG)
+    cluster.warm_up()
+    cluster.submit_job(mapreduce_job("drift-001", mappers=3, reducers=1,
+                                     map_duration=30.0, reduce_duration=30.0))
+    cluster.run_for(5.0)
+
+    agent = _loaded_agent(cluster)
+    master = cluster.primary_master
+    agent.allocations.clear()
+    agent._book_digest = 0
+    agent._book_version += 1
+
+    cluster.run_for(agent.config.heartbeat_interval * 3)
+    repaired_at = master.metrics.counter("fm.digest_drift")
+    assert repaired_at >= 1
+
+    cluster.run_for(agent.config.heartbeat_interval * 5)
+    assert master.metrics.counter("fm.digest_drift") == repaired_at

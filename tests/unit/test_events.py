@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.events import EventLoop, SimulationError
+from repro.sim.events import _COMPACT_MIN, EventLoop, SimulationError
 
 
 def test_clock_starts_at_zero():
@@ -152,3 +152,101 @@ def test_events_executed_counter():
         loop.call_after(float(i), lambda: None)
     loop.run()
     assert loop.events_executed == 5
+
+
+# --------------------------------------------------------------------- #
+# heap compaction around the _COMPACT_MIN boundary
+# --------------------------------------------------------------------- #
+
+
+def test_no_compaction_below_min_heap_size():
+    # One entry short of the floor: even with almost everything cancelled
+    # the heap keeps its garbage (rebuild would cost more than the scan).
+    loop = EventLoop()
+    seen = []
+    events = [loop.call_after(float(i + 1), seen.append, i)
+              for i in range(_COMPACT_MIN - 1)]
+    for event in events[:-1]:
+        event.cancel()
+    assert len(loop._heap) == _COMPACT_MIN - 1
+    assert loop.pending() == 1
+    loop.run()
+    assert seen == [_COMPACT_MIN - 2]
+
+
+def test_compaction_triggers_at_min_heap_size():
+    # At exactly _COMPACT_MIN entries, the cancel that tips cancelled*2 over
+    # the heap size rebuilds the heap: garbage gone, counter reset.
+    loop = EventLoop()
+    events = [loop.call_after(float(i + 1), lambda: None)
+              for i in range(_COMPACT_MIN)]
+    majority = _COMPACT_MIN // 2 + 1
+    for event in events[:majority]:
+        event.cancel()
+    assert len(loop._heap) == _COMPACT_MIN - majority
+    assert loop._cancelled == 0
+    assert loop.pending() == _COMPACT_MIN - majority
+
+
+def test_survivors_fire_in_order_after_compaction():
+    loop = EventLoop()
+    seen = []
+    events = [loop.call_after(float(i + 1), seen.append, i)
+              for i in range(_COMPACT_MIN)]
+    for event in events[::2]:
+        event.cancel()
+    extra = events[1]
+    extra.cancel()  # tips the ratio: compaction has happened by now
+    loop.run()
+    assert seen == [i for i in range(3, _COMPACT_MIN, 2)]
+
+
+# --------------------------------------------------------------------- #
+# Event.cancel racing the wheel tier
+# --------------------------------------------------------------------- #
+
+
+def test_cancel_wheel_timer_before_slot_drains():
+    loop = EventLoop()
+    seen = []
+    event = loop.call_after(5.0, seen.append, "wheel", wheel=True)
+    assert event.wheel
+    event.cancel()
+    assert loop.pending() == 0
+    loop.run()
+    assert seen == []
+    assert loop.events_executed == 0
+
+
+def test_cancel_wheel_timer_after_slot_drained_into_ready_run():
+    # Both events share one wheel slot, so when the first fires the second
+    # already sits in the drained ready run; cancelling it there must still
+    # suppress the callback.
+    loop = EventLoop()
+    seen = []
+    handles = {}
+
+    def first():
+        seen.append("first")
+        handles["second"].cancel()
+        handles["second"].cancel()  # idempotent on the ready run too
+
+    loop.call_at(1.0, first, wheel=True)
+    handles["second"] = loop.call_at(1.05, seen.append, "second", wheel=True)
+    loop.call_at(1.1, seen.append, "tail", wheel=True)
+    loop.run()
+    assert seen == ["first", "tail"]
+    assert loop.pending() == 0
+
+
+def test_wheel_and_heap_ties_break_by_seq_across_tiers():
+    # The wheel only changes how the order is computed: simultaneous events
+    # interleave across tiers in scheduling order, exactly like a pure heap.
+    loop = EventLoop()
+    seen = []
+    loop.call_at(2.0, seen.append, "a", wheel=True)
+    loop.call_at(2.0, seen.append, "b")
+    loop.call_at(2.0, seen.append, "c", wheel=True)
+    loop.call_at(2.0, seen.append, "d")
+    loop.run()
+    assert seen == ["a", "b", "c", "d"]

@@ -1,0 +1,45 @@
+"""Unit tests for the GC isolation helpers."""
+
+import gc
+
+from repro.sim.gctune import collect_young, deferred_gc
+
+
+def test_deferred_gc_disables_then_restores():
+    assert gc.isenabled()
+    with deferred_gc():
+        assert not gc.isenabled()
+    assert gc.isenabled()
+
+
+def test_deferred_gc_restores_on_exception():
+    try:
+        with deferred_gc():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert gc.isenabled()
+
+
+def test_deferred_gc_noop_when_disabled():
+    with deferred_gc(enabled=False):
+        assert gc.isenabled()
+    assert gc.isenabled()
+
+
+def test_deferred_gc_respects_prior_disabled_state():
+    gc.disable()
+    try:
+        with deferred_gc():
+            assert not gc.isenabled()
+        # it was off before the block: stay off
+        assert not gc.isenabled()
+    finally:
+        gc.enable()
+
+
+def test_collect_young_runs_inside_deferred_block():
+    with deferred_gc():
+        # must not raise, and must not re-enable automatic collection
+        collect_young()
+        assert not gc.isenabled()
