@@ -33,6 +33,10 @@ Usage::
     python benchmarks/bench_scale_5000.py --quick --sweep 8 --sweep-jobs 4 \
         --record current
 
+    # telemetry cost + per-subsystem attribution (hooks stay off for
+    # --check legs; the committed numbers are hook-free)
+    python benchmarks/bench_scale_5000.py --quick --live-sample --profile
+
 Exit codes: 0 ok, 2 bad arguments / missing baseline for --check,
 3 performance regression beyond the threshold (or a sweep merge that is
 not byte-identical to the serial run — a determinism regression).
@@ -70,6 +74,14 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--duration", type=float, default=None,
                         help="simulated seconds of steady state")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--live-sample", action="store_true",
+                        help="run with the periodic cluster snapshot "
+                             "sampler attached (telemetry cost included "
+                             "in the recorded wall clock)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the per-subsystem profiler and add "
+                             "its wall/event attribution to the result "
+                             "under 'profile'")
     parser.add_argument("--record", choices=("baseline", "current"),
                         default=None,
                         help="store this run under the given label in --out")
@@ -95,15 +107,21 @@ def parse_args(argv=None) -> argparse.Namespace:
 
 
 def run_benchmark(racks: int, machines_per_rack: int, jobs: int,
-                  duration: float, seed: int) -> dict:
+                  duration: float, seed: int,
+                  live_sample: bool = False, profile: bool = False) -> dict:
     """One closed-loop synthetic run; returns the measured result dict."""
     from repro.api import RunSpec, simulate
 
     spec = RunSpec(racks=racks, machines_per_rack=machines_per_rack,
-                   concurrent_jobs=jobs, duration=duration)
+                   concurrent_jobs=jobs, duration=duration,
+                   live_sample=live_sample, profile=profile)
     machines = racks * machines_per_rack
+    extras = "".join(f" [{name}]" for name, on in
+                     (("live-sample", live_sample), ("profile", profile))
+                     if on)
     print(f"running {machines} machines / {jobs} concurrent jobs / "
-          f"{duration:.0f}s steady state (seed {seed}) ...", flush=True)
+          f"{duration:.0f}s steady state (seed {seed}){extras} ...",
+          flush=True)
     started = time.perf_counter()
     result = simulate(spec, seed=seed, trace=False)
     wall = time.perf_counter() - started
@@ -117,7 +135,7 @@ def run_benchmark(racks: int, machines_per_rack: int, jobs: int,
         second = sum(values[half:]) / (len(values) - half)
         drift = second / first if first > 0 else 1.0
     peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
-    return {
+    out = {
         "machines": machines,
         "racks": racks,
         "jobs": jobs,
@@ -145,6 +163,13 @@ def run_benchmark(racks: int, machines_per_rack: int, jobs: int,
         "host_cpu_count": os.cpu_count() or 1,
         "python": sys.version.split()[0],
     }
+    if live_sample:
+        store = result.timeseries
+        out["live_samples"] = len(store) + store.dropped
+    report = result.profile_report()
+    if report is not None:
+        out["profile"] = report
+    return out
 
 
 def run_sweep_benchmark(racks: int, machines_per_rack: int, jobs: int,
@@ -307,8 +332,16 @@ def main(argv=None) -> int:
               f"{sweep['host_cpu_count']} cpu(s)")
         return 0
 
+    if args.check and (args.live_sample or args.profile):
+        # the committed numbers are hook-free; comparing a telemetry run
+        # against them would read sampler cost as a perf regression
+        print("--check cannot be combined with --live-sample/--profile",
+              file=sys.stderr)
+        return 2
+
     result = run_benchmark(racks, machines_per_rack, jobs, duration,
-                           args.seed)
+                           args.seed, live_sample=args.live_sample,
+                           profile=args.profile)
     print(json.dumps(result, indent=2))
 
     claims = fig09_claims(result)

@@ -38,6 +38,8 @@ from repro.jobs.spec import JobSpec
 from repro.jobs.worker import TaskWorker
 from repro.obs.histogram import MetricsRegistry
 from repro.obs.hooks import attach_loop_metrics
+from repro.obs.live import ClusterSampler
+from repro.obs.recorder import FlightRecorder
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import EventLoop
 from repro.sim.rng import SplitRandom
@@ -103,6 +105,11 @@ class FuxiCluster:
         self.faults = FaultInjector(self)
         self._burst_depth = 0
         self._burst_baseline = (0.0, 0.0)
+        # live telemetry plane (PR 6): both are opt-in via the enable_*
+        # helpers; None means no sampling/recording overhead at all
+        self.sampler = None
+        self.flight = None
+        self.profiler = None
 
     # ------------------------------------------------------------------ #
     # time control
@@ -366,6 +373,79 @@ class FuxiCluster:
                 "FA_planned": fa_planned,
             }
         return out
+
+    # ------------------------------------------------------------------ #
+    # live telemetry (PR 6)
+    # ------------------------------------------------------------------ #
+
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """One deterministic row of cluster state for the live sampler.
+
+        Flattens the pool snapshot, the scheduler's queue depths by
+        locality tier, the master's heartbeat/blacklist probe, and job
+        progress into scalar columns.  Every value is a pure function of
+        the seeded simulation — the sampler layers wall-clock rates on
+        top under ``wall_``-prefixed names.
+
+        During a failover window (no primary master) the scheduler-owned
+        columns read zero; the sampler keeps sampling so the gap itself
+        is visible in the feed.
+        """
+        loop = self.loop
+        row: Dict[str, float] = {
+            "time": loop.now,
+            "events": float(loop.events_executed),
+            "pending": float(loop.pending()),
+        }
+        primary = self.primary_master
+        if primary is not None:
+            pool = primary.scheduler.pool.snapshot()
+            row["machines"] = float(pool["machines"])
+            row["machines_disabled"] = float(pool["disabled"])
+            for dim, amount in sorted(pool["free"].items()):
+                row[f"free_{dim}"] = float(amount)
+            for dim, amount in sorted(pool["allocated"].items()):
+                row[f"alloc_{dim}"] = float(amount)
+            for tier, depth in primary.scheduler.queue_depths().items():
+                row[f"queue_{tier}"] = float(depth)
+            row.update(primary.telemetry_probe())
+        else:
+            row["machines"] = 0.0
+            row["machines_disabled"] = 0.0
+            for tier in ("machine", "rack", "anywhere", "total"):
+                row[f"queue_{tier}"] = 0.0
+            row.update({"agents_seen": 0.0, "hb_stale_max": 0.0,
+                        "hb_stale_mean": 0.0, "blacklisted": 0.0})
+        running = sum(1 for app in self.app_masters.values()
+                      if app.alive and not app.finished)
+        row["jobs_running"] = float(running)
+        row["jobs_finished"] = float(len(self.job_results))
+        return row
+
+    def enable_live_sampler(self, interval: float = 5.0,
+                            capacity: Optional[int] = None) -> ClusterSampler:
+        """Attach (or return the already-attached) cluster snapshot sampler."""
+        if self.sampler is None:
+            kwargs = {} if capacity is None else {"capacity": capacity}
+            self.sampler = ClusterSampler(self, interval=interval,
+                                          **kwargs).attach()
+        return self.sampler
+
+    def enable_flight_recorder(self,
+                               capacity: Optional[int] = None) -> FlightRecorder:
+        """Attach (or return the already-attached) flight recorder ring."""
+        if self.flight is None:
+            kwargs = {} if capacity is None else {"capacity": capacity}
+            self.flight = FlightRecorder(**kwargs).attach(self.loop)
+        return self.flight
+
+    def enable_subsystem_profiler(self, sample_every: int = 16):
+        """Attach (or return) the per-subsystem wall/event attributor."""
+        if self.profiler is None:
+            from repro.obs.live import SubsystemProfiler
+            self.profiler = SubsystemProfiler().attach(
+                self.loop, sample_every=sample_every)
+        return self.profiler
 
     def enable_utilization_sampling(self, interval: float = 5.0) -> None:
         """Record the Figure-10 curves into the metrics collector."""

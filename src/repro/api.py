@@ -30,7 +30,7 @@ deterministic, including trace export.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro._runtime import FuxiCluster
 from repro.cluster.network import NetworkConfig
@@ -77,6 +77,18 @@ class RunSpec(ConfigBase):
     utilization_sample_interval: float = conf(
         5.0, help="Figure-10 sampling period", min=0.0)
     trace: bool = conf(False, help="structured tracing (repro.obs)")
+    live_sample: bool = conf(
+        False, help="periodic cluster snapshot sampler (fuxi-sim top / "
+                    "report feed)")
+    live_sample_interval: float = conf(
+        5.0, help="live sampler cadence in simulated seconds", min=0.25)
+    flight_recorder: bool = conf(
+        False, help="ring-buffer recent events; dump on crash")
+    profile: bool = conf(
+        False, help="per-subsystem wall/event attribution "
+                    "(RunResult.profile_report)")
+    flight_dump: Optional[str] = conf(
+        None, help="crash-dump path for the flight recorder", cli="")
     closed_loop: bool = conf(
         True, help="replace each finished job to hold the population "
                    "('we keep 1,000 jobs concurrently running')", cli="")
@@ -112,6 +124,25 @@ class RunResult:
     def job_results(self) -> Dict[str, object]:
         return self.cluster.job_results
 
+    @property
+    def timeseries(self):
+        """The live sampler's :class:`TimeSeriesStore` (None if not enabled)."""
+        sampler = self.cluster.sampler
+        return sampler.store if sampler is not None else None
+
+    def profile_report(self) -> Optional[Dict[str, object]]:
+        """Per-subsystem attribution (None unless ``spec.profile``)."""
+        profiler = self.cluster.profiler
+        return profiler.report() if profiler is not None else None
+
+    def write_timeseries(self, path: str, include_wall: bool = False) -> bool:
+        """Export the sampled feed as JSONL; False if sampling was off."""
+        store = self.timeseries
+        if store is None:
+            return False
+        store.dump_jsonl(path, include_wall=include_wall)
+        return True
+
     def write_trace(self, path: str) -> bool:
         """Export the run's JSONL trace; False if tracing was off."""
         if not self.cluster.tracer.enabled:
@@ -130,7 +161,7 @@ class RunResult:
         worker processes instead of the (unpicklable) live cluster.
         """
         loop = self.cluster.loop
-        return {
+        summary = {
             "spec": self.spec.to_dict(),
             "seed": self.spec.seed,
             "jobs_submitted": len(self.submitted),
@@ -140,6 +171,12 @@ class RunResult:
             "sched_requests": int(self.metrics.counter("fm.requests")),
             "grants": int(self.metrics.counter("fm.grants")),
         }
+        store = self.timeseries
+        if store is not None:
+            # wall columns are dropped by to_dict(): the sweep merge must
+            # stay a pure function of (spec, seed)
+            summary["timeseries"] = store.to_dict()
+        return summary
 
 
 class ClusterBuilder:
@@ -259,10 +296,23 @@ class ClusterBuilder:
 
 def simulate(spec: Optional[RunSpec] = None, *,
              seed: Optional[int] = None,
-             trace: Optional[bool] = None) -> RunResult:
+             trace: Optional[bool] = None,
+             on_slice: Optional[Callable[[FuxiCluster, "RunResult"], None]]
+             = None) -> RunResult:
     """Run the closed-loop synthetic workload for ``spec.duration`` sim-s.
 
     ``seed``/``trace`` override the spec's fields without mutating it.
+
+    ``on_slice`` (if given) is called after every 2-simulated-second
+    drive slice with the live cluster and the in-progress result — the
+    hook ``fuxi-sim top`` uses to render the latest sampler row without
+    duplicating this driver.  The callback must not mutate the cluster
+    if determinism is to be preserved.
+
+    With ``spec.flight_recorder`` on, an exception escaping the drive
+    loop dumps the recorder ring (context + last events) to
+    ``spec.flight_dump`` (default ``fuxi-crash-seed{seed}.flight.jsonl``)
+    before re-raising.
     """
     spec = spec or RunSpec()
     overrides = {}
@@ -282,6 +332,14 @@ def simulate(spec: Optional[RunSpec] = None, *,
                                   worker_start_delay=spec.worker_start_delay))
                .build(warm_up=False))
     cluster.enable_utilization_sampling(spec.utilization_sample_interval)
+    if spec.live_sample:
+        sampler = cluster.enable_live_sampler(spec.live_sample_interval)
+        sampler.store.meta.update({"seed": spec.seed,
+                                   "machines": spec.machines})
+    if spec.flight_recorder:
+        cluster.enable_flight_recorder()
+    if spec.profile:
+        cluster.enable_subsystem_profiler()
     cluster.warm_up()
 
     workload = SyntheticWorkload(
@@ -306,16 +364,31 @@ def simulate(spec: Optional[RunSpec] = None, *,
     # section; young garbage is reclaimed between slices instead.
     deadline = cluster.loop.now + spec.duration
     replaced: set = set()
-    with deferred_gc(spec.gc_isolation):
-        while cluster.loop.now < deadline:
-            cluster.run_for(2.0)
-            for app_id in list(cluster.job_results):
-                if app_id not in replaced:
-                    replaced.add(app_id)
-                    result.jobs_completed += 1
-                    cluster.reap_job(app_id)
-                    if spec.closed_loop:
-                        submit_one()
-            if spec.gc_isolation:
-                collect_young()
+    try:
+        with deferred_gc(spec.gc_isolation):
+            while cluster.loop.now < deadline:
+                cluster.run_for(2.0)
+                for app_id in list(cluster.job_results):
+                    if app_id not in replaced:
+                        replaced.add(app_id)
+                        result.jobs_completed += 1
+                        cluster.reap_job(app_id)
+                        if spec.closed_loop:
+                            submit_one()
+                if spec.gc_isolation:
+                    collect_young()
+                if on_slice is not None:
+                    on_slice(cluster, result)
+    except BaseException as exc:
+        if cluster.flight is not None:
+            target = (spec.flight_dump
+                      or f"fuxi-crash-seed{spec.seed}.flight.jsonl")
+            cluster.flight.dump(target, context={
+                "reason": "crash",
+                "error": f"{type(exc).__name__}: {exc}",
+                "seed": spec.seed,
+                "sim_time": round(cluster.loop.now, 6),
+                "spec": spec.to_dict(),
+            })
+        raise
     return result

@@ -72,6 +72,10 @@ class ChaosConfig(ConfigBase):
                             help="invariant probe period (loop steps)")
     trace: bool = conf(True, cli="")      # CLI drives this via --trace-dir
     trace_dir: Optional[str] = conf(None, cli="")
+    flight: bool = conf(True, help="flight recorder (ring of recent events, "
+                                   "dumped next to the violation trace)")
+    flight_capacity: int = conf(512, min=1, cli="",
+                                help="flight-recorder ring size")
 
 
 @dataclass
@@ -86,6 +90,7 @@ class ChaosResult:
     sim_time: float = 0.0
     events_executed: int = 0
     trace_path: Optional[str] = None
+    flight_path: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -109,6 +114,7 @@ class ChaosResult:
             "sim_time": round(self.sim_time, 6),
             "events_executed": self.events_executed,
             "trace_path": self.trace_path,
+            "flight_path": self.flight_path,
         }
 
     def summary(self) -> str:
@@ -186,12 +192,20 @@ def run_with_schedule(seed: int, plan: FaultPlan,
     """Run the seed's workload under an *explicit* fault schedule."""
     config = config or ChaosConfig()
     cluster = build_cluster(seed, config)
+    if config.flight:
+        cluster.enable_flight_recorder(capacity=config.flight_capacity)
     cluster.warm_up()
 
     checker = InvariantChecker()
 
     def probe(loop, event, wall) -> None:
         if checker.check_step(cluster):
+            if cluster.flight is not None:
+                for violation in checker.violations:
+                    cluster.flight.record("violation",
+                                          invariant=violation.invariant,
+                                          detail=violation.detail,
+                                          time=violation.time)
             loop.stop()
 
     handle = cluster.loop.add_hook(probe, sample_every=config.check_every)
@@ -219,8 +233,11 @@ def run_with_schedule(seed: int, plan: FaultPlan,
         violations=list(checker.violations),
         sim_time=cluster.loop.now,
         events_executed=cluster.loop.events_executed)
-    if result.violations and config.trace and config.trace_dir:
-        result.trace_path = _dump_trace(cluster, result, config)
+    if result.violations:
+        if config.trace and config.trace_dir:
+            result.trace_path = _dump_trace(cluster, result, config)
+        if cluster.flight is not None and config.trace_dir:
+            result.flight_path = _dump_flight(cluster, result, config)
     return result
 
 
@@ -249,5 +266,29 @@ def _dump_trace(cluster: FuxiCluster, result: ChaosResult,
         "schedule": result.schedule.to_spec(),
         "racks": config.racks,
         "machines_per_rack": config.machines_per_rack,
+    })
+    return path
+
+
+def _dump_flight(cluster: FuxiCluster, result: ChaosResult,
+                 config: ChaosConfig) -> str:
+    """Write the flight-recorder ring next to the violation trace.
+
+    The header context is a complete replay recipe: feeding ``seed`` and
+    ``schedule`` back through :func:`run_with_schedule` (with the same
+    config) reproduces the violation deterministically — a test pins it.
+    """
+    os.makedirs(config.trace_dir, exist_ok=True)
+    path = os.path.join(config.trace_dir,
+                        f"chaos-seed{result.seed}-flight.jsonl")
+    first = result.violations[0]
+    cluster.flight.dump(path, context={
+        "reason": "violation",
+        "seed": result.seed,
+        "invariant": first.invariant,
+        "detail": first.detail,
+        "sim_time": first.time,
+        "schedule": result.schedule.to_spec(),
+        "config": config.to_dict(),
     })
     return path

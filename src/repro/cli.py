@@ -20,6 +20,11 @@ simulator, so the "cluster" lives for the duration of the command):
 - ``fuxi-sim sweep`` — fan a grid of independent runs (seed sweeps, config
   grids, experiment repetitions) over worker processes via
   :mod:`repro.parallel` and write the deterministic merged report;
+- ``fuxi-sim top`` — run the closed-loop workload with a live in-terminal
+  view fed by the cluster snapshot sampler (``--plain`` for CI logs,
+  ``--out FILE`` to export the sampled timeseries JSONL);
+- ``fuxi-sim report FILE`` — render any JSONL artifact (timeseries, obs
+  trace, flight-recorder dump) as a static self-contained HTML report;
 - ``fuxi-sim experiment <name>`` — run one paper experiment and print the
   paper-vs-measured report; ``--repeat N --jobs M`` aggregates N parallel
   repetitions.
@@ -36,7 +41,7 @@ import sys
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.api import ClusterBuilder, FuxiCluster
+from repro.api import ClusterBuilder, FuxiCluster, RunSpec
 from repro.chaos.engine import ChaosConfig
 from repro.cluster.metrics import format_table
 from repro.config import ConfigBase, add_config_args, conf, config_from_args
@@ -157,6 +162,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the deterministic merged JSON here")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-task progress lines")
+
+    top = sub.add_parser(
+        "top",
+        help="run the closed-loop workload with a live in-terminal view")
+    add_config_args(top, RunSpec,
+                    only=("racks", "machines_per_rack", "concurrent_jobs",
+                          "duration", "workload_scale"))
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="sampler cadence in simulated seconds (default 2)")
+    top.add_argument("--plain", action="store_true",
+                     help="one line per sample instead of a redrawn panel "
+                          "(for logs / CI)")
+    top.add_argument("--out", metavar="FILE", default=None,
+                     help="export the sampled timeseries JSONL here")
+
+    report = sub.add_parser(
+        "report",
+        help="render a JSONL artifact (timeseries/trace/flight dump) "
+             "as a self-contained HTML report")
+    report.add_argument("input", help="JSONL artifact to render")
+    report.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="output HTML path (default: INPUT + .html)")
+    report.add_argument("--title", default=None, help="report title")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=EXPERIMENTS)
@@ -445,6 +473,87 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _top_line(row: dict) -> str:
+    """One compact live-status line (``top --plain`` / CI logs)."""
+    return (f"t={row.get('time', 0.0):9.1f}s"
+            f"  jobs={int(row.get('jobs_running', 0))}"
+            f"/{int(row.get('jobs_finished', 0))} run/done"
+            f"  queue={int(row.get('queue_total', 0))}"
+            f" (m/r/a {int(row.get('queue_machine', 0))}"
+            f"/{int(row.get('queue_rack', 0))}"
+            f"/{int(row.get('queue_anywhere', 0))})"
+            f"  blacklisted={int(row.get('blacklisted', 0))}"
+            f"  hb_max={row.get('hb_stale_max', 0.0):.2f}s"
+            f"  ev/sim_s={row.get('events_per_sim_s', 0.0):.0f}"
+            f"  wall_ms/sim_s={row.get('wall_ms_per_sim_s', 0.0):.2f}")
+
+
+def _top_panel(row: dict) -> str:
+    """The redrawn full-screen panel: every sampled column, formatted."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float) and value == int(value):
+            return str(int(value))
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    order = ("jobs_running", "jobs_finished", "queue_total", "queue_machine",
+             "queue_rack", "queue_anywhere", "machines", "machines_disabled",
+             "blacklisted", "agents_seen", "hb_stale_max", "hb_stale_mean")
+    rows = [[name, fmt(row[name])] for name in order if name in row]
+    rows.extend([name, fmt(value)] for name, value in sorted(row.items())
+                if name not in order and name != "time")
+    return format_table(["metric", "value"], rows,
+                        title=f"fuxi-sim top — t={row.get('time', 0.0):.0f}s")
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Closed-loop run with the live sampler rendered in the terminal."""
+    from repro.api import simulate
+    spec = config_from_args(RunSpec, args, live_sample=True,
+                            live_sample_interval=args.interval)
+    shown = {"count": 0}
+
+    def on_slice(cluster, _result) -> None:
+        store = cluster.sampler.store
+        total = store.dropped + len(store)
+        if total == shown["count"]:
+            return
+        shown["count"] = total
+        row = store.latest()
+        if args.plain:
+            print(_top_line(row), flush=True)
+        else:
+            print("\x1b[2J\x1b[H" + _top_panel(row), flush=True)
+
+    result = simulate(spec, on_slice=on_slice)
+    print(f"\n{result.jobs_completed} jobs completed over "
+          f"{result.cluster.loop.now:.0f} simulated seconds "
+          f"({len(result.timeseries)} samples)")
+    if args.out is not None:
+        try:
+            result.write_timeseries(args.out)
+        except OSError as exc:
+            print(f"cannot write timeseries {args.out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"timeseries written to {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a JSONL artifact as a static self-contained HTML report."""
+    from repro.obs.report import write_report
+    output = args.output or (args.input + ".html")
+    try:
+        kind = write_report(args.input, output, title=args.title)
+    except (OSError, ValueError) as exc:
+        print(f"cannot render {args.input!r}: {exc}", file=sys.stderr)
+        return 2
+    print(f"{kind} report written to {output}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run one named paper experiment and print its report.
 
@@ -504,6 +613,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sortbench": cmd_sortbench,
         "chaos": cmd_chaos,
         "sweep": cmd_sweep,
+        "top": cmd_top,
+        "report": cmd_report,
         "experiment": cmd_experiment,
     }
     return handlers[args.command](args)

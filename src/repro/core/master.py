@@ -778,6 +778,30 @@ class FuxiMaster(Actor):
             "disabled": sorted(self.blacklist.disabled_machines()),
         }
 
+    def telemetry_probe(self) -> Dict[str, float]:
+        """Deterministic heartbeat/blacklist roll-up for the live sampler.
+
+        Heartbeat staleness is measured in *simulated* seconds since each
+        live agent's last beat — a leading indicator for the timeout-driven
+        machine removal of §4.3.2 — so the values are reproducible for a
+        fixed seed (message jitter is seeded).
+        """
+        now = self.loop.now
+        seen = self._last_agent_seen
+        stale_max = stale_sum = 0.0
+        for last in seen.values():
+            age = now - last
+            stale_sum += age
+            if age > stale_max:
+                stale_max = age
+        count = len(seen)
+        return {
+            "agents_seen": float(count),
+            "hb_stale_max": round(stale_max, 6),
+            "hb_stale_mean": round(stale_sum / count, 6) if count else 0.0,
+            "blacklisted": float(len(self.blacklist.disabled_machines())),
+        }
+
     def _grant_state(self, app_id: str) -> Dict[UnitKey, Dict[str, int]]:
         state: Dict[UnitKey, Dict[str, int]] = {}
         if self.scheduler is None:

@@ -254,6 +254,24 @@ class FreeResourcePool:
             return 0
         return unit_size.max_units_in(self.free(machine))
 
+    def disabled_count(self) -> int:
+        """Number of blacklist-disabled machines (O(1))."""
+        return len(self._disabled)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic pool summary for the live telemetry sampler.
+
+        Per-dimension free and allocated totals plus machine membership —
+        every value is a pure function of the grant history, so sampled
+        snapshots export byte-identically for a fixed seed.
+        """
+        return {
+            "machines": len(self._capacity),
+            "disabled": len(self._disabled),
+            "free": self.total_free().as_dict(),
+            "allocated": self.total_allocated().as_dict(),
+        }
+
     def utilization(self, dimension: str) -> float:
         """allocated / capacity along ``dimension`` over all machines (0 if none)."""
         cap = self.total_capacity().get(dimension)

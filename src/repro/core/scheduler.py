@@ -325,6 +325,25 @@ class FuxiScheduler:
         """Units wanted cluster-wide but not yet granted."""
         return sum(d.total for d in self._demands.values())
 
+    def queue_depths(self) -> Dict[str, int]:
+        """Waiting units broken down by the locality tier preferring them.
+
+        Mirrors the three queues of §3.3: units covered by machine hints,
+        units covered by rack hints (beyond the machine-hinted share), and
+        the anywhere remainder.  ``total`` is :meth:`waiting_units_total`;
+        the three tiers always sum to it.  Deterministic — counts only.
+        """
+        machine = rack = total = 0
+        for demand in self._demands.values():
+            outstanding = demand.total
+            total += outstanding
+            hinted = min(sum(demand.machine_hints.values()), outstanding)
+            machine += hinted
+            rack += min(sum(demand.rack_hints.values()),
+                        outstanding - hinted)
+        return {"machine": machine, "rack": rack,
+                "anywhere": total - machine - rack, "total": total}
+
     # ------------------------------------------------------------------ #
     # failover support (used by FuxiMaster)
     # ------------------------------------------------------------------ #

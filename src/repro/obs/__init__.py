@@ -14,7 +14,14 @@ curves).  This package provides the instruments:
 - :mod:`repro.obs.summary` — trace summarisation for the CLI (top spans,
   failover timelines, per-locality-level decision counts);
 - :mod:`repro.obs.hooks` — event-loop instrumentation (callback wall-time
-  sampling, queue depth) feeding the registry.
+  sampling, queue depth) feeding the registry;
+- :mod:`repro.obs.live` — the streaming plane: periodic cluster snapshot
+  sampler, ring-buffered :class:`TimeSeriesStore`, per-subsystem
+  profiling attribution;
+- :mod:`repro.obs.recorder` — the flight recorder: a bounded ring of
+  recent events dumped on invariant violation or crash;
+- :mod:`repro.obs.report` — static self-contained HTML reports from
+  timeseries / trace / flight JSONL artifacts.
 
 Everything written into a trace is deterministic for a fixed seed: span
 ids are sequence numbers, timestamps are simulated seconds, and attribute
@@ -26,6 +33,10 @@ from repro.obs.export import (dump_trace_jsonl, dumps_trace, load_trace_jsonl,
 from repro.obs.histogram import (FixedBucketHistogram, Histogram,
                                  LogBucketHistogram, MetricsRegistry)
 from repro.obs.hooks import attach_loop_metrics
+from repro.obs.live import (ClusterSampler, SubsystemProfiler,
+                            TimeSeriesStore, classify_callback)
+from repro.obs.recorder import FlightRecorder
+from repro.obs.report import load_any, render_html, write_report
 from repro.obs.summary import render_summary, summarize_trace
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer
 
@@ -37,4 +48,7 @@ __all__ = [
     "prometheus_text",
     "summarize_trace", "render_summary",
     "attach_loop_metrics",
+    "TimeSeriesStore", "ClusterSampler", "SubsystemProfiler",
+    "classify_callback", "FlightRecorder",
+    "load_any", "render_html", "write_report",
 ]

@@ -66,12 +66,13 @@ class SimulationError(RuntimeError):
 class LoopHook:
     """Handle for one installed per-event hook (see :meth:`EventLoop.add_hook`)."""
 
-    __slots__ = ("callback", "every")
+    __slots__ = ("callback", "every", "timed")
 
     def __init__(self, callback: Callable[["EventLoop", "Event", float], None],
-                 every: int):
+                 every: int, timed: bool = True):
         self.callback = callback
         self.every = every
+        self.timed = timed
 
 
 class Event:
@@ -305,7 +306,7 @@ class EventLoop:
     # ------------------------------------------------------------------ #
 
     def add_hook(self, hook: Callable[["EventLoop", Event, float], None],
-                 sample_every: int = 1) -> LoopHook:
+                 sample_every: int = 1, timed: bool = True) -> LoopHook:
         """Install a per-event hook alongside any already installed.
 
         Every ``sample_every``-th executed event is timed and
@@ -313,11 +314,18 @@ class EventLoop:
         callback returns.  Which events are sampled depends only on the
         deterministic execution count, so a seeded run samples the same
         events every time (the wall-time *values* are of course not
-        reproducible).  Returns a handle for :meth:`remove_hook`.
+        reproducible).  Sampling covers every tier — heap, timer-wheel
+        and ready-run events all pass through :meth:`step`, so a hook
+        sees the uniform event stream regardless of how an event was
+        scheduled.  ``timed=False`` skips the ``perf_counter`` pair when
+        only untimed hooks are due (the hook then receives ``0.0`` as
+        the wall time) — the cheap tier for per-event observers like the
+        flight recorder that want the event, not its cost.  Returns a
+        handle for :meth:`remove_hook`.
         """
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1, got {sample_every}")
-        handle = LoopHook(hook, int(sample_every))
+        handle = LoopHook(hook, int(sample_every), timed=timed)
         self._hooks.append(handle)
         return handle
 
@@ -369,9 +377,13 @@ class EventLoop:
             count = self.events_executed
             due = [h for h in hooks if count % h.every == 0]
             if due:
-                started = _time.perf_counter()
-                event.callback(*event.args)
-                wall = _time.perf_counter() - started
+                if any(h.timed for h in due):
+                    started = _time.perf_counter()
+                    event.callback(*event.args)
+                    wall = _time.perf_counter() - started
+                else:
+                    event.callback(*event.args)
+                    wall = 0.0
                 for handle in due:
                     handle.callback(self, event, wall)
             else:

@@ -313,3 +313,58 @@ def test_experiment_repeat_aggregates(capsys):
     assert "Container reuse" in out
     assert "2 repetitions" in out
     assert "repro.parallel" in out
+
+
+def test_top_plain_prints_samples_and_exports(tmp_path, capsys):
+    out_file = tmp_path / "run.ts.jsonl"
+    code = main(["top", "--racks", "2", "--machines-per-rack", "4",
+                 "--jobs", "4", "--duration", "20", "--plain",
+                 "--out", str(out_file)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "jobs=" in out and "queue=" in out
+    assert "jobs completed" in out
+    # the exported feed parses back and is wall-free
+    from repro.obs.live import TimeSeriesStore
+    store = TimeSeriesStore.from_jsonl(str(out_file))
+    assert len(store) > 0
+    assert not any(k.startswith("wall_")
+                   for row in store.rows() for k in row)
+
+
+def test_top_panel_mode_redraws(capsys):
+    code = main(["top", "--racks", "1", "--machines-per-rack", "3",
+                 "--jobs", "2", "--duration", "10", "--interval", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fuxi-sim top" in out
+    assert "\x1b[2J" in out  # ANSI clear between redraws
+
+
+def test_report_renders_timeseries_html(tmp_path, capsys):
+    source = tmp_path / "run.ts.jsonl"
+    main(["top", "--racks", "1", "--machines-per-rack", "3", "--jobs", "2",
+          "--duration", "10", "--plain", "--out", str(source)])
+    capsys.readouterr()
+    out_file = tmp_path / "run.html"
+    code = main(["report", str(source), "-o", str(out_file)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "timeseries report written" in out
+    assert out_file.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_report_default_output_path(tmp_path, capsys):
+    source = tmp_path / "t.trace.jsonl"
+    source.write_text('{"kind":"span","id":1,"parent":null,"name":"s",'
+                      '"start":0.0,"end":1.0,"attrs":{}}\n')
+    code = main(["report", str(source)])
+    assert code == 0
+    assert (tmp_path / "t.trace.jsonl.html").exists()
+    assert "trace report written" in capsys.readouterr().out
+
+
+def test_report_missing_file_exits_two(capsys):
+    code = main(["report", "/nonexistent/nope.jsonl"])
+    assert code == 2
+    assert "cannot render" in capsys.readouterr().err

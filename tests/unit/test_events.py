@@ -250,3 +250,59 @@ def test_wheel_and_heap_ties_break_by_seq_across_tiers():
     loop.call_at(2.0, seen.append, "d")
     loop.run()
     assert seen == ["a", "b", "c", "d"]
+
+
+# --------------------------------------------------------------------- #
+# per-event hooks across tiers (PR 6 regression: the live sampler and
+# flight recorder must see wheel-tier events, not just heap-tier ones)
+# --------------------------------------------------------------------- #
+
+def test_hooks_fire_for_wheel_tier_events():
+    loop = EventLoop()
+    hooked = []
+    loop.add_hook(lambda lp, event, wall: hooked.append(event.time))
+    loop.call_at(1.0, lambda: None)               # heap tier
+    loop.call_at(2.0, lambda: None, wheel=True)   # wheel tier
+    loop.call_at(2.05, lambda: None, wheel=True)  # same slot -> ready run
+    loop.run()
+    assert hooked == [1.0, 2.0, 2.05]
+
+
+def test_hook_sampling_counts_across_tiers():
+    # sample_every follows the global executed-event counter, so the
+    # sampled subset is identical however events split across tiers.
+    loop = EventLoop()
+    hooked = []
+    loop.add_hook(lambda lp, event, wall: hooked.append(event.time),
+                  sample_every=2)
+    for i in range(6):
+        loop.call_at(float(i + 1), lambda: None, wheel=(i % 2 == 0))
+    loop.run()
+    # events 2, 4, 6 of the interleaved run are sampled
+    assert hooked == [2.0, 4.0, 6.0]
+
+
+def test_untimed_hook_gets_zero_wall_and_fires_every_event():
+    loop = EventLoop()
+    walls = []
+    loop.add_hook(lambda lp, event, wall: walls.append(wall), timed=False)
+    loop.call_at(1.0, lambda: None)
+    loop.call_at(2.0, lambda: None, wheel=True)
+    loop.run()
+    assert walls == [0.0, 0.0]
+
+
+def test_timed_and_untimed_hooks_coexist():
+    # An untimed hook must not suppress the wall measurement a timed hook
+    # relies on, and vice versa.
+    loop = EventLoop()
+    seen = {"timed": [], "untimed": []}
+    loop.add_hook(lambda lp, event, wall: seen["timed"].append(wall))
+    loop.add_hook(lambda lp, event, wall: seen["untimed"].append(wall),
+                  timed=False)
+    loop.call_at(1.0, lambda: None, wheel=True)
+    loop.run()
+    assert len(seen["timed"]) == 1 and seen["timed"][0] >= 0.0
+    # the wall reading already paid for the timed hook is shared with the
+    # untimed one (untimed means "doesn't *require* timing", not "gets 0")
+    assert seen["untimed"] == seen["timed"]
