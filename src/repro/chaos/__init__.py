@@ -14,7 +14,14 @@ hand-picked scenarios; this package checks it *systematically*:
   to a minimal reproducing subset and emits a one-line repro command;
 - :mod:`repro.chaos.campaign` — fans a seed campaign over worker
   processes via :mod:`repro.parallel` and aggregates every seed's
-  verdict (all failing seeds are reported, not just the first).
+  verdict (all failing seeds are reported, not just the first);
+- :mod:`repro.chaos.coverage` — cheap deterministic state signatures
+  (transition edges + bucketed final counters), the fuzzer's novelty
+  signal;
+- :mod:`repro.chaos.fuzz` — coverage-guided schedule mutation: seeded
+  operators + survivability repair, ddmin-shrunk deduplicated findings;
+- :mod:`repro.chaos.corpus` — the persistent JSONL corpus of replay
+  recipes (``fuxi-sim fuzz`` resumes from and replays it).
 
 Everything is deterministic in the seed: the same seed always yields the
 same workload, schedule, and verdict.
@@ -22,24 +29,39 @@ same workload, schedule, and verdict.
 
 from repro.chaos.campaign import (CampaignSummary, SeedVerdict,
                                   campaign_tasks, run_campaign)
+from repro.chaos.corpus import Corpus, CorpusEntry
+from repro.chaos.coverage import CoverageProbe, features_digest
 from repro.chaos.engine import (ChaosConfig, ChaosResult, run_chaos,
                                 run_with_schedule)
+from repro.chaos.fuzz import (FuzzConfig, FuzzReport, mutate_plan,
+                              repair_plan, replay_entry, run_fuzz)
 from repro.chaos.invariants import (InvariantChecker, Violation,
                                     default_invariants)
-from repro.chaos.shrink import repro_command, shrink_schedule
+from repro.chaos.shrink import plan_signature, repro_command, shrink_schedule
 
 __all__ = [
     "CampaignSummary",
     "ChaosConfig",
     "ChaosResult",
+    "Corpus",
+    "CorpusEntry",
+    "CoverageProbe",
+    "FuzzConfig",
+    "FuzzReport",
     "InvariantChecker",
     "SeedVerdict",
     "Violation",
     "campaign_tasks",
     "default_invariants",
+    "features_digest",
+    "mutate_plan",
+    "plan_signature",
+    "repair_plan",
+    "replay_entry",
     "repro_command",
     "run_campaign",
     "run_chaos",
+    "run_fuzz",
     "run_with_schedule",
     "shrink_schedule",
 ]

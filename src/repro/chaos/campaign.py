@@ -44,10 +44,33 @@ class SeedVerdict:
     def violations(self) -> List[dict]:
         return list(self.result["violations"]) if self.result else []
 
+    @property
+    def crash_summary(self) -> str:
+        """The crash's final ``Type: message`` line (empty when no crash).
+
+        ``error`` is a full formatted traceback; its last non-empty line
+        is the raised exception — the part worth a table cell.  The full
+        traceback stays in ``error`` for the detailed report.
+        """
+        if not self.crashed or not self.error:
+            return ""
+        lines = [line.strip() for line in self.error.splitlines()
+                 if line.strip()]
+        return lines[-1] if lines else ""
+
     def row(self) -> List[str]:
-        """One campaign-table row: seed, faults, jobs, sim s, verdict."""
+        """One campaign-table row: seed, faults, jobs, sim s, verdict.
+
+        A crashed seed's verdict cell names the exception (`CRASH
+        Type: message`), not just the flag — a campaign table must say
+        *what* broke the harness without a trip to stderr.
+        """
         if self.crashed:
-            return [str(self.seed), "-", "-", "-", "CRASH"]
+            verdict = "CRASH"
+            summary = self.crash_summary
+            if summary:
+                verdict = f"CRASH {summary}"
+            return [str(self.seed), "-", "-", "-", verdict]
         r = self.result
         verdict = "ok" if self.ok else self.violations[0]["invariant"]
         return [str(self.seed), str(r["faults"]),

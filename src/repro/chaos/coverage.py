@@ -1,0 +1,149 @@
+"""The fuzzer's coverage signal: cheap deterministic state signatures.
+
+Coverage-guided fuzzing needs a notion of "this schedule did something
+we have not seen before" that is (a) a pure function of the seeded run,
+(b) cheap enough to compute on the same sampled event-loop steps the
+invariant checker already rides, and (c) coarse enough that the feature
+space saturates instead of treating every run as novel.
+
+The :class:`CoverageProbe` derives *features* — short strings — from two
+sources:
+
+- **transition edges**: at every sampled probe step the cluster's control
+  state is compressed into a tiny signature (primary present/recovering,
+  failover count, blacklist / machines-down / degraded buckets, network
+  burst active).  Each distinct signature and each observed transition
+  between consecutive signatures is one feature.  This is where failover
+  interleavings, blacklist escalation and recovery races show up.
+- **final counters**: when the run settles, the scheduler's locality-tier
+  grant mix (machine/rack/cluster-local, log-bucketed), preemption and
+  revocation counters, job completion ratio and the violated invariant
+  names (if any) are folded in.
+
+Feature sets are compared and persisted as sorted tuples; their
+:func:`features_digest` is the corpus dedup key for coverage entries.
+Counters are log2-bucketed (:func:`bucket`) so the space saturates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: failover counts above this all look alike to the signal
+FAILOVER_CAP = 4
+
+
+def bucket(count: float) -> int:
+    """Log2 bucket for a non-negative counter (0→0, 1→1, 2-3→2, 4-7→3...)."""
+    count = int(count)
+    if count <= 0:
+        return 0
+    return count.bit_length()
+
+
+def features_digest(features: Iterable[str]) -> str:
+    """Stable 16-hex digest of a feature set (corpus coverage-entry key)."""
+    text = "\n".join(sorted(set(features)))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class CoverageProbe:
+    """Accumulates coverage features over one chaos run.
+
+    Attach by calling :meth:`observe` from the engine's sampled probe hook
+    and :meth:`finalize` once after the final invariant checks.  Every
+    feature is a pure function of the seeded simulation, so two runs of
+    the same (seed, schedule, config) produce identical feature sets.
+    """
+
+    def __init__(self) -> None:
+        self._features: set = set()
+        self._prev: Optional[str] = None
+        self.observations = 0
+
+    # ------------------------------------------------------------------ #
+    # sampled step signal
+    # ------------------------------------------------------------------ #
+
+    def observe(self, cluster) -> None:
+        """Fold the current control-state signature into the feature set."""
+        self.observations += 1
+        state = self._state_signature(cluster)
+        if state == self._prev:
+            return
+        self._features.add(f"state:{state}")
+        if self._prev is not None:
+            self._features.add(f"edge:{self._prev}>{state}")
+        self._prev = state
+
+    @staticmethod
+    def _state_signature(cluster) -> str:
+        """A compact label of the cluster's control state right now."""
+        topology = cluster.topology
+        down = degraded = 0
+        for machine in topology.machines():
+            state = topology.state(machine)
+            if state.down:
+                down += 1
+            elif state.launch_failures or state.slow_factor > 1.0:
+                degraded += 1
+        burst = "n" if getattr(cluster, "_burst_depth", 0) else ""
+        primary = cluster.primary_master
+        if primary is None:
+            return f"gap-d{bucket(down)}-x{bucket(degraded)}{burst}"
+        parts = ["rec" if primary.recovering else "p",
+                 f"f{min(primary.failovers, FAILOVER_CAP)}",
+                 f"b{bucket(len(primary.blacklist.disabled_machines()))}",
+                 f"d{bucket(down)}", f"x{bucket(degraded)}"]
+        return "-".join(parts) + burst
+
+    # ------------------------------------------------------------------ #
+    # end-of-run signal
+    # ------------------------------------------------------------------ #
+
+    def finalize(self, cluster, app_ids: Sequence[str],
+                 violations: Sequence = ()) -> None:
+        """Fold the settled run's counters into the feature set."""
+        completed = sum(1 for app in app_ids if app in cluster.job_results)
+        self._features.add(f"jobs:{completed}/{len(app_ids)}")
+        for violation in violations:
+            self._features.add(f"violation:{violation.invariant}")
+        primary = cluster.primary_master
+        if primary is None:
+            self._features.add("final:no-primary")
+            return
+        self._features.add(f"failovers:{min(primary.failovers, FAILOVER_CAP)}")
+        self._features.add(
+            f"final-blacklist:{bucket(len(primary.blacklist.disabled_machines()))}")
+        scheduler = primary.scheduler
+        if scheduler is None:
+            return
+        stats = scheduler.stats
+        self._features.add(f"tier:m{bucket(stats.machine_local)}"
+                           f"r{bucket(stats.rack_local)}"
+                           f"c{bucket(stats.cluster_wide)}")
+        self._features.add(f"preempt:{bucket(stats.preemptions)}")
+        self._features.add(f"revoked:{bucket(stats.units_revoked)}")
+        self._features.add(f"grants:{bucket(stats.grants_issued)}")
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+
+    def features(self) -> Tuple[str, ...]:
+        """The accumulated feature set, sorted (deterministic)."""
+        return tuple(sorted(self._features))
+
+    def digest(self) -> str:
+        """Stable digest of :meth:`features` (coverage dedup key)."""
+        return features_digest(self._features)
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+
+def novel_features(seen: Iterable[str],
+                   features: Iterable[str]) -> List[str]:
+    """Features in ``features`` not yet in ``seen``, sorted."""
+    return sorted(set(features) - set(seen))

@@ -19,6 +19,7 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.chaos.coverage import CoverageProbe
 from repro.chaos.invariants import InvariantChecker, Violation
 from repro.cluster.faults import FaultPlan
 from repro.config import ConfigBase, conf
@@ -76,6 +77,9 @@ class ChaosConfig(ConfigBase):
                                    "dumped next to the violation trace)")
     flight_capacity: int = conf(512, min=1, cli="",
                                 help="flight-recorder ring size")
+    coverage: bool = conf(False, cli="",
+                          help="collect the fuzzer's coverage feature set "
+                               "(state-transition edges + final counters)")
 
 
 @dataclass
@@ -91,6 +95,8 @@ class ChaosResult:
     events_executed: int = 0
     trace_path: Optional[str] = None
     flight_path: Optional[str] = None
+    #: sorted coverage feature set (None unless config.coverage was on)
+    coverage: Optional[List[str]] = None
 
     @property
     def ok(self) -> bool:
@@ -101,9 +107,11 @@ class ChaosResult:
 
         Every field is a pure function of (seed, config): fault schedule,
         job completion, violations stamped with simulated time.  No
-        wall-clock values, so campaign merges are byte-reproducible.
+        wall-clock values, so campaign merges are byte-reproducible.  The
+        ``coverage`` key appears only when the run collected it, keeping
+        plain chaos-campaign merges byte-stable.
         """
-        return {
+        data = {
             "seed": self.seed,
             "ok": self.ok,
             "schedule": self.schedule.to_spec(),
@@ -116,6 +124,9 @@ class ChaosResult:
             "trace_path": self.trace_path,
             "flight_path": self.flight_path,
         }
+        if self.coverage is not None:
+            data["coverage"] = list(self.coverage)
+        return data
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else f"VIOLATION {self.violations[0]}"
@@ -197,8 +208,11 @@ def run_with_schedule(seed: int, plan: FaultPlan,
     cluster.warm_up()
 
     checker = InvariantChecker()
+    coverage = CoverageProbe() if config.coverage else None
 
     def probe(loop, event, wall) -> None:
+        if coverage is not None:
+            coverage.observe(cluster)
         if checker.check_step(cluster):
             if cluster.flight is not None:
                 for violation in checker.violations:
@@ -227,12 +241,15 @@ def run_with_schedule(seed: int, plan: FaultPlan,
     completed = [a for a in app_ids if a in cluster.job_results]
     if not checker.violations:
         checker.check_final(cluster, app_ids)
+    if coverage is not None:
+        coverage.finalize(cluster, app_ids, checker.violations)
 
     result = ChaosResult(
         seed=seed, schedule=plan, app_ids=app_ids, completed=completed,
         violations=list(checker.violations),
         sim_time=cluster.loop.now,
-        events_executed=cluster.loop.events_executed)
+        events_executed=cluster.loop.events_executed,
+        coverage=list(coverage.features()) if coverage is not None else None)
     if result.violations:
         if config.trace and config.trace_dir:
             result.trace_path = _dump_trace(cluster, result, config)

@@ -1,0 +1,645 @@
+"""Coverage-driven chaos fuzzer: mutate fault schedules toward novelty.
+
+The PR-2 chaos harness replays *fixed seed-derived schedules* — the same
+narrow slice of fault-interleaving space on every run.  This module turns
+it into a feedback loop:
+
+1. **mutate** — :func:`mutate_plan` applies seeded operators
+   (insert / delete / perturb-time / retarget / duplicate / tweak-params /
+   crossover) to a parent :class:`~repro.cluster.faults.FaultPlan`, then
+   :func:`repair_plan` restores the survivability rules the invariant
+   suite assumes (every destructive fault eventually healed, every master
+   kill eventually restarted, bounded burst severity) so the
+   eventual-termination invariant stays a bug detector instead of a
+   false-positive machine;
+2. **run** — candidates are fanned over the PR-5 sweep engine (task kind
+   ``fuzz``) with the engine's coverage probe on; each round's candidates
+   are generated *before* any of them run, so ``--jobs N`` campaigns merge
+   serial-equivalently and the whole trajectory is a pure function of the
+   master seed;
+3. **keep what's novel** — schedules reaching coverage features not seen
+   before become corpus parents; violating schedules are ddmin-shrunk and
+   deduplicated by ``(invariant, shrunk-plan signature)`` before landing
+   in the persistent :class:`~repro.chaos.corpus.Corpus`.
+
+``INJECTIONS`` is a test-only registry of seeded bugs (currently the PR-2
+double-grant failover hazard) used by the acceptance suite to prove the
+loop *finds* a real bug, shrinks it, and dedupes rediscoveries.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.corpus import COVERAGE, VIOLATION, Corpus, CorpusEntry
+from repro.chaos.coverage import features_digest, novel_features
+from repro.chaos.engine import ChaosConfig, build_schedule, run_with_schedule
+from repro.chaos.shrink import (plan_signature, repro_command,
+                                shrink_schedule, violation_matcher)
+from repro.cluster.faults import (AGENT_RESTART, MACHINE_KINDS,
+                                  MACHINE_RESTART, MASTER_FAILURE,
+                                  MASTER_RESTART, NETWORK_BURST, NODE_DOWN,
+                                  PARTIAL_WORKER_FAILURE, SLOW_MACHINE,
+                                  FaultEvent, FaultPlan)
+from repro.cluster.topology import ClusterTopology
+from repro.config import ConfigBase, conf
+from repro.core.resources import ResourceVector
+from repro.parallel.engine import Progress, run_sweep
+from repro.parallel.envelope import RunTask
+from repro.sim.rng import SplitRandom
+
+#: kinds the insert operator draws from (weighted toward the interesting
+#: interleavings: restarts and master kills stress recovery paths)
+_INSERT_KINDS = (NODE_DOWN, PARTIAL_WORKER_FAILURE, SLOW_MACHINE,
+                 AGENT_RESTART, MACHINE_RESTART, MASTER_FAILURE,
+                 MASTER_RESTART, NETWORK_BURST)
+
+#: destructive kinds counted against the bounded-node-loss rule
+_DESTRUCTIVE = (NODE_DOWN, PARTIAL_WORKER_FAILURE)
+
+#: fraction of machines that may ever be NodeDown/Partial victims
+MAX_DOWN_FRACTION = 0.34
+
+#: parameter bounds the repair pass clamps to (mirrors FaultPlan.random)
+SLOW_FACTOR_RANGE = (1.5, 4.0)
+BURST_DURATION_RANGE = (0.5, 8.0)
+BURST_DROP_RANGE = (0.0, 0.25)
+BURST_DELAY_RANGE = (0.0, 0.05)
+
+
+def _q3(value: float) -> float:
+    """The mutator's time quantum: 3 decimal places, like FaultPlan.random."""
+    return round(value, 3)
+
+
+def _sort_key(event: FaultEvent):
+    return (event.at, event.kind, event.machine or "")
+
+
+# --------------------------------------------------------------------- #
+# mutation operators
+# --------------------------------------------------------------------- #
+# Each operator is (events, rng, ctx) -> events.  Operators that find no
+# eligible event return the list unchanged — the stacked-op draw still
+# consumes the same randomness, keeping mutation byte-deterministic.
+
+@dataclass
+class MutationContext:
+    """What operators may look at: cluster shape, horizon, corpus parents."""
+
+    machines: Sequence[str]
+    horizon: float
+    parents: Sequence[FaultPlan] = ()
+    recover_after: float = 15.0
+
+
+def _draw_event(rng: random.Random, ctx: MutationContext) -> FaultEvent:
+    kind = rng.choice(_INSERT_KINDS)
+    at = _q3(rng.uniform(0.0, ctx.horizon))
+    if kind in MACHINE_KINDS:
+        machine = ctx.machines[rng.randrange(len(ctx.machines))]
+        if kind == SLOW_MACHINE:
+            return FaultEvent(at=at, kind=kind, machine=machine,
+                              slow_factor=round(rng.uniform(*SLOW_FACTOR_RANGE), 2))
+        return FaultEvent(at=at, kind=kind, machine=machine)
+    if kind == NETWORK_BURST:
+        return FaultEvent(
+            at=at, kind=kind,
+            duration=round(rng.uniform(1.0, BURST_DURATION_RANGE[1]), 2),
+            drop_prob=round(rng.uniform(0.05, BURST_DROP_RANGE[1]), 3),
+            extra_latency=round(rng.uniform(0.0, BURST_DELAY_RANGE[1]), 4))
+    return FaultEvent(at=at, kind=kind)
+
+
+def op_insert(events, rng, ctx):
+    """Add one freshly drawn fault event."""
+    return events + [_draw_event(rng, ctx)]
+
+
+def op_delete(events, rng, ctx):
+    """Remove one event (repair re-establishes pairing afterwards)."""
+    if not events:
+        return events
+    index = rng.randrange(len(events))
+    return events[:index] + events[index + 1:]
+
+
+def op_perturb_time(events, rng, ctx):
+    """Shift one event's time by up to ±recover_after (clamped, 3dp)."""
+    if not events:
+        return events
+    index = rng.randrange(len(events))
+    event = events[index]
+    jitter = rng.uniform(-ctx.recover_after, ctx.recover_after)
+    at = _q3(min(max(event.at + jitter, 0.0), ctx.horizon))
+    from dataclasses import replace
+    return events[:index] + [replace(event, at=at)] + events[index + 1:]
+
+
+def op_retarget(events, rng, ctx):
+    """Point one machine-scoped event at a different machine."""
+    eligible = [i for i, e in enumerate(events) if e.kind in MACHINE_KINDS]
+    if not eligible:
+        return events
+    index = eligible[rng.randrange(len(eligible))]
+    machine = ctx.machines[rng.randrange(len(ctx.machines))]
+    from dataclasses import replace
+    return (events[:index] + [replace(events[index], machine=machine)]
+            + events[index + 1:])
+
+
+def op_duplicate(events, rng, ctx):
+    """Repeat one event later — the classic double-fault interleaving."""
+    if not events:
+        return events
+    event = events[rng.randrange(len(events))]
+    at = _q3(min(event.at + rng.uniform(0.5, 2 * ctx.recover_after),
+                 ctx.horizon))
+    from dataclasses import replace
+    return events + [replace(event, at=at)]
+
+
+def op_tweak_params(events, rng, ctx):
+    """Jitter a SlowMachine factor or NetworkBurst severity within bounds."""
+    eligible = [i for i, e in enumerate(events)
+                if e.kind in (SLOW_MACHINE, NETWORK_BURST)]
+    if not eligible:
+        return events
+    index = eligible[rng.randrange(len(eligible))]
+    event = events[index]
+    from dataclasses import replace
+    if event.kind == SLOW_MACHINE:
+        tweaked = replace(event, slow_factor=round(
+            rng.uniform(*SLOW_FACTOR_RANGE), 2))
+    else:
+        tweaked = replace(
+            event,
+            duration=round(rng.uniform(1.0, BURST_DURATION_RANGE[1]), 2),
+            drop_prob=round(rng.uniform(0.05, BURST_DROP_RANGE[1]), 3),
+            extra_latency=round(rng.uniform(0.0, BURST_DELAY_RANGE[1]), 4))
+    return events[:index] + [tweaked] + events[index + 1:]
+
+
+def op_crossover(events, rng, ctx):
+    """Splice a random subset of another corpus parent's events in."""
+    if not ctx.parents:
+        return op_insert(events, rng, ctx)
+    donor = ctx.parents[rng.randrange(len(ctx.parents))]
+    spliced = [e for e in donor.events if rng.random() < 0.5]
+    return events + spliced
+
+
+OPERATORS: Tuple[Callable, ...] = (
+    op_insert, op_delete, op_perturb_time, op_retarget,
+    op_duplicate, op_tweak_params, op_crossover,
+)
+
+
+# --------------------------------------------------------------------- #
+# repair: mutated plans stay valid and survivable
+# --------------------------------------------------------------------- #
+
+def repair_plan(events: List[FaultEvent], ctx: MutationContext,
+                max_events: int = 24) -> List[FaultEvent]:
+    """Clamp, quantize and re-pair a mutated event list.
+
+    The output satisfies the survivability contract of
+    :meth:`FaultPlan.random` (checkable via :func:`plan_problems`):
+
+    - times quantized to 3dp in ``[0, horizon]`` (repair-added recovery
+      events may run to ``horizon + recover_after``);
+    - at most ``MAX_DOWN_FRACTION`` of machines are NodeDown/Partial
+      victims (later destructive events on excess machines are dropped);
+    - every NodeDown / PartialWorkerFailure / SlowMachine is followed by a
+      MachineRestart on the same machine;
+    - every FuxiMasterFailure has a strictly later FuxiMasterRestart
+      (matched injectively);
+    - burst severity and slow factors are clamped into the same bounds
+      the random schedule generator uses.
+    """
+    from dataclasses import replace
+
+    repaired: List[FaultEvent] = []
+    for event in sorted(events, key=_sort_key)[:max_events]:
+        at = _q3(min(max(event.at, 0.0), ctx.horizon))
+        changes = {"at": at}
+        if event.kind == SLOW_MACHINE:
+            changes["slow_factor"] = round(
+                min(max(event.slow_factor, SLOW_FACTOR_RANGE[0]),
+                    SLOW_FACTOR_RANGE[1]), 2)
+        elif event.kind == NETWORK_BURST:
+            changes["duration"] = round(
+                min(max(event.duration, BURST_DURATION_RANGE[0]),
+                    BURST_DURATION_RANGE[1]), 2)
+            changes["drop_prob"] = round(
+                min(max(event.drop_prob, BURST_DROP_RANGE[0]),
+                    BURST_DROP_RANGE[1]), 3)
+            changes["extra_latency"] = round(
+                min(max(event.extra_latency, BURST_DELAY_RANGE[0]),
+                    BURST_DELAY_RANGE[1]), 4)
+        repaired.append(replace(event, **changes))
+
+    # bounded node loss: keep the earliest-victim machines, drop the rest
+    cap = max(1, int(len(ctx.machines) * MAX_DOWN_FRACTION))
+    victims: List[str] = []
+    bounded: List[FaultEvent] = []
+    for event in repaired:
+        if event.kind in _DESTRUCTIVE:
+            if event.machine not in victims:
+                if len(victims) >= cap:
+                    continue
+                victims.append(event.machine)
+        bounded.append(event)
+    repaired = bounded
+
+    # repair-added recovery must land *strictly* later than the fault it
+    # heals, even under recover_after=0 configs
+    heal_delay = max(ctx.recover_after, 0.001)
+
+    # every degraded machine heals: a MachineRestart after its last fault
+    needs_restart: Dict[str, float] = {}
+    for event in repaired:
+        if event.kind in (NODE_DOWN, PARTIAL_WORKER_FAILURE, SLOW_MACHINE):
+            needs_restart[event.machine] = max(
+                needs_restart.get(event.machine, -1.0), event.at)
+    for machine, last in sorted(needs_restart.items()):
+        healed = any(e.kind == MACHINE_RESTART and e.machine == machine
+                     and e.at > last for e in repaired)
+        if not healed:
+            repaired.append(FaultEvent(at=_q3(last + heal_delay),
+                                       kind=MACHINE_RESTART, machine=machine))
+
+    # every master kill is eventually followed by a restart (injective)
+    failures = sorted(e.at for e in repaired if e.kind == MASTER_FAILURE)
+    restarts = sorted(e.at for e in repaired if e.kind == MASTER_RESTART)
+    for failure_at in failures:
+        match = next((i for i, at in enumerate(restarts) if at > failure_at),
+                     None)
+        if match is None:
+            # the appended restart heals *this* failure — it must not go
+            # back into the pool, or a later failure would steal it
+            repaired.append(FaultEvent(at=_q3(failure_at + heal_delay),
+                                       kind=MASTER_RESTART))
+        else:
+            del restarts[match]
+
+    repaired.sort(key=_sort_key)
+    return repaired
+
+
+def plan_problems(plan: FaultPlan, ctx: MutationContext) -> List[str]:
+    """Validity/survivability audit of a plan (empty list = valid).
+
+    This is the contract :func:`mutate_plan` promises and the Hypothesis
+    property suite enforces.
+    """
+    problems: List[str] = []
+    limit = ctx.horizon + max(ctx.recover_after, 0.001) + 1e-9
+    machine_set = set(ctx.machines)
+    for event in plan.events:
+        if not 0.0 <= event.at <= limit:
+            problems.append(f"{event.kind}@{event.at} outside [0, {limit}]")
+        if abs(event.at * 1000 - round(event.at * 1000)) > 1e-6:
+            problems.append(f"{event.kind}@{event.at} not 3dp-quantized")
+        if event.kind in MACHINE_KINDS:
+            if event.machine not in machine_set:
+                problems.append(f"{event.kind} targets unknown machine "
+                                f"{event.machine!r}")
+        elif event.machine is not None:
+            problems.append(f"{event.kind} carries a machine")
+        if event.kind == SLOW_MACHINE and not (
+                SLOW_FACTOR_RANGE[0] <= event.slow_factor
+                <= SLOW_FACTOR_RANGE[1]):
+            problems.append(f"slow factor {event.slow_factor} out of bounds")
+        if event.kind == NETWORK_BURST:
+            if not (BURST_DROP_RANGE[0] <= event.drop_prob
+                    <= BURST_DROP_RANGE[1]):
+                problems.append(f"burst drop {event.drop_prob} out of bounds")
+            if not (BURST_DURATION_RANGE[0] <= event.duration
+                    <= BURST_DURATION_RANGE[1]):
+                problems.append(f"burst duration {event.duration} "
+                                "out of bounds")
+
+    victims = {e.machine for e in plan.events if e.kind in _DESTRUCTIVE}
+    cap = max(1, int(len(ctx.machines) * MAX_DOWN_FRACTION))
+    if len(victims) > cap:
+        problems.append(f"{len(victims)} destructive victims > cap {cap}")
+
+    for event in plan.events:
+        if event.kind in (NODE_DOWN, PARTIAL_WORKER_FAILURE, SLOW_MACHINE):
+            healed = any(e.kind == MACHINE_RESTART
+                         and e.machine == event.machine and e.at > event.at
+                         for e in plan.events)
+            if not healed:
+                problems.append(f"{event.kind}@{event.at}:{event.machine} "
+                                "never healed by a MachineRestart")
+
+    failures = sorted(e.at for e in plan.events if e.kind == MASTER_FAILURE)
+    restarts = sorted(e.at for e in plan.events if e.kind == MASTER_RESTART)
+    for failure_at in failures:
+        match = next((i for i, at in enumerate(restarts) if at > failure_at),
+                     None)
+        if match is None:
+            problems.append(f"FuxiMasterFailure@{failure_at} never followed "
+                            "by a FuxiMasterRestart")
+        else:
+            del restarts[match]
+    return problems
+
+
+def mutate_plan(plan: FaultPlan, rng: random.Random, ctx: MutationContext,
+                max_ops: int = 3, max_events: int = 24) -> FaultPlan:
+    """One mutated child of ``plan``: 1..max_ops stacked operators + repair.
+
+    Byte-deterministic for a fixed ``rng`` state; the result always passes
+    :func:`plan_problems` and round-trips through spec strings.
+    """
+    events = list(plan.events)
+    for _ in range(rng.randint(1, max_ops)):
+        operator = OPERATORS[rng.randrange(len(OPERATORS))]
+        events = operator(events, rng, ctx)
+    return FaultPlan(events=repair_plan(events, ctx, max_events=max_events))
+
+
+# --------------------------------------------------------------------- #
+# seeded-bug injections (test-only)
+# --------------------------------------------------------------------- #
+
+def _inject_double_grant() -> Callable[[], None]:
+    """The PR-2 failover hazard: rebuild books the grant, charges nothing."""
+    from repro.core.scheduler import FuxiScheduler
+    original = FuxiScheduler.restore_allocation
+
+    def buggy_restore(self, unit_key, machine, count):
+        self.ledger.set_count(unit_key, machine, count)
+        return count
+
+    FuxiScheduler.restore_allocation = buggy_restore
+    return lambda: setattr(FuxiScheduler, "restore_allocation", original)
+
+
+#: name -> apply() returning an undo callable.  TEST-ONLY: lets the
+#: acceptance suite (and nothing else) plant a known bug and assert the
+#: fuzzer rediscovers, shrinks and dedupes it.
+INJECTIONS: Dict[str, Callable[[], Callable[[], None]]] = {
+    "double-grant": _inject_double_grant,
+}
+
+
+@contextmanager
+def injection(name: str):
+    """Apply a registered seeded bug for the duration of the block."""
+    if not name:
+        yield
+        return
+    try:
+        apply = INJECTIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown injection {name!r}; known: "
+                       f"{', '.join(sorted(INJECTIONS))}") from None
+    undo = apply()
+    try:
+        yield
+    finally:
+        undo()
+
+
+# --------------------------------------------------------------------- #
+# the fuzz campaign
+# --------------------------------------------------------------------- #
+
+@dataclass(kw_only=True)
+class FuzzConfig(ConfigBase):
+    """Knobs for one fuzz session (a :class:`repro.config.ConfigBase`)."""
+
+    budget: int = conf(48, min=1,
+                       help="total schedule executions (incl. the seed plan)")
+    batch: int = conf(8, min=1,
+                      help="candidates generated per round and fanned over "
+                           "--jobs workers")
+    max_ops: int = conf(3, min=1,
+                        help="mutation operators stacked per candidate")
+    max_events: int = conf(24, min=1,
+                           help="event-count cap per mutated schedule")
+    shrink_runs: int = conf(24, min=1,
+                            help="ddmin replay budget per violation")
+    horizon: float = conf(90.0, min=1.0,
+                          help="mutated fault times live in [0, horizon]")
+    inject: str = conf("", cli="")   # test-only seeded-bug name (INJECTIONS)
+
+
+@dataclass
+class FuzzReport:
+    """Deterministic verdict of one fuzz session."""
+
+    seed: int
+    executed: int = 0
+    rounds: int = 0
+    violations_seen: int = 0
+    unique_violations: int = 0
+    coverage_entries: int = 0
+    novel_features: int = 0
+    feature_count: int = 0
+    corpus_size: int = 0
+    corpus_path: Optional[str] = None
+    added: List[str] = dc_field(default_factory=list)
+    crashes: List[dict] = dc_field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Clean session: nothing violated, nothing crashed."""
+        return self.violations_seen == 0 and not self.crashes
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed, "executed": self.executed,
+            "rounds": self.rounds,
+            "violations_seen": self.violations_seen,
+            "unique_violations": self.unique_violations,
+            "coverage_entries": self.coverage_entries,
+            "novel_features": self.novel_features,
+            "feature_count": self.feature_count,
+            "corpus_size": self.corpus_size,
+            "corpus_path": self.corpus_path,
+            "added": list(self.added),
+            "crashes": [dict(c) for c in self.crashes],
+        }
+
+
+def execute_candidate(params: Dict[str, object], seed: int) -> dict:
+    """Run one explicit schedule with coverage on (the ``fuzz`` task body).
+
+    Lives here (not in the runner registry) so worker processes and the
+    in-process path execute the identical code, injections included.
+    """
+    chaos = ChaosConfig.from_dict(params["chaos"])
+    plan = FaultPlan.from_spec(str(params["schedule"]))
+    with injection(str(params.get("inject") or "")):
+        result = run_with_schedule(seed, plan, chaos)
+    return result.to_dict()
+
+
+def fuzz_chaos_config(chaos: Optional[ChaosConfig] = None) -> ChaosConfig:
+    """The chaos config a fuzz session actually runs: coverage on, no
+    tracing/flight overhead (every candidate is replayable anyway)."""
+    chaos = chaos or ChaosConfig()
+    return chaos.replace(coverage=True, trace=False, trace_dir=None,
+                         flight=False)
+
+
+def run_fuzz(seed: int, config: Optional[FuzzConfig] = None,
+             chaos: Optional[ChaosConfig] = None, *, jobs: int = 1,
+             corpus_path: Optional[str] = None,
+             progress: Optional[Progress] = None) -> FuzzReport:
+    """One fuzz session; fully deterministic in ``seed`` (at any ``jobs``).
+
+    Loads (or creates) the corpus at ``corpus_path``, pre-seeds the
+    coverage map and parent pool from it, then runs ``budget`` schedules
+    in rounds of ``batch``.  The corpus file is rewritten after every
+    round, so a killed session resumes from what it had already kept.
+    """
+    config = config or FuzzConfig()
+    if config.inject and config.inject not in INJECTIONS:
+        # fail fast — inside the sweep this would surface as N per-task
+        # crash records instead of one clear error
+        raise KeyError(f"unknown injection {config.inject!r}; known: "
+                       f"{', '.join(sorted(INJECTIONS))}")
+    chaos = fuzz_chaos_config(chaos)
+    chaos_dict = chaos.to_dict()
+    say = progress or (lambda message: None)
+
+    topology = ClusterTopology.build(
+        chaos.racks, chaos.machines_per_rack,
+        capacity=ResourceVector.of(cpu=chaos.cpu, memory=chaos.memory))
+    machines = topology.machines()
+    ctx = MutationContext(machines=machines, horizon=config.horizon,
+                          recover_after=chaos.recover_after)
+
+    corpus = Corpus.open(corpus_path)
+    seen = corpus.known_features()
+    base_plan = build_schedule(seed, chaos, machines)
+    parents: List[FaultPlan] = [base_plan]
+    parents.extend(FaultPlan.from_spec(e.schedule) for e in corpus.entries())
+    ctx.parents = parents
+
+    report = FuzzReport(seed=seed, corpus_path=corpus_path)
+    rng = SplitRandom(seed).stream("chaos-fuzz")
+    run_no = 0
+    ran_base = False
+
+    def record_violation(plan: FaultPlan, result: dict) -> None:
+        report.violations_seen += 1
+        first = result["violations"][0]
+        invariant = first["invariant"]
+
+        def reruns(candidate: FaultPlan):
+            with injection(config.inject):
+                return run_with_schedule(seed, candidate, chaos).violations
+
+        minimal = shrink_schedule(plan, violation_matcher(reruns, invariant),
+                                  max_runs=config.shrink_runs)
+        with injection(config.inject):
+            replay = run_with_schedule(seed, minimal, chaos)
+        confirmed = next((v for v in replay.violations
+                          if v.invariant == invariant), None)
+        entry = CorpusEntry(
+            id="vio-" + plan_signature(invariant, minimal),
+            entry=VIOLATION, seed=seed, schedule=minimal.to_spec(),
+            config=dict(chaos_dict), invariant=invariant,
+            detail=confirmed.detail if confirmed else first["detail"],
+            sim_time=confirmed.time if confirmed else first["time"],
+            coverage=sorted(replay.coverage or []),
+            inject=config.inject,
+            repro=repro_command(seed, minimal, chaos))
+        if corpus.add(entry):
+            report.unique_violations += 1
+            report.added.append(entry.id)
+            parents.append(minimal)
+            say(f"NEW violation [{invariant}] shrunk "
+                f"{len(plan.events)}->{len(minimal.events)} faults "
+                f"({entry.id})")
+        seen.update(result.get("coverage") or [])
+
+    def record_clean(plan: FaultPlan, result: dict) -> None:
+        features = result.get("coverage") or []
+        fresh = novel_features(seen, features)
+        if not fresh:
+            return
+        seen.update(features)
+        report.novel_features += len(fresh)
+        entry = CorpusEntry(
+            id="cov-" + features_digest(features),
+            entry=COVERAGE, seed=seed, schedule=result["schedule"],
+            config=dict(chaos_dict), sim_time=result["sim_time"],
+            coverage=sorted(features), inject=config.inject,
+            repro=repro_command(seed, plan, chaos))
+        if corpus.add(entry):
+            report.coverage_entries += 1
+            report.added.append(entry.id)
+            parents.append(plan)
+
+    while report.executed < config.budget:
+        size = min(config.batch, config.budget - report.executed)
+        candidates: List[FaultPlan] = []
+        for _ in range(size):
+            if not ran_base:
+                candidates.append(base_plan)
+                ran_base = True
+                continue
+            parent = parents[rng.randrange(len(parents))]
+            candidates.append(mutate_plan(parent, rng, ctx,
+                                          max_ops=config.max_ops,
+                                          max_events=config.max_events))
+        tasks = [RunTask(index=i, task_id=f"fuzz/run={run_no + i}",
+                         kind="fuzz", seed=seed,
+                         params={"schedule": candidate.to_spec(),
+                                 "chaos": dict(chaos_dict),
+                                 "inject": config.inject})
+                 for i, candidate in enumerate(candidates)]
+        sweep = run_sweep(tasks, jobs=jobs)
+        for outcome, candidate in zip(sweep.outcomes, candidates):
+            report.executed += 1
+            if not outcome.ok:
+                report.crashes.append({"run": outcome.task_id,
+                                       "schedule": candidate.to_spec(),
+                                       "error": outcome.error})
+                continue
+            if outcome.result["ok"]:
+                record_clean(candidate, outcome.result)
+            else:
+                record_violation(candidate, outcome.result)
+        run_no += size
+        report.rounds += 1
+        corpus.save(context={"tool": "fuxi-sim fuzz", "seed": seed,
+                             "budget": config.budget})
+        say(f"round {report.rounds}: {report.executed}/{config.budget} runs, "
+            f"{len(seen)} features, {len(corpus)} corpus entries "
+            f"({report.unique_violations} unique violations)")
+
+    report.feature_count = len(seen)
+    report.corpus_size = len(corpus)
+    return report
+
+
+def replay_entry(entry: CorpusEntry) -> Tuple[object, bool]:
+    """Re-run one corpus entry; returns (ChaosResult, verdict-matched).
+
+    A ``violation`` entry matches when the recorded invariant trips again
+    (under the entry's recorded injection, if any); a ``coverage`` entry
+    matches when the run is clean and reproduces the recorded feature set
+    byte-identically.
+    """
+    chaos = ChaosConfig.from_dict(entry.config)
+    plan = FaultPlan.from_spec(entry.schedule)
+    with injection(entry.inject):
+        result = run_with_schedule(entry.seed, plan, chaos)
+    if entry.entry == VIOLATION:
+        matched = any(v.invariant == entry.invariant
+                      for v in result.violations)
+    else:
+        matched = bool(result.ok) and \
+            sorted(result.coverage or []) == list(entry.coverage)
+    return result, matched

@@ -14,12 +14,24 @@ The result is a one-line command a human can paste into a terminal.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, List, Optional, Sequence
 
 from repro.chaos.invariants import Violation
 from repro.cluster.faults import FaultEvent, FaultPlan
 
 Predicate = Callable[[FaultPlan], bool]
+
+
+def plan_signature(invariant: str, plan: FaultPlan) -> str:
+    """Stable 16-hex dedup key over ``(invariant, plan spec)``.
+
+    The fuzzer shrinks every violating schedule first, so rediscoveries of
+    the same bug converge to the same minimal spec and collapse to one
+    corpus entry under this key.
+    """
+    text = f"{invariant}|{plan.to_spec()}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 def violation_matcher(run: Callable[[FaultPlan], Sequence[Violation]],

@@ -17,6 +17,10 @@ simulator, so the "cluster" lives for the duration of the command):
   with cluster-wide invariant checking, optionally fanned over worker
   processes (``--jobs N``); every failing seed is reported, then the first
   one is delta-debugged to a minimal repro with a pasteable repro command;
+- ``fuxi-sim fuzz`` — coverage-guided fault-schedule fuzzer: mutate
+  schedules toward novel invariant states, shrink + dedupe violations
+  into a persistent corpus (``--corpus FILE`` resumes it, ``--replay REF``
+  re-runs one entry, ``--jobs N`` fans each round over workers);
 - ``fuxi-sim sweep`` — fan a grid of independent runs (seed sweeps, config
   grids, experiment repetitions) over worker processes via
   :mod:`repro.parallel` and write the deterministic merged report;
@@ -133,6 +137,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL sweep journal (crash-resumable campaigns)")
     chaos.add_argument("--resume", action="store_true",
                        help="skip seeds already journaled ok in --journal")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided fault-schedule fuzzer with a persistent "
+             "corpus")
+    fuzz.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                      help="fuzzer master seed (default: global --seed)")
+    from repro.chaos.fuzz import FuzzConfig
+    add_config_args(fuzz, FuzzConfig)
+    # the cluster/workload/schedule shape under test (chaos knobs)
+    add_config_args(fuzz, ChaosConfig)
+    fuzz.add_argument("--corpus", metavar="FILE", default=None,
+                      help="persistent JSONL corpus (loaded when it exists, "
+                           "rewritten after every round)")
+    fuzz.add_argument("--replay", metavar="REF", default=None,
+                      help="replay one corpus entry (id, unique id prefix, "
+                           "or decimal index) instead of fuzzing; needs "
+                           "--corpus")
+    fuzz.add_argument("--jobs", dest="worker_jobs", type=int, default=1,
+                      metavar="N",
+                      help="worker processes per fuzz round (default 1; the "
+                           "corpus is byte-identical at any job count)")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress per-round progress lines")
 
     sweep = sub.add_parser(
         "sweep",
@@ -408,6 +436,75 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Coverage-guided schedule fuzzing (or replay of one corpus entry).
+
+    Exit codes: 0 clean session (or replay matched its recorded verdict),
+    1 a violation was found / a run crashed (or replay mismatched),
+    2 bad arguments or an unreadable corpus.
+    """
+    from repro.chaos.corpus import Corpus, CorpusError
+    from repro.chaos.fuzz import FuzzConfig, replay_entry, run_fuzz
+
+    if args.replay is not None:
+        if args.corpus is None:
+            print("--replay needs --corpus FILE", file=sys.stderr)
+            return 2
+        try:
+            corpus = Corpus.load(args.corpus)
+            entry = corpus.get(args.replay)
+        except (OSError, CorpusError, KeyError) as exc:
+            print(f"cannot replay: {exc}", file=sys.stderr)
+            return 2
+        result, matched = replay_entry(entry)
+        print(result.summary())
+        for violation in result.violations:
+            print(f"  {violation}")
+        verdict = (f"recorded {entry.entry} verdict "
+                   f"{'REPRODUCED' if matched else 'NOT reproduced'}")
+        print(f"entry {entry.id}: {verdict}")
+        if entry.repro:
+            print(f"repro: {entry.repro}")
+        return 0 if matched else 1
+
+    fuzz_config = config_from_args(FuzzConfig, args)
+    chaos_config = config_from_args(ChaosConfig, args)
+    say = None if args.quiet else (lambda line: print(line, flush=True))
+    try:
+        report = run_fuzz(args.seed, fuzz_config, chaos_config,
+                          jobs=args.worker_jobs, corpus_path=args.corpus,
+                          progress=say)
+    except CorpusError as exc:
+        print(f"corpus error: {exc}", file=sys.stderr)
+        return 2
+
+    rows = [
+        ["runs executed", f"{report.executed} ({report.rounds} rounds)"],
+        ["coverage features", report.feature_count],
+        ["corpus entries", f"{report.corpus_size} "
+                           f"(+{len(report.added)} new)"],
+        ["coverage parents found", report.coverage_entries],
+        ["violations (unique/seen)", f"{report.unique_violations}/"
+                                     f"{report.violations_seen}"],
+        ["crashes", len(report.crashes)],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"fuzz session (seed {report.seed})"))
+    if report.corpus_path:
+        print(f"corpus written to {report.corpus_path}")
+
+    corpus = Corpus.open(args.corpus)
+    for entry in corpus.violations():
+        marker = "NEW " if entry.id in report.added else ""
+        print(f"\n{marker}violation {entry.id} [{entry.invariant}] "
+              f"hits={entry.hits}\n  schedule: {entry.schedule}"
+              f"\n  reproduce: {entry.repro}")
+    for crash in report.crashes:
+        print(f"\nrun {crash['run']} crashed (harness failure):\n"
+              f"{crash['error']}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Fan a grid of independent runs over workers; write the merged report.
 
@@ -612,6 +709,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": cmd_metrics,
         "sortbench": cmd_sortbench,
         "chaos": cmd_chaos,
+        "fuzz": cmd_fuzz,
         "sweep": cmd_sweep,
         "top": cmd_top,
         "report": cmd_report,

@@ -2,7 +2,8 @@
 
 Every user-facing knob bundle (:class:`repro.api.RunSpec`,
 :class:`repro.core.scheduler.SchedulerConfig`, the chaos campaign's
-:class:`repro.chaos.engine.ChaosConfig`) is a keyword-only dataclass built
+:class:`repro.chaos.engine.ChaosConfig`, the fuzzer's
+:class:`repro.chaos.fuzz.FuzzConfig`) is a keyword-only dataclass built
 on :class:`ConfigBase`, which provides:
 
 - validation on construction (type coercion for int/float fields, per-field

@@ -50,6 +50,7 @@ def _warm_start() -> None:
     """
     import repro.api            # noqa: F401  (imports the full sim stack)
     import repro.chaos.engine   # noqa: F401
+    import repro.chaos.fuzz     # noqa: F401
 
 
 def execute_task(task: RunTask) -> RunOutcome:

@@ -18,6 +18,9 @@ Built-in kinds:
   (params = ``{"name": ..., "config": {...}}``; measured values may be
   wall-clock for timing experiments, so only ``simulate``/``chaos``
   sweeps carry the byte-identical merge guarantee);
+- ``fuzz`` — one explicit fault schedule replayed with the coverage probe
+  on (params = ``{"schedule": spec, "chaos": {...}, "inject": name}``;
+  the fuzzer's per-round fan-out unit);
 - ``selfcheck`` — a microsecond no-sim runner used by smoke tests and the
   CI sweep job to exercise fan-out, crash isolation and resume.
 """
@@ -93,6 +96,13 @@ def run_experiment_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+def run_fuzz_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One fuzz candidate: explicit schedule, coverage on, optional bug
+    injection — the same code path whether in-process or in a worker."""
+    from repro.chaos.fuzz import execute_candidate
+    return execute_candidate(params, seed)
+
+
 def run_selfcheck(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """A no-simulation runner for smoke tests: echo + seeded draw.
 
@@ -127,4 +137,5 @@ def run_selfcheck(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 register_runner("simulate", run_simulate)
 register_runner("chaos", run_chaos_task)
 register_runner("experiment", run_experiment_task)
+register_runner("fuzz", run_fuzz_task)
 register_runner("selfcheck", run_selfcheck)

@@ -1,0 +1,39 @@
+"""Campaign table rows must say *what* crashed, not just that it crashed.
+
+A crashed seed's verdict cell carries the raised exception's final
+``Type: message`` line pulled from the recorded traceback; the full
+traceback stays on ``SeedVerdict.error`` for the stderr report.
+"""
+
+from repro.chaos import SeedVerdict
+
+TRACEBACK = (
+    "Traceback (most recent call last):\n"
+    '  File "repro/parallel/engine.py", line 1, in execute_task\n'
+    "    runner(params, seed)\n"
+    'RuntimeError: boom in the harness\n'
+)
+
+
+def test_crash_row_names_the_exception():
+    verdict = SeedVerdict(seed=5, result=None, error=TRACEBACK)
+    row = verdict.row()
+    assert row[0] == "5"
+    assert row[1:4] == ["-", "-", "-"]
+    assert row[4].startswith("CRASH")          # CLI contract: grep-able flag
+    assert "RuntimeError: boom in the harness" in row[4]
+    assert verdict.crash_summary == "RuntimeError: boom in the harness"
+
+
+def test_crash_row_without_traceback_still_flags():
+    verdict = SeedVerdict(seed=5, result=None, error=None)
+    assert verdict.row()[4] == "CRASH"
+    assert verdict.crash_summary == ""
+
+
+def test_clean_row_is_unchanged():
+    result = {"ok": True, "faults": 4, "completed": ["a"], "app_ids": ["a"],
+              "sim_time": 12.0, "violations": []}
+    verdict = SeedVerdict(seed=1, result=result, error=None)
+    assert verdict.row() == ["1", "4", "1/1", "12.0", "ok"]
+    assert verdict.crash_summary == ""

@@ -1,0 +1,50 @@
+"""Regression: every committed corpus entry replays byte-identically.
+
+``tests/chaos/corpus/`` holds corpus files found by past fuzz sessions
+(regenerate with ``fuxi-sim fuzz --corpus tests/chaos/corpus/<file>``).
+Each entry is a complete replay recipe — seed, schedule spec, the chaos
+config it ran under, the recorded verdict — so the simulator re-running
+it must land on the *exact* recorded outcome: same verdict, same
+coverage feature set, same simulated end time.  A drift here means a
+behavioral change in the scheduler/failover/fault stack that invalidates
+previously-explored states — either fix the regression or consciously
+regenerate the corpus in the same commit.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.chaos import Corpus, replay_entry
+from repro.chaos.corpus import VIOLATION
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.jsonl")))
+
+
+def all_entries():
+    for path in CORPUS_FILES:
+        for entry in Corpus.load(path).entries():
+            yield pytest.param(entry, id=f"{os.path.basename(path)}:"
+                                         f"{entry.id}")
+
+
+def test_the_committed_corpus_exists_and_parses():
+    assert CORPUS_FILES, "tests/chaos/corpus/ lost its seed corpus"
+    total = sum(len(Corpus.load(path)) for path in CORPUS_FILES)
+    assert total > 0
+
+
+@pytest.mark.parametrize("entry", all_entries())
+def test_entry_replays_to_recorded_verdict(entry):
+    result, matched = replay_entry(entry)
+    assert matched, (f"recorded {entry.entry} verdict did not reproduce; "
+                     f"repro: {entry.repro}")
+    assert round(result.sim_time, 6) == entry.sim_time
+    if entry.entry == VIOLATION:
+        assert any(v.invariant == entry.invariant
+                   for v in result.violations)
+    else:
+        assert result.ok
+        assert sorted(result.coverage or []) == list(entry.coverage)

@@ -1,0 +1,135 @@
+"""The fuzz loop's determinism and corpus contracts.
+
+The whole fuzz trajectory — which schedules are generated, which become
+corpus parents, the coverage feature set, the corpus file bytes — must be
+a pure function of the master seed: identical across repeated runs *and*
+across ``jobs`` values (candidates are generated per round before any of
+them execute, and the sweep engine merges outcomes serial-equivalently).
+"""
+
+import pytest
+
+from repro.chaos import (ChaosConfig, Corpus, FuzzConfig, replay_entry,
+                         run_fuzz)
+from repro.chaos.corpus import COVERAGE, CorpusEntry
+from repro.chaos.coverage import CoverageProbe, bucket, features_digest
+from tests.conftest import make_cluster
+
+SEED = 7
+CHAOS = ChaosConfig(racks=2, machines_per_rack=3, jobs=2, faults=4,
+                    timeout=240.0, trace=False)
+FUZZ = FuzzConfig(budget=10, batch=4)
+
+
+def run_once(tmp_path, name, jobs=1):
+    path = str(tmp_path / f"{name}.jsonl")
+    report = run_fuzz(SEED, FUZZ, CHAOS, jobs=jobs, corpus_path=path)
+    with open(path, "rb") as handle:
+        return report, handle.read()
+
+
+def test_repeated_sessions_are_byte_identical(tmp_path):
+    report_a, bytes_a = run_once(tmp_path, "a")
+    report_b, bytes_b = run_once(tmp_path, "b")
+    assert bytes_a == bytes_b
+    dict_a, dict_b = report_a.to_dict(), report_b.to_dict()
+    dict_a.pop("corpus_path"), dict_b.pop("corpus_path")
+    assert dict_a == dict_b
+
+
+def test_parallel_session_matches_serial_bytes(tmp_path):
+    report_serial, bytes_serial = run_once(tmp_path, "serial", jobs=1)
+    report_pooled, bytes_pooled = run_once(tmp_path, "pooled", jobs=2)
+    assert bytes_serial == bytes_pooled
+    dict_s, dict_p = report_serial.to_dict(), report_pooled.to_dict()
+    dict_s.pop("corpus_path"), dict_p.pop("corpus_path")
+    assert dict_s == dict_p
+
+
+def test_session_reaches_novel_coverage_and_persists_parents(tmp_path):
+    report, _ = run_once(tmp_path, "grow")
+    assert report.executed == FUZZ.budget
+    assert report.coverage_entries >= 2    # mutation found novel states
+    assert report.feature_count > 0
+    corpus = Corpus.load(str(tmp_path / "grow.jsonl"))
+    assert len(corpus) == report.corpus_size
+    for entry in corpus.coverage_entries():
+        assert entry.entry == COVERAGE
+        assert entry.coverage, "coverage entries must carry their features"
+        assert entry.id == "cov-" + features_digest(entry.coverage)
+        assert "python -m repro.cli chaos" in entry.repro
+
+
+def test_resume_dedupes_instead_of_regrowing(tmp_path):
+    path = str(tmp_path / "resume.jsonl")
+    first = run_fuzz(SEED, FUZZ, CHAOS, corpus_path=path)
+    ids_first = [e.id for e in Corpus.load(path).entries()]
+    # resuming pre-seeds the known-feature map and parent pool from the
+    # corpus: prior discoveries stay (in order), nothing duplicates, and
+    # the already-covered base schedule contributes nothing new — the
+    # session only pays for *further* exploration
+    second = run_fuzz(SEED, FUZZ, CHAOS, corpus_path=path)
+    corpus = Corpus.load(path)
+    ids = [e.id for e in corpus.entries()]
+    assert ids[: len(ids_first)] == ids_first
+    assert len(ids) == len(set(ids))
+    assert second.corpus_size == len(ids)
+    assert second.novel_features < first.novel_features
+
+
+def test_corpus_entries_replay_to_their_recorded_verdict(tmp_path):
+    report, _ = run_once(tmp_path, "replay")
+    corpus = Corpus.load(str(tmp_path / "replay.jsonl"))
+    assert len(corpus) > 0
+    for entry in corpus.entries():
+        result, matched = replay_entry(entry)
+        assert matched, f"entry {entry.id} did not reproduce"
+        assert round(result.sim_time, 6) == entry.sim_time
+
+
+def test_in_memory_corpus_needs_no_path():
+    report = run_fuzz(SEED, FuzzConfig(budget=6, batch=3), CHAOS)
+    assert report.executed == 6
+    assert report.corpus_path is None
+
+
+def test_unknown_injection_is_an_error():
+    with pytest.raises(KeyError, match="unknown injection"):
+        run_fuzz(SEED, FuzzConfig(budget=2, batch=2, inject="nope"), CHAOS)
+
+
+# --------------------------------------------------------------------- #
+# coverage signal unit checks
+# --------------------------------------------------------------------- #
+
+def test_bucket_is_log2_saturating():
+    assert [bucket(n) for n in (0, 1, 2, 3, 4, 7, 8)] == [0, 1, 2, 2, 3, 3, 4]
+
+
+def test_features_digest_is_order_and_dup_insensitive():
+    assert features_digest(["b", "a", "a"]) == features_digest(["a", "b"])
+    assert features_digest(["a"]) != features_digest(["b"])
+
+
+def test_probe_records_state_edges():
+    cluster = make_cluster(racks=2, machines_per_rack=2)
+    probe = CoverageProbe()
+    probe.observe(cluster)
+    baseline = set(probe.features())
+    assert any(f.startswith("state:") for f in baseline)
+    # a machine going down must change the signature and record an edge
+    machine = cluster.topology.machines()[0]
+    cluster.topology.state(machine).down = True
+    probe.observe(cluster)
+    after = set(probe.features())
+    assert len(after) > len(baseline)
+    assert any(f.startswith("edge:") for f in after)
+
+
+def test_corpus_entry_round_trips():
+    entry = CorpusEntry(id="vio-abc", entry="violation", seed=3,
+                        schedule="FuxiMasterFailure@9", config={"racks": 2},
+                        invariant="resource-conservation", detail="d",
+                        sim_time=12.5, coverage=["state:p"], hits=4,
+                        inject="double-grant", repro="python -m repro.cli ...")
+    assert CorpusEntry.from_dict(entry.to_dict()) == entry

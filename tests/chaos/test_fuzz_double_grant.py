@@ -1,0 +1,76 @@
+"""Acceptance: the fuzzer rediscovers a seeded real bug within budget.
+
+The PR-2 double-grant failover hazard (soft-state rebuild books an
+agent-reported allocation without charging the free pool or quota) is
+re-injected through the fuzzer's test-only ``INJECTIONS`` registry.  A
+bounded fuzz session must
+
+1. find it (the resource-conservation invariant trips),
+2. ddmin-shrink the schedule to the actual culprit (the master failover
+   alone — one or two events, not the full mutated schedule),
+3. dedupe every rediscovery of the same minimal plan into one corpus
+   entry whose ``hits`` counts them, and
+4. record a replayable recipe: replaying the entry (which carries its
+   injection) reproduces the recorded invariant.
+
+The same session *without* the injection stays clean, proving the
+detection is the planted bug, not harness noise.
+"""
+
+from repro.chaos import ChaosConfig, Corpus, FuzzConfig, replay_entry, run_fuzz
+from repro.chaos.fuzz import INJECTIONS, injection
+from repro.core.scheduler import FuxiScheduler
+
+SEED = 2   # this seed's base plan exercises failover with live allocations
+CHAOS = ChaosConfig(racks=2, machines_per_rack=3, jobs=2, faults=4,
+                    timeout=240.0, trace=False)
+BUDGET = FuzzConfig(budget=8, batch=4, inject="double-grant")
+
+
+def test_injection_registry_restores_the_original_method():
+    original = FuxiScheduler.restore_allocation
+    with injection("double-grant"):
+        assert FuxiScheduler.restore_allocation is not original
+    assert FuxiScheduler.restore_allocation is original
+    assert "double-grant" in INJECTIONS
+
+
+def test_fuzzer_finds_shrinks_and_dedupes_the_seeded_bug(tmp_path):
+    path = str(tmp_path / "dg.jsonl")
+    report = run_fuzz(SEED, BUDGET, CHAOS, corpus_path=path)
+
+    # 1. found — multiple times within the small budget
+    assert report.violations_seen >= 2
+    assert not report.ok
+    corpus = Corpus.load(path)
+    violations = corpus.violations()
+    assert violations, "no violation entry landed in the corpus"
+
+    for entry in violations:
+        # 2. shrunk: the culprit is the master failover (+ at most one
+        #    interacting fault), not the 10+-event mutated schedule
+        assert entry.invariant == "resource-conservation"
+        events = entry.schedule.split(";")
+        assert len(events) <= 2
+        assert any("FuxiMasterFailure" in event for event in events)
+        assert entry.inject == "double-grant"
+        assert "python -m repro.cli chaos" in entry.repro
+
+    # 3. deduped: rediscoveries collapsed into entries, hits counting them
+    assert report.violations_seen > report.unique_violations
+    assert sum(e.hits for e in violations) == report.violations_seen
+
+    # 4. replayable: the recorded invariant reproduces under the entry's
+    #    recorded injection
+    for entry in violations:
+        _result, matched = replay_entry(entry)
+        assert matched
+
+
+def test_same_session_without_injection_is_clean(tmp_path):
+    clean = FuzzConfig(budget=8, batch=4)
+    report = run_fuzz(SEED, clean, CHAOS,
+                      corpus_path=str(tmp_path / "clean.jsonl"))
+    assert report.ok
+    assert report.violations_seen == 0
+    assert Corpus.load(str(tmp_path / "clean.jsonl")).violations() == []

@@ -1,0 +1,119 @@
+"""Property tests: every fuzz mutation yields a valid, survivable,
+round-trippable fault plan, byte-deterministically.
+
+The fuzzer's mutation operators may do anything to an event list — the
+contract is that :func:`repro.chaos.fuzz.mutate_plan` (operators +
+repair) always emits a plan that
+
+- passes :func:`repro.chaos.fuzz.plan_problems` (times clamped and
+  3dp-quantized, kind-scoped params in bounds, every destructive fault
+  healed, every master kill restarted, bounded node loss);
+- round-trips byte-identically through its spec string (the corpus
+  stores specs, so a lossy round-trip would corrupt replay);
+- is a pure function of the RNG seed (two runs, same bytes).
+
+Plans under mutation are themselves arbitrary: Hypothesis composes raw
+event lists (including invalid ones that violate survivability) and the
+mutator must still emit valid output.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chaos.fuzz import (BURST_DELAY_RANGE, BURST_DROP_RANGE,
+                              BURST_DURATION_RANGE, OPERATORS,
+                              SLOW_FACTOR_RANGE, MutationContext,
+                              mutate_plan, plan_problems, repair_plan)
+from repro.cluster.faults import (MACHINE_KINDS, NETWORK_BURST, SLOW_MACHINE,
+                                  FaultEvent, FaultPlan)
+
+MACHINES = tuple(f"r{r:02d}m{m:03d}" for r in range(2) for m in range(3))
+HORIZON = 60.0
+CTX = MutationContext(machines=MACHINES, horizon=HORIZON, recover_after=15.0)
+
+KINDS = MACHINE_KINDS + ("FuxiMasterFailure", "FuxiMasterRestart",
+                         "NetworkBurst")
+
+
+@st.composite
+def raw_events(draw):
+    """An arbitrary (possibly unsurvivable, out-of-bounds) event."""
+    kind = draw(st.sampled_from(KINDS))
+    at = draw(st.floats(min_value=-20.0, max_value=HORIZON + 40.0,
+                        allow_nan=False, allow_infinity=False))
+    machine = draw(st.sampled_from(MACHINES)) if kind in MACHINE_KINDS \
+        else None
+    event = FaultEvent(at=at, kind=kind, machine=machine)
+    if kind == SLOW_MACHINE:
+        event = FaultEvent(at=at, kind=kind, machine=machine,
+                           slow_factor=draw(st.floats(0.1, 20.0)))
+    if kind == NETWORK_BURST:
+        event = FaultEvent(
+            at=at, kind=kind,
+            duration=draw(st.floats(0.0, 50.0)),
+            drop_prob=draw(st.floats(0.0, 1.0)),
+            extra_latency=draw(st.floats(0.0, 1.0)))
+    return event
+
+
+plans = st.lists(raw_events(), max_size=12).map(
+    lambda events: FaultPlan(events=sorted(
+        events, key=lambda e: (e.at, e.kind, e.machine or ""))))
+
+
+@given(plan=plans, seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=120)
+def test_mutated_plans_are_valid(plan, seed):
+    child = mutate_plan(plan, random.Random(seed), CTX)
+    assert plan_problems(child, CTX) == []
+
+
+@given(plan=plans, seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=120)
+def test_mutated_plans_round_trip_through_specs(plan, seed):
+    child = mutate_plan(plan, random.Random(seed), CTX)
+    spec = child.to_spec()
+    assert FaultPlan.from_spec(spec).to_spec() == spec
+    assert FaultPlan.from_spec(spec).events == child.events
+
+
+@given(plan=plans, seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60)
+def test_mutation_is_byte_deterministic(plan, seed):
+    first = mutate_plan(plan, random.Random(seed), CTX)
+    second = mutate_plan(plan, random.Random(seed), CTX)
+    assert first.to_spec() == second.to_spec()
+
+
+@given(plan=plans, seed=st.integers(min_value=0, max_value=2**32 - 1),
+       op_index=st.integers(min_value=0, max_value=len(OPERATORS) - 1))
+@settings(max_examples=120)
+def test_every_single_operator_repairs_to_valid(plan, seed, op_index):
+    """Each operator alone (not just stacked draws) repairs to valid."""
+    events = OPERATORS[op_index](list(plan.events), random.Random(seed), CTX)
+    repaired = FaultPlan(events=repair_plan(events, CTX))
+    assert plan_problems(repaired, CTX) == []
+    spec = repaired.to_spec()
+    assert FaultPlan.from_spec(spec).to_spec() == spec
+
+
+@given(plan=plans, seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60)
+def test_mutated_params_are_kind_scoped_and_bounded(plan, seed):
+    child = mutate_plan(plan, random.Random(seed), CTX)
+    for event in child.events:
+        if event.kind == SLOW_MACHINE:
+            assert SLOW_FACTOR_RANGE[0] <= event.slow_factor \
+                <= SLOW_FACTOR_RANGE[1]
+        if event.kind == NETWORK_BURST:
+            assert BURST_DURATION_RANGE[0] <= event.duration \
+                <= BURST_DURATION_RANGE[1]
+            assert BURST_DROP_RANGE[0] <= event.drop_prob \
+                <= BURST_DROP_RANGE[1]
+            assert BURST_DELAY_RANGE[0] <= event.extra_latency \
+                <= BURST_DELAY_RANGE[1]
+        if event.kind in MACHINE_KINDS:
+            assert event.machine in MACHINES
+        else:
+            assert event.machine is None

@@ -368,3 +368,45 @@ def test_report_missing_file_exits_two(capsys):
     code = main(["report", "/nonexistent/nope.jsonl"])
     assert code == 2
     assert "cannot render" in capsys.readouterr().err
+
+
+def test_fuzz_session_writes_corpus_and_exits_clean(tmp_path, capsys):
+    corpus = tmp_path / "corpus.jsonl"
+    code = main(["fuzz", "--budget", "6", "--batch", "3", "--racks", "2",
+                 "--machines-per-rack", "3", "--workload-jobs", "2",
+                 "--faults", "4", "--corpus", str(corpus), "--quiet"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fuzz session" in out
+    assert "runs executed" in out
+    assert f"corpus written to {corpus}" in out
+    assert corpus.exists()
+    first_line = corpus.read_text().splitlines()[0]
+    assert '"kind":"chaos-corpus"' in first_line
+
+
+def test_fuzz_replay_reproduces_a_corpus_entry(tmp_path, capsys):
+    corpus = tmp_path / "corpus.jsonl"
+    assert main(["fuzz", "--budget", "6", "--batch", "3", "--racks", "2",
+                 "--machines-per-rack", "3", "--workload-jobs", "2",
+                 "--faults", "4", "--corpus", str(corpus), "--quiet"]) == 0
+    capsys.readouterr()
+    code = main(["fuzz", "--corpus", str(corpus), "--replay", "0"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "REPRODUCED" in out
+
+
+def test_fuzz_replay_bad_ref_exits_two(tmp_path, capsys):
+    corpus = tmp_path / "corpus.jsonl"
+    corpus.write_text('{"kind":"chaos-corpus","schema":1,"entries":0,'
+                      '"context":{}}\n')
+    code = main(["fuzz", "--corpus", str(corpus), "--replay", "zzz"])
+    assert code == 2
+    assert "cannot replay" in capsys.readouterr().err
+
+
+def test_fuzz_replay_without_corpus_exits_two(capsys):
+    code = main(["fuzz", "--replay", "0"])
+    assert code == 2
+    assert "--replay needs --corpus" in capsys.readouterr().err
