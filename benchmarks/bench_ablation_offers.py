@@ -8,7 +8,7 @@ the *last-served* tenant as tenant count grows: offer rounds serialize
 tenants, the request-based scheduler serves everyone in one pass.
 """
 
-from repro.baselines.mesos import MesosFramework, MesosMaster
+from repro.baselines import MesosFramework, MesosMaster
 from repro.core.request import RequestDelta
 from repro.core.resources import ResourceVector
 from repro.core.scheduler import FuxiScheduler

@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Scheduler arena: every registered policy on the same substrate and seeds.
+
+The :class:`repro.core.policy.SchedulerPolicy` seam puts all six policies
+(fuxi, yarn, mesos, hadoop10, size-based, fractional) on the *same*
+fit-indexed pools, ledger, digest sync and timer wheel — so this grid
+compares scheduling decisions, not bookkeeping implementations.  Each cell
+is one ``arena`` sweep task (policy × machines_per_rack × workload mix at
+one shared seed) fanned over ``repro.parallel``, and records:
+
+- locality hit-rate and grant/preemption counters (``sched`` block),
+- job slowdown percentiles (makespan / critical-path lower bound),
+- mean planned/total utilization per dimension,
+- wall scheduling-latency percentiles (``schedule_ms`` — the one
+  nondeterministic block, excluded from determinism comparisons),
+- a digest of the cell's full deterministic summary.
+
+``BENCH_arena.json`` carries the committed grid.  ``--check`` re-runs the
+grid and fails (exit 3) if any cell's deterministic payload drifted from
+the committed digest — per-policy same-seed byte-identity is the contract
+the policy seam must keep — and also re-verifies the serial-vs-pooled
+merge identity of the fresh run.
+
+Usage::
+
+    # full grid (24 cells), recorded under modes.full
+    python benchmarks/bench_arena.py --record
+
+    # CI-sized grid (6 cells, all six policies), recorded under modes.quick
+    python benchmarks/bench_arena.py --quick --record
+
+    # CI determinism gate against the committed numbers
+    python benchmarks/bench_arena.py --quick --check BENCH_arena.json
+
+Exit codes: 0 ok, 2 bad arguments / missing committed numbers for
+--check, 3 determinism drift (a cell no longer reproduces its committed
+digest, or the pooled merge differs from the serial one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+POLICIES = ("fuxi", "yarn", "mesos", "hadoop10", "size-based", "fractional")
+
+#: full grid: 6 policies x 2 cluster sizes x 2 mixes = 24 cells
+FULL = dict(racks=4, machines_per_rack=(10, 20), mixes=("paper", "large"),
+            jobs=24, duration=60.0, scale=100)
+#: CI-sized grid: 6 policies x 1 size x 1 mix = 6 cells, well under a minute
+QUICK = dict(racks=2, machines_per_rack=(5,), mixes=("paper",),
+             jobs=8, duration=30.0, scale=100)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized grid (6 cells: all six policies, "
+                             "one cluster size, one mix)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="the shared per-cell seed (default 7)")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="worker processes for the pooled leg "
+                             "(default 2; clamped to host cpus)")
+    parser.add_argument("--record", action="store_true",
+                        help="store this grid under its mode in --out")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_arena.json"))
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="re-run the grid and exit 3 unless every cell "
+                             "reproduces the committed digest in FILE")
+    return parser.parse_args(argv)
+
+
+def strip_wall(payload: dict) -> dict:
+    """A cell summary without its nondeterministic ``wall_timing`` block."""
+    return {k: v for k, v in payload.items() if k != "wall_timing"}
+
+
+def cell_digest(payload: dict) -> str:
+    """Short stable hash of the deterministic part of a cell summary."""
+    canon = json.dumps(strip_wall(payload), sort_keys=True)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+def run_grid(preset: dict, seed: int, jobs: int, say=print) -> dict:
+    """Run the arena grid serial + pooled; return the mode document."""
+    from repro.experiments.sweep import arena_tasks
+    from repro.parallel import run_sweep
+
+    tasks = arena_tasks(policies=POLICIES,
+                        machines_per_rack=preset["machines_per_rack"],
+                        mixes=preset["mixes"], racks=preset["racks"],
+                        concurrent_jobs=preset["jobs"],
+                        duration=preset["duration"],
+                        workload_scale=preset["scale"], seed=seed)
+    say(f"arena: {len(tasks)} cells ({len(POLICIES)} policies x "
+        f"{len(preset['machines_per_rack'])} sizes x "
+        f"{len(preset['mixes'])} mixes), serial then {jobs} worker(s) ...")
+    started = time.perf_counter()
+    serial = run_sweep(tasks, jobs=1)
+    pooled = run_sweep(tasks, jobs=jobs,
+                       progress=lambda line: say(f"  {line}"))
+    wall = time.perf_counter() - started
+    identical = (_deterministic_merge(serial) == _deterministic_merge(pooled))
+
+    cells = []
+    for task, outcome in zip(tasks, pooled.outcomes):
+        if not outcome.ok:
+            cells.append({"task_id": outcome.task_id, "ok": False,
+                          "error": outcome.error.splitlines()[-1]})
+            continue
+        payload = outcome.result
+        spec = payload["spec"]
+        sched = payload.get("sched", {})
+        slowdown = payload.get("job_slowdown", {})
+        wall_timing = payload.get("wall_timing", {})
+        cells.append({
+            "task_id": outcome.task_id,
+            "ok": True,
+            "policy": spec["policy"],
+            "machines": spec["racks"] * spec["machines_per_rack"],
+            "workload_mix": spec["workload_mix"],
+            "seed": outcome.seed,
+            "jobs_submitted": payload["jobs_submitted"],
+            "jobs_completed": payload["jobs_completed"],
+            "grants": payload["grants"],
+            "units_granted": sched.get("units_granted", 0),
+            "preemptions": sched.get("preemptions", 0),
+            "locality_hit_rate": sched.get("locality_hit_rate", 0.0),
+            "utilization": payload.get("utilization", {}),
+            "slowdown_p50": slowdown.get("p50", 0.0),
+            "slowdown_p95": slowdown.get("p95", 0.0),
+            "schedule_ms": wall_timing,
+            "digest": cell_digest(payload),
+        })
+    timing = pooled.timing()
+    return {
+        "grid": {
+            "policies": list(POLICIES),
+            "racks": preset["racks"],
+            "machines_per_rack": list(preset["machines_per_rack"]),
+            "mixes": list(preset["mixes"]),
+            "concurrent_jobs": preset["jobs"],
+            "duration_sim_s": preset["duration"],
+            "workload_scale": preset["scale"],
+            "seed": seed,
+        },
+        "cells": cells,
+        "failed": len(pooled.failures),
+        "byte_identical": identical,
+        "host_cpu_count": timing["host_cpu_count"],
+        "workers": timing["workers"],
+        "workers_requested": timing["workers_requested"],
+        "wall_seconds": round(wall, 3),
+        "python": sys.version.split()[0],
+    }
+
+
+def _deterministic_merge(sweep) -> str:
+    """The sweep's merged JSON with every ``wall_timing`` block removed."""
+    # deep copy: merged() references the live outcome payloads, which the
+    # cell report still needs intact
+    doc = json.loads(sweep.merged_json())
+    for entry in doc["sweep"]["tasks"]:
+        result = entry.get("result")
+        if isinstance(result, dict):
+            result.pop("wall_timing", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+def store(path: str, mode: str, result: dict) -> None:
+    p = pathlib.Path(path)
+    doc = json.loads(p.read_text(encoding="utf-8")) if p.exists() else {}
+    doc.setdefault("bench", "arena")
+    doc.setdefault("schema", 1)
+    doc.setdefault("modes", {})[mode] = result
+    p.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                 encoding="utf-8")
+
+
+def check_drift(path: str, mode: str, fresh: dict) -> int:
+    p = pathlib.Path(path)
+    if not p.exists():
+        print(f"--check: no committed file {path}", file=sys.stderr)
+        return 2
+    committed = (json.loads(p.read_text(encoding="utf-8"))
+                 .get("modes", {}).get(mode))
+    if committed is None:
+        print(f"--check: no committed {mode!r} grid in {path}",
+              file=sys.stderr)
+        return 2
+    want = {c["task_id"]: c for c in committed["cells"] if c.get("ok")}
+    have = {c["task_id"]: c for c in fresh["cells"] if c.get("ok")}
+    drift = []
+    for task_id, cell in sorted(want.items()):
+        got = have.get(task_id)
+        if got is None:
+            drift.append(f"{task_id}: missing/failed in this run")
+        elif got["digest"] != cell["digest"]:
+            drift.append(f"{task_id}: digest {got['digest']} != committed "
+                         f"{cell['digest']}")
+    if fresh["failed"]:
+        drift.append(f"{fresh['failed']} cell(s) failed")
+    if not fresh["byte_identical"]:
+        drift.append("pooled merge is not byte-identical to the serial run")
+    if drift:
+        print("DETERMINISM DRIFT:", file=sys.stderr)
+        for line in drift:
+            print(f"  {line}", file=sys.stderr)
+        return 3
+    print(f"arena-smoke ok: {len(want)} cell(s) reproduce their committed "
+          f"digests; serial == pooled")
+    return 0
+
+
+def render(result: dict) -> str:
+    header = (f"{'cell':<44} {'done':>4} {'grants':>6} {'local%':>6} "
+              f"{'util-mem':>8} {'slow-p50':>8} {'ms-p99':>7}")
+    lines = [header, "-" * len(header)]
+    for cell in result["cells"]:
+        if not cell.get("ok"):
+            lines.append(f"{cell['task_id']:<44} FAILED: {cell['error']}")
+            continue
+        name = (f"{cell['policy']}/m={cell['machines']}"
+                f"/{cell['workload_mix']}")
+        lines.append(
+            f"{name:<44} {cell['jobs_completed']:>4} {cell['grants']:>6} "
+            f"{100 * cell['locality_hit_rate']:>5.1f}% "
+            f"{cell['utilization'].get('memory', 0.0):>8.3f} "
+            f"{cell['slowdown_p50']:>8.3f} "
+            f"{cell['schedule_ms'].get('schedule_ms_p99', 0.0):>7.3f}")
+    lines.append(f"{len(result['cells'])} cells in "
+                 f"{result['wall_seconds']:.1f}s "
+                 f"({result['workers']} worker(s), byte_identical="
+                 f"{result['byte_identical']})")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    preset = QUICK if args.quick else FULL
+    mode = "quick" if args.quick else "full"
+    result = run_grid(preset, args.seed, args.jobs)
+    print(render(result))
+    if args.check:
+        return check_drift(args.check, mode, result)
+    if not result["byte_identical"]:
+        print("DETERMINISM REGRESSION: pooled merge differs from serial",
+              file=sys.stderr)
+        return 3
+    if args.record:
+        store(args.out, mode, result)
+        print(f"recorded modes.{mode} in {args.out}")
+    return 0 if not result["failed"] else 3
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,10 +39,12 @@ from repro.config import ConfigBase, conf
 from repro.core.agent import FuxiAgentConfig
 from repro.core.appmaster import AppMasterConfig
 from repro.core.master import FuxiMasterConfig
+from repro.core.policy import validate_policy_name
 from repro.core.resources import ResourceVector
 from repro.core.scheduler import SchedulerConfig
+from repro.jobs.dag import critical_path_length
 from repro.sim.gctune import collect_young, deferred_gc
-from repro.workloads.synthetic import (SyntheticWorkload,
+from repro.workloads.synthetic import (MIXES, SyntheticWorkload,
                                        SyntheticWorkloadConfig)
 
 __all__ = ["ClusterBuilder", "RunSpec", "RunResult", "simulate",
@@ -69,7 +71,14 @@ class RunSpec(ConfigBase):
     duration: float = conf(300.0, help="simulated seconds of steady state",
                            min=0.0)
     workload_scale: int = conf(100, help="job size scale factor", min=1)
+    workload_mix: str = conf("paper",
+                             help="synthetic shape mix (paper/small/large)",
+                             choices=tuple(sorted(MIXES)))
     workers_cap: int = conf(12, help="max workers per job", min=1)
+    policy: str = conf("fuxi",
+                       help="scheduler policy (a repro.core.policy registry "
+                            "name: fuxi, yarn, mesos, hadoop10, size-based, "
+                            "fractional, ...)")
     seed: int = conf(7, help="simulation seed")
     worker_start_delay: float = conf(
         2.0, help="binary download + process start (Table 2)", min=0.0)
@@ -97,6 +106,12 @@ class RunSpec(ConfigBase):
                    "boundaries (kills multi-hundred-ms collection pauses "
                    "inside timed scheduling sections)")
 
+    def validate(self) -> None:
+        super().validate()
+        # Registry-backed, so third-party register_policy() extensions are
+        # accepted and a typo fails with the list of registered names.
+        validate_policy_name(self.policy)
+
     @property
     def machines(self) -> int:
         return self.racks * self.machines_per_rack
@@ -110,6 +125,8 @@ class RunResult:
     spec: RunSpec
     submitted: List[str] = field(default_factory=list)
     jobs_completed: int = 0
+    #: per-completed-job makespan / critical-path lower bound (sim time)
+    slowdowns: List[float] = field(default_factory=list)
 
     @property
     def metrics(self):
@@ -171,12 +188,60 @@ class RunResult:
             "sched_requests": int(self.metrics.counter("fm.requests")),
             "grants": int(self.metrics.counter("fm.grants")),
         }
+        primary = self.cluster.primary_master
+        if primary is not None and primary.scheduler is not None:
+            st = primary.scheduler.stats
+            granted = st.units_granted
+            local = st.machine_local + st.rack_local
+            summary["sched"] = {
+                "policy": self.spec.policy,
+                "decisions": st.decisions,
+                "grants_issued": st.grants_issued,
+                "units_granted": granted,
+                "units_revoked": st.units_revoked,
+                "preemptions": st.preemptions,
+                "machine_local": st.machine_local,
+                "rack_local": st.rack_local,
+                "cluster_wide": st.cluster_wide,
+                "locality_hit_rate": (round(local / granted, 6)
+                                      if granted else 0.0),
+            }
+        if self.slowdowns:
+            ordered = sorted(self.slowdowns)
+            summary["job_slowdown"] = {
+                "count": len(ordered),
+                "mean": round(sum(ordered) / len(ordered), 6),
+                "p50": round(_percentile(ordered, 50.0), 6),
+                "p95": round(_percentile(ordered, 95.0), 6),
+                "max": round(ordered[-1], 6),
+            }
+        utilization: Dict[str, float] = {}
+        for key, label in (("cpu", "CPU"), ("memory", "Memory")):
+            total = self.metrics.series(f"util.{label}.FM_total").mean()
+            planned = self.metrics.series(f"util.{label}.FM_planned").mean()
+            if total > 0:
+                utilization[key] = round(planned / total, 6)
+        if utilization:
+            summary["utilization"] = utilization
         store = self.timeseries
         if store is not None:
             # wall columns are dropped by to_dict(): the sweep merge must
             # stay a pure function of (spec, seed)
             summary["timeseries"] = store.to_dict()
         return summary
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
 
 
 class ClusterBuilder:
@@ -196,7 +261,8 @@ class ClusterBuilder:
                  network: Optional[NetworkConfig] = None,
                  master_config: Optional[FuxiMasterConfig] = None,
                  agent_config: Optional[FuxiAgentConfig] = None,
-                 app_master_config: Optional[AppMasterConfig] = None):
+                 app_master_config: Optional[AppMasterConfig] = None,
+                 policy: Optional[str] = None):
         self._racks = racks
         self._machines_per_rack = machines_per_rack
         self._machine_cpu = machine_cpu
@@ -208,6 +274,7 @@ class ClusterBuilder:
         self._master_config = master_config
         self._agent_config = agent_config
         self._app_master_config = app_master_config
+        self._policy = validate_policy_name(policy) if policy else None
 
     # fluent setters ---------------------------------------------------- #
 
@@ -250,6 +317,12 @@ class ClusterBuilder:
         self._master_config = master
         return self
 
+    def policy(self, name: str) -> "ClusterBuilder":
+        """Select the scheduling policy by registry name (see
+        :func:`repro.core.policy.known_policies`)."""
+        self._policy = validate_policy_name(name)
+        return self
+
     def agents(self, config: FuxiAgentConfig) -> "ClusterBuilder":
         self._agent_config = config
         return self
@@ -270,6 +343,7 @@ class ClusterBuilder:
             "seed": self._seed,
             "trace": self._trace,
             "standby_master": self._standby_master,
+            "policy": self._policy,
         }
 
     @classmethod
@@ -282,9 +356,17 @@ class ClusterBuilder:
         topology = ClusterTopology.build(self._racks,
                                          self._machines_per_rack,
                                          capacity=capacity)
+        master_config = self._master_config
+        if self._policy is not None:
+            # Carry the policy as a config *name*, not a live object: the
+            # master rebuilds its scheduler from config on failover, and a
+            # string survives the trip (and pickling into sweep workers).
+            master_config = master_config or FuxiMasterConfig()
+            master_config.scheduler = master_config.scheduler.replace(
+                policy=self._policy)
         cluster = FuxiCluster(topology, seed=self._seed,
                               network=self._network,
-                              master_config=self._master_config,
+                              master_config=master_config,
                               agent_config=self._agent_config,
                               app_master_config=self._app_master_config,
                               standby_master=self._standby_master,
@@ -328,6 +410,10 @@ def simulate(spec: Optional[RunSpec] = None, *,
                               machine_cpu=spec.machine_cpu,
                               machine_memory=spec.machine_memory,
                               seed=spec.seed, trace=spec.trace,
+                              # None for "fuxi" keeps the default-config
+                              # path (and its byte-identity) untouched
+                              policy=(spec.policy
+                                      if spec.policy != "fuxi" else None),
                               agent_config=FuxiAgentConfig(
                                   worker_start_delay=spec.worker_start_delay))
                .build(warm_up=False))
@@ -345,9 +431,11 @@ def simulate(spec: Optional[RunSpec] = None, *,
     workload = SyntheticWorkload(
         SyntheticWorkloadConfig(concurrent_jobs=spec.concurrent_jobs,
                                 scale=spec.workload_scale,
-                                workers_cap=spec.workers_cap),
+                                workers_cap=spec.workers_cap,
+                                mix=spec.workload_mix),
         cluster.rng)
     result = RunResult(cluster=cluster, spec=spec)
+    ideals: Dict[str, float] = {}
 
     def submit_one() -> None:
         job = workload.next_job()
@@ -355,6 +443,7 @@ def simulate(spec: Optional[RunSpec] = None, *,
             job, description_overrides={"am_start_delay":
                                         spec.am_start_delay})
         result.submitted.append(app_id)
+        ideals[app_id] = critical_path_length(job)
 
     for _ in range(spec.concurrent_jobs):
         submit_one()
@@ -372,6 +461,11 @@ def simulate(spec: Optional[RunSpec] = None, *,
                     if app_id not in replaced:
                         replaced.add(app_id)
                         result.jobs_completed += 1
+                        ideal = ideals.pop(app_id, 0.0)
+                        job_result = cluster.job_results[app_id]
+                        if ideal > 0:
+                            result.slowdowns.append(
+                                round(job_result.makespan / ideal, 6))
                         cluster.reap_job(app_id)
                         if spec.closed_loop:
                             submit_one()

@@ -1,28 +1,45 @@
-"""Comparator schedulers (paper §6, Related Works).
+"""Comparator schedulers (paper §6, Related Works + PAPERS.md).
 
-Simplified but faithful-in-the-relevant-dimension reimplementations of the
-systems the paper compares against, used by the ablation benchmarks:
+Two layers:
 
-- :mod:`repro.baselines.yarn` — request-based like Fuxi, but allocation is
-  paced by node heartbeats over a single global request list (no locality
-  tree) and containers are reclaimed when a task exits (no reuse);
-- :mod:`repro.baselines.mesos` — two-level offer-based scheduling, where
-  frameworks wait for resource offers in turn;
-- :mod:`repro.baselines.hadoop10` — the single-master global recompute
-  ("a naive approach of delegating every decision to a single master").
+- **Integrated policies** (:mod:`repro.baselines.policies`) — YARN-like,
+  Mesos-like, Hadoop-1.0-like, HFSP-style size-based and DFRS-style
+  fractional scheduling implemented as
+  :class:`repro.core.policy.SchedulerPolicy` plug-ins on the *same*
+  fit-indexed pool / ledger / digest-sync substrate as Fuxi.  Select
+  them by name: ``RunSpec(policy="yarn")``,
+  ``ClusterBuilder(...).policy("mesos")``, ``fuxi-sim ... --policy``.
+  The arena benchmark (``benchmarks/bench_arena.py`` →
+  ``BENCH_arena.json``) stages all six policies on identical seeds.
 
-Each baseline exposes the counters the benchmarks compare: scheduling work
-per event, messages exchanged, and time-to-allocation.
+- **Standalone micro-models** (:mod:`repro.baselines._yarn` /
+  ``_mesos`` / ``_hadoop10``) — the original protocol-cost models used
+  by the ablation benchmarks, which count scheduling work and messages
+  without a full cluster.  The old ``repro.baselines.yarn`` (etc.)
+  module paths still work but emit :class:`DeprecationWarning`.
 """
 
-from repro.baselines.yarn import YarnScheduler, YarnRequest
-from repro.baselines.mesos import MesosMaster, MesosFramework
-from repro.baselines.hadoop10 import Hadoop10Scheduler
+from repro.baselines._hadoop10 import Hadoop10Scheduler, SlotRequest
+from repro.baselines._mesos import (MesosFramework, MesosMaster, MesosOffer,
+                                    MesosTask)
+from repro.baselines._yarn import YarnContainer, YarnRequest, YarnScheduler
+from repro.baselines.policies import (FractionalPolicy, Hadoop10Policy,
+                                      MesosPolicy, SizeBasedPolicy,
+                                      YarnPolicy)
 
 __all__ = [
     "YarnScheduler",
     "YarnRequest",
+    "YarnContainer",
     "MesosMaster",
     "MesosFramework",
+    "MesosOffer",
+    "MesosTask",
     "Hadoop10Scheduler",
+    "SlotRequest",
+    "YarnPolicy",
+    "MesosPolicy",
+    "Hadoop10Policy",
+    "SizeBasedPolicy",
+    "FractionalPolicy",
 ]

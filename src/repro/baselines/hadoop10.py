@@ -1,74 +1,23 @@
-"""Hadoop-1.0-style single-master global scheduler baseline.
+"""Deprecated import path — use :mod:`repro.baselines` instead.
 
-"A naive approach of delegating every decision to a single master node (as
-in Hadoop 1.0) would be severely limited by the capability of the master"
-(§1).  On every scheduling event this master recomputes the matching of all
-pending requests against all nodes — O(pending × nodes) — which is the
-contrast to Fuxi's locality-tree incremental scheduling whose per-event cost
-touches only one machine's queue path.  The locality-ablation bench plots
-both costs against cluster size.
+The standalone Hadoop-1.0 micro-model now lives in
+:mod:`repro.baselines._hadoop10`; the cluster-integrated policy is
+``repro.baselines.policies.Hadoop10Policy``
+(``RunSpec(policy="hadoop10")``).  This shim keeps old imports working
+but warns so callers migrate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+import warnings
 
-from repro.core.resources import ResourceVector
+from repro.baselines._hadoop10 import (Hadoop10Scheduler,  # noqa: F401
+                                       SlotRequest)
 
+warnings.warn(
+    "repro.baselines.hadoop10 is deprecated; import Hadoop10Scheduler "
+    "from repro.baselines, or select the integrated policy with "
+    "RunSpec(policy='hadoop10')",
+    DeprecationWarning, stacklevel=2)
 
-@dataclass
-class SlotRequest:
-    """Pending demand of one application (slot model: identical task sizes)."""
-
-    app_id: str
-    resources: ResourceVector
-    count: int
-    priority: int = 100
-
-
-class Hadoop10Scheduler:
-    """Global recompute on every event."""
-
-    def __init__(self):
-        self._capacity: Dict[str, ResourceVector] = {}
-        self._free: Dict[str, ResourceVector] = {}
-        self._pending: List[SlotRequest] = []
-        self.assignments: List[Tuple[str, str]] = []   # (app, machine)
-        self.scan_operations = 0   # request×machine fit tests performed
-        self.events = 0
-
-    def add_node(self, machine: str, capacity: ResourceVector) -> None:
-        self._capacity[machine] = capacity
-        self._free[machine] = capacity
-
-    def submit(self, request: SlotRequest) -> None:
-        self._pending.append(request)
-        self._pending.sort(key=lambda r: r.priority)
-        self._reschedule()
-
-    def release(self, machine: str, resources: ResourceVector) -> None:
-        self._free[machine] = self._free[machine] + resources
-        self._reschedule()
-
-    def pending_count(self) -> int:
-        return sum(r.count for r in self._pending)
-
-    def _reschedule(self) -> None:
-        """The global pass: every pending request against every node."""
-        self.events += 1
-        still_pending: List[SlotRequest] = []
-        for request in self._pending:
-            for machine in sorted(self._free):
-                self.scan_operations += 1
-                free = self._free[machine]
-                while request.count > 0 and request.resources.fits_in(free):
-                    free = free - request.resources
-                    request.count -= 1
-                    self.assignments.append((request.app_id, machine))
-                self._free[machine] = free
-                if request.count == 0:
-                    break
-            if request.count > 0:
-                still_pending.append(request)
-        self._pending = still_pending
+__all__ = ["Hadoop10Scheduler", "SlotRequest"]

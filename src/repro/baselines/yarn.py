@@ -1,149 +1,22 @@
-"""YARN-like scheduler baseline.
+"""Deprecated import path — use :mod:`repro.baselines` instead.
 
-Faithful in the two dimensions the paper criticizes (§3.2.3, §6):
-
-1. **Heartbeat-paced allocation over a flat request list.**  The resource
-   manager matches pending requests against one node per *node heartbeat*,
-   scanning its global priority/FIFO list — there is no locality tree, so
-   the per-heartbeat work grows with total pending demand, and a request's
-   time-to-allocation is coupled to the heartbeat period.
-2. **No container reuse.**  When a task completes, the container is
-   reclaimed by the node manager; an application with more work must send a
-   fresh request and wait for another allocation round ("the resource
-   manager has to conduct additional rounds of rescheduling, thereby
-   creating substantial overhead and unnecessary request messages").
-
-The class is synchronous like :class:`~repro.core.scheduler.FuxiScheduler`
-so the ablation benches can drive both identically.
+The standalone YARN micro-model now lives in
+:mod:`repro.baselines._yarn`; the cluster-integrated policy is
+``repro.baselines.policies.YarnPolicy`` (``RunSpec(policy="yarn")``).
+This shim keeps old imports working but warns so callers migrate.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+import warnings
 
-from repro.core.resources import ResourceVector
+from repro.baselines._yarn import (YarnContainer, YarnRequest,  # noqa: F401
+                                   YarnScheduler)
 
+warnings.warn(
+    "repro.baselines.yarn is deprecated; import YarnScheduler from "
+    "repro.baselines, or select the integrated policy with "
+    "RunSpec(policy='yarn')",
+    DeprecationWarning, stacklevel=2)
 
-@dataclass
-class YarnRequest:
-    """One outstanding container request batch from an application."""
-
-    app_id: str
-    resources: ResourceVector
-    count: int
-    priority: int = 100
-    preferred_machine: Optional[str] = None
-    seq: int = 0
-
-
-@dataclass
-class YarnContainer:
-    """A granted container; reclaimed when its task completes."""
-
-    container_id: int
-    app_id: str
-    machine: str
-    resources: ResourceVector
-
-
-class YarnScheduler:
-    """Heartbeat-driven, reclaim-on-completion resource manager."""
-
-    def __init__(self, heartbeat_interval: float = 1.0):
-        self.heartbeat_interval = heartbeat_interval
-        self._capacity: Dict[str, ResourceVector] = {}
-        self._free: Dict[str, ResourceVector] = {}
-        self._pending: List[YarnRequest] = []
-        self._containers: Dict[int, YarnContainer] = {}
-        self._ids = itertools.count(1)
-        self._seq = itertools.count(1)
-        # counters compared by the ablation benches
-        self.heartbeats_processed = 0
-        self.requests_scanned = 0
-        self.request_messages = 0
-        self.containers_granted = 0
-        self.reschedule_rounds = 0
-
-    # ------------------------------------------------------------------ #
-    # cluster
-    # ------------------------------------------------------------------ #
-
-    def add_node(self, machine: str, capacity: ResourceVector) -> None:
-        self._capacity[machine] = capacity
-        self._free[machine] = capacity
-
-    def nodes(self) -> List[str]:
-        return sorted(self._capacity)
-
-    def free_on(self, machine: str) -> ResourceVector:
-        return self._free[machine]
-
-    # ------------------------------------------------------------------ #
-    # application side
-    # ------------------------------------------------------------------ #
-
-    def submit_request(self, request: YarnRequest) -> None:
-        """Queue a request; nothing is allocated until a heartbeat arrives."""
-        request.seq = next(self._seq)
-        self.request_messages += 1
-        if request.count > 0:
-            self._pending.append(request)
-            self._pending.sort(key=lambda r: (r.priority, r.seq))
-
-    def pending_count(self) -> int:
-        return sum(r.count for r in self._pending)
-
-    # ------------------------------------------------------------------ #
-    # node heartbeat = the allocation trigger
-    # ------------------------------------------------------------------ #
-
-    def on_node_heartbeat(self, machine: str) -> List[YarnContainer]:
-        """Match this node's free space against the global request list."""
-        self.heartbeats_processed += 1
-        granted: List[YarnContainer] = []
-        free = self._free[machine]
-        remaining: List[YarnRequest] = []
-        for request in self._pending:
-            self.requests_scanned += 1
-            while request.count > 0 and request.resources.fits_in(free):
-                if (request.preferred_machine is not None
-                        and request.preferred_machine != machine
-                        and len(granted) == 0 and request.count > 1):
-                    # crude delay-scheduling nod: prefer locality for the
-                    # first container of a batch, then give up
-                    break
-                free = free - request.resources
-                request.count -= 1
-                container = YarnContainer(next(self._ids), request.app_id,
-                                          machine, request.resources)
-                self._containers[container.container_id] = container
-                granted.append(container)
-                self.containers_granted += 1
-            if request.count > 0:
-                remaining.append(request)
-        self._pending = remaining
-        self._free[machine] = free
-        return granted
-
-    # ------------------------------------------------------------------ #
-    # task completion = container reclaim (the no-reuse behaviour)
-    # ------------------------------------------------------------------ #
-
-    def task_completed(self, container_id: int) -> None:
-        """The node manager reclaims the container immediately."""
-        container = self._containers.pop(container_id, None)
-        if container is None:
-            raise KeyError(f"unknown container {container_id}")
-        self._free[container.machine] = (
-            self._free[container.machine] + container.resources)
-        self.reschedule_rounds += 1
-
-    def release_app(self, app_id: str) -> None:
-        for cid in [c for c, cont in self._containers.items()
-                    if cont.app_id == app_id]:
-            container = self._containers.pop(cid)
-            self._free[container.machine] = (
-                self._free[container.machine] + container.resources)
-        self._pending = [r for r in self._pending if r.app_id != app_id]
+__all__ = ["YarnScheduler", "YarnRequest", "YarnContainer"]

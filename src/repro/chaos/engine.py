@@ -25,6 +25,8 @@ from repro.cluster.faults import FaultPlan
 from repro.config import ConfigBase, conf
 from repro.cluster.topology import ClusterTopology
 from repro.core.agent import FuxiAgentConfig
+from repro.core.master import FuxiMasterConfig
+from repro.core.policy import validate_policy_name
 from repro.core.resources import ResourceVector
 from repro.obs.export import dump_violation_trace
 from repro._runtime import FuxiCluster
@@ -80,6 +82,13 @@ class ChaosConfig(ConfigBase):
     coverage: bool = conf(False, cli="",
                           help="collect the fuzzer's coverage feature set "
                                "(state-transition edges + final counters)")
+    policy: str = conf("fuxi", help="scheduler policy under chaos (registry "
+                                    "name: fuxi, yarn, mesos, hadoop10, "
+                                    "size-based, fractional, ...)")
+
+    def validate(self) -> None:
+        super().validate()
+        validate_policy_name(self.policy)
 
 
 @dataclass
@@ -144,8 +153,16 @@ def build_cluster(seed: int, config: ChaosConfig) -> FuxiCluster:
     topology = ClusterTopology.build(
         config.racks, config.machines_per_rack,
         capacity=ResourceVector.of(cpu=config.cpu, memory=config.memory))
+    master_config = None
+    if config.policy != "fuxi":
+        # only non-default policies touch the master config, so default
+        # chaos runs stay byte-identical to the committed corpus
+        master_config = FuxiMasterConfig()
+        master_config.scheduler = master_config.scheduler.replace(
+            policy=config.policy)
     return FuxiCluster(
         topology, seed=seed,
+        master_config=master_config,
         agent_config=FuxiAgentConfig(worker_start_delay=0.2),
         trace=config.trace)
 

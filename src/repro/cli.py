@@ -49,6 +49,7 @@ from repro.api import ClusterBuilder, FuxiCluster, RunSpec
 from repro.chaos.engine import ChaosConfig
 from repro.cluster.metrics import format_table
 from repro.config import ConfigBase, add_config_args, conf, config_from_args
+from repro.core.policy import validate_policy_name
 from repro.jobs.spec import parse_job_description
 
 EXPERIMENTS = ("fig09", "fig10", "table1", "table2", "table3", "table4",
@@ -69,6 +70,13 @@ class CliClusterConfig(ConfigBase):
     racks: int = conf(4, min=1, help="racks (machines are split evenly)")
     jobs: int = conf(10, min=1, help="synthetic jobs to submit")
     duration: float = conf(60.0, min=0.0, help="simulated seconds to run")
+    policy: str = conf("fuxi", help="scheduler policy (registry name: fuxi, "
+                                    "yarn, mesos, hadoop10, size-based, "
+                                    "fractional, ...)")
+
+    def validate(self) -> None:
+        super().validate()
+        validate_policy_name(self.policy)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,7 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     submit = sub.add_parser("submit", help="run a DAG job description")
     submit.add_argument("job_file", help="JSON job description (Figure 6)")
-    add_config_args(submit, CliClusterConfig, only=("machines", "racks"))
+    add_config_args(submit, CliClusterConfig,
+                    only=("machines", "racks", "policy"))
     submit.add_argument("--timeout", type=float, default=3600.0)
     submit.add_argument("--watch", action="store_true",
                         help="print task progress while running")
@@ -180,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="grid axis (repeatable; cartesian product)")
     sweep.add_argument("--repeat", type=int, default=1, metavar="N",
                        help="repetitions per grid cell (default 1)")
+    # --policy is derived from RunSpec, not hand-written argparse, so the
+    # flag's default/help track the config in one place
+    add_config_args(sweep, RunSpec, only=("policy",))
     sweep.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes (default 1 = serial)")
     sweep.add_argument("--journal", metavar="FILE", default=None,
@@ -228,10 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _make_cluster(machines: int, racks: int, seed: int,
-                  trace: bool = False) -> FuxiCluster:
+                  trace: bool = False, policy: str = "fuxi") -> FuxiCluster:
     per_rack = max(1, machines // max(racks, 1))
     return (ClusterBuilder(racks=racks, machines_per_rack=per_rack,
-                           machine_cpu=400, machine_memory=16384)
+                           machine_cpu=400, machine_memory=16384,
+                           policy=policy if policy != "fuxi" else None)
             .seed(seed).trace(trace).build())
 
 
@@ -257,7 +270,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     spec = parse_job_description(description,
                                  name=description.get("name", args.job_file))
     cluster = _make_cluster(args.machines, args.racks, args.seed,
-                            trace=args.trace_out is not None)
+                            trace=args.trace_out is not None,
+                            policy=args.policy)
     app_id = cluster.submit_job(spec)
     print(f"submitted {spec.name!r} as {app_id} "
           f"({spec.total_instances()} instances, {len(spec.tasks)} tasks)")
@@ -288,7 +302,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
     from repro.workloads.synthetic import (SyntheticWorkload,
                                            SyntheticWorkloadConfig)
     cluster = _make_cluster(args.machines, args.racks, args.seed,
-                            trace=args.trace_out is not None)
+                            trace=args.trace_out is not None,
+                            policy=args.policy)
     workload = SyntheticWorkload(
         SyntheticWorkloadConfig(concurrent_jobs=args.jobs),
         SplitRandom(args.seed))
@@ -339,7 +354,8 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     from repro.sim.rng import SplitRandom
     from repro.workloads.synthetic import (SyntheticWorkload,
                                            SyntheticWorkloadConfig)
-    cluster = _make_cluster(args.machines, args.racks, args.seed, trace=True)
+    cluster = _make_cluster(args.machines, args.racks, args.seed, trace=True,
+                            policy=args.policy)
     workload = SyntheticWorkload(
         SyntheticWorkloadConfig(concurrent_jobs=args.jobs),
         SplitRandom(args.seed))
@@ -522,8 +538,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         elif args.kind is not None:
             seeds = (list(range(args.seed, args.seed + args.seeds))
                      if args.seeds is not None else None)
+            params = parse_assignments(args.assignments)
+            if args.policy != "fuxi":
+                # the default stays out of params so kinds without a
+                # policy knob (selfcheck, experiment) keep working
+                params.setdefault("policy", validate_policy_name(args.policy))
             tasks = make_tasks(args.kind,
-                               params=parse_assignments(args.assignments),
+                               params=params,
                                grid=parse_grid_axes(args.grid_axes),
                                seeds=seeds, repeat=args.repeat,
                                root_seed=args.seed)

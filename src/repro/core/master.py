@@ -460,6 +460,17 @@ class FuxiMaster(Actor):
                 self.tracer.event("master.book_drift", machine=beat.machine,
                                   version=beat.book_version)
             self._send_alloc_full(beat.machine)
+        if (not self.recovering
+                and self.scheduler.policy.heartbeat_paced
+                and self.scheduler.pool.has_machine(beat.machine)):
+            # Heartbeat-paced policies (YARN/Mesos baselines) allocate only
+            # when a node reports in, modelling the NodeManager-heartbeat /
+            # resource-offer cycle.  The Fuxi path pays one flag check.
+            started = _time.perf_counter()
+            decisions = self.scheduler.machine_event(beat.machine)
+            self.metrics.record("fm.schedule_ms", self.loop.now,
+                                (_time.perf_counter() - started) * 1000.0)
+            self._disseminate(decisions)
         # Bad-node detection is deliberately NOT done per heartbeat: §3.4
         # classifies it as heavy-but-not-urgent work handled "at a fixed
         # time interval ... in a roll-up manner" — see _check_liveness.

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.config import ConfigBase, conf
 from repro.core.grant import AllocationLedger, Grant
 from repro.core.locality import LocalityTree
+from repro.core.policy import SchedulerPolicy, create_policy
 from repro.core.pool import FreeResourcePool
 from repro.core.preemption import PreemptionPlanner
 from repro.core.quota import DEFAULT_GROUP, QuotaManager
@@ -69,6 +70,9 @@ class SchedulerConfig(ConfigBase):
     place_scan_limit: int = conf(
         512, min=1, help="machines taken from the cluster-wide ranking "
                          "per placement decision")
+    policy: str = conf(
+        "fuxi", help="scheduling policy (a repro.core.policy registry "
+                     "name; see known_policies())")
 
 
 @dataclass
@@ -106,8 +110,14 @@ class FuxiScheduler:
     """Free pool + locality tree + quota + preemption, driven by events."""
 
     def __init__(self, config: Optional[SchedulerConfig] = None,
-                 quota: Optional[QuotaManager] = None, tracer=None):
+                 quota: Optional[QuotaManager] = None, tracer=None,
+                 policy: Optional[SchedulerPolicy] = None):
         self.config = config or SchedulerConfig()
+        self.policy = policy or create_policy(self.config.policy)
+        # Fast-path cache: with the passthrough (fuxi) policy every hook
+        # call below is skipped outright, keeping the hot path's grant
+        # stream byte-identical to the pre-policy-seam scheduler.
+        self._passthrough = self.policy.passthrough
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._decision_mark: Optional[Tuple[int, ...]] = None
         self.pool = FreeResourcePool()
@@ -122,6 +132,7 @@ class FuxiScheduler:
         self._apps: Set[str] = set()
         self._seq = 0
         self._preemption = PreemptionPlanner(self.quota, self.units.get)
+        self.policy.attach(self)
         # (group -> priority -> granted units) so the preemption pre-check
         # can tell in O(1) whether any lower-priority victim exists at all.
         self._granted_prio: Dict[str, Dict[int, int]] = {}
@@ -193,6 +204,8 @@ class FuxiScheduler:
                                   unit.resources * (-revocation.count))
                 self._track_units(unit, revocation.count)
                 self.stats.units_revoked += -revocation.count
+                if not self._passthrough:
+                    self.policy.on_revoke(unit, machine, -revocation.count)
             rack = self._machine_rack.pop(machine, None)
             if rack is not None and machine in self._rack_machines.get(rack, ()):
                 self._rack_machines[rack].remove(machine)
@@ -245,10 +258,15 @@ class FuxiScheduler:
             self.quota.refund(app_id, freed)
             self._track_units(unit, revocation.count)
             self.stats.units_revoked += -revocation.count
+            if not self._passthrough:
+                self.policy.on_revoke(unit, revocation.machine,
+                                      -revocation.count)
             touched.append(revocation.machine)
         self.units.drop_app(app_id)
         self.quota.remove_app(app_id)
         self._apps.discard(app_id)
+        if not self._passthrough:
+            self.policy.on_app_exit(app_id)
         for machine in sorted(set(touched)):
             decisions.extend(self._schedule_machine(machine))
         return decisions
@@ -257,6 +275,11 @@ class FuxiScheduler:
         """Register (or redefine) one of an application's ScheduleUnits."""
         if unit.app_id not in self._apps:
             raise KeyError(f"unknown application {unit.app_id!r}")
+        if not self._passthrough:
+            # Single entry point for unit shapes: a transform here (e.g.
+            # the fractional policy's CPU scaling) is what the pool,
+            # ledger, quota and restore paths all see consistently.
+            unit = self.policy.transform_unit(unit)
         self.units.define(unit)
 
     def apply_request_delta(self, delta: RequestDelta) -> List[Grant]:
@@ -286,7 +309,8 @@ class FuxiScheduler:
             return []
         decisions = self._place_demand(delta.unit_key, demand)
         self._reindex(delta.unit_key, demand)
-        if not demand.is_empty() and self.config.enable_preemption:
+        if (not demand.is_empty() and self.config.enable_preemption
+                and (self._passthrough or self.policy.enable_preemption)):
             decisions.extend(self._try_preemption(delta.unit_key, demand))
             self._reindex(delta.unit_key, demand)
         return decisions
@@ -313,6 +337,12 @@ class FuxiScheduler:
             self.pool.release(machine, freed)
             self.quota.refund(unit_key.app_id, freed)
             self._track_units(unit, -count)
+            if not self._passthrough:
+                self.policy.on_return(unit, machine, count)
+                if self.policy.global_recompute:
+                    # Hadoop-1.0 signature cost: every free-up rescans the
+                    # whole cluster instead of one machine's queue path.
+                    return self._schedule_all()
             return self._schedule_machine(machine)
         finally:
             self._end_decision(span)
@@ -368,21 +398,44 @@ class FuxiScheduler:
         fit = unit.resources.max_units_in(self.pool.free(machine))
         count = min(count, fit)
         self.ledger.set_count(unit_key, machine, count)
+        if previous and not self._passthrough:
+            self.policy.on_revoke(unit, machine, previous)
         if count:
             amount = unit.resources * count
             self.pool.allocate(machine, amount)
             self.quota.charge(unit_key.app_id, amount)
             self._track_units(unit, count)
+            if not self._passthrough:
+                self.policy.on_grant(unit, machine, count)
         return count
 
     def schedule_all_machines(self) -> List[Grant]:
         """One pass over every machine's queues (used after failover rebuild)."""
         span = self._begin_decision("rebuild")
         try:
-            decisions: List[Grant] = []
-            for machine in self.pool.machines():
-                decisions.extend(self._schedule_machine(machine))
-            return decisions
+            return self._schedule_all()
+        finally:
+            self._end_decision(span)
+
+    def _schedule_all(self) -> List[Grant]:
+        decisions: List[Grant] = []
+        for machine in self.pool.machines():
+            decisions.extend(self._schedule_machine(machine))
+        return decisions
+
+    def machine_event(self, machine: str) -> List[Grant]:
+        """A policy-paced machine event: serve the machine's queue path.
+
+        The master raises this on agent heartbeats for ``heartbeat_paced``
+        policies (YARN node-heartbeat allocation, Mesos offer rounds); for
+        ``global_recompute`` policies it escalates to a full pass over
+        every machine, reproducing the naive single-master cost model.
+        """
+        span = self._begin_decision("machine_event", target=machine)
+        try:
+            if not self._passthrough and self.policy.global_recompute:
+                return self._schedule_all()
+            return self._schedule_machine(machine)
         finally:
             self._end_decision(span)
 
@@ -434,35 +487,52 @@ class FuxiScheduler:
             self.stats.rack_local += count
         else:
             self.stats.cluster_wide += count
+        if not self._passthrough:
+            self.policy.on_grant(unit, machine, count)
         return Grant(unit.key, machine, count)
 
     def _place_demand(self, unit_key: UnitKey, demand: WaitingDemand) -> List[Grant]:
         """Greedy immediate placement for one demand: hints first, then spread."""
+        passthrough = self._passthrough
+        if not passthrough and not self.policy.place_on_request:
+            # Deferred policy (YARN/Mesos pacing): the demand stays queued
+            # until a machine event serves it.  Covers the failover
+            # reconcile path too — re-sent demands re-queue, then grants
+            # flow again on the next heartbeats.
+            return []
         unit = self.units.get(unit_key)
         grants: List[Grant] = []
+        use_hints = passthrough or self.policy.use_hints
         # 1. machine hints, most-wanted first.
-        for machine in sorted(demand.machine_hints,
-                              key=lambda m: (-demand.machine_hints[m], m)):
-            if demand.is_empty():
-                break
-            count = self._grant_limit(unit, machine, demand.wants_machine(machine))
-            if count > 0:
-                grants.append(self._apply_grant(unit, demand, machine, count,
-                                                LocalityLevel.MACHINE))
-        # 2. rack hints: machines inside the hinted racks, most-free first.
-        for rack in sorted(demand.rack_hints, key=lambda r: (-demand.rack_hints[r], r)):
-            if demand.is_empty():
-                break
-            members = (m for m in self._rack_machines.get(rack, ())
-                       if not self.pool.is_disabled(m) and m not in demand.avoid)
-            for machine, _ in self.pool.best_fit_machines(unit.resources, members):
-                wanted = demand.wants_rack(rack)
-                if wanted <= 0:
+        if use_hints:
+            for machine in sorted(demand.machine_hints,
+                                  key=lambda m: (-demand.machine_hints[m], m)):
+                if demand.is_empty():
                     break
-                count = self._grant_limit(unit, machine, wanted)
+                count = self._grant_limit(unit, machine,
+                                          demand.wants_machine(machine))
                 if count > 0:
                     grants.append(self._apply_grant(unit, demand, machine,
-                                                    count, LocalityLevel.RACK))
+                                                    count,
+                                                    LocalityLevel.MACHINE))
+            # 2. rack hints: machines inside the hinted racks, most-free first.
+            for rack in sorted(demand.rack_hints,
+                               key=lambda r: (-demand.rack_hints[r], r)):
+                if demand.is_empty():
+                    break
+                members = (m for m in self._rack_machines.get(rack, ())
+                           if not self.pool.is_disabled(m)
+                           and m not in demand.avoid)
+                for machine, _ in self.pool.best_fit_machines(unit.resources,
+                                                              members):
+                    wanted = demand.wants_rack(rack)
+                    if wanted <= 0:
+                        break
+                    count = self._grant_limit(unit, machine, wanted)
+                    if count > 0:
+                        grants.append(self._apply_grant(unit, demand, machine,
+                                                        count,
+                                                        LocalityLevel.RACK))
         # 3. anywhere in the cluster, most-free first — under a budget.
         # Every ranked machine fits ≥1 unit, so a scanned machine that
         # grants nothing means a *global* stop (max_count reached, quota
@@ -475,8 +545,12 @@ class FuxiScheduler:
             if cap > 0 and self.quota.within_max(unit.app_id, unit.resources):
                 budget = min(self.config.place_scan_limit,
                              wanted + len(demand.avoid))
-                for machine, _ in self.pool.best_fit_machines(unit.resources,
-                                                              limit=budget):
+                if passthrough:
+                    ranking = self.pool.best_fit_machines(unit.resources,
+                                                          limit=budget)
+                else:
+                    ranking = self.policy.rank_anywhere(unit, wanted, budget)
+                for machine, _ in ranking:
                     if demand.is_empty():
                         break
                     if machine in demand.avoid:
@@ -496,9 +570,24 @@ class FuxiScheduler:
         grants: List[Grant] = []
         skipped: List[Tuple[UnitKey, WaitingDemand]] = []
         skip_keys: Set[UnitKey] = set()
+        # Mesos-style exclusive offer: once an app takes from this event,
+        # the rest of the event is its alone (None = not locked yet;
+        # candidates from other apps then read as stale via ``wants``).
+        exclusive = (not self._passthrough) and self.policy.exclusive_event
+        locked_app: Optional[str] = None
+        # Entries turned away only by the exclusivity lock: the queues'
+        # lazy peek evicts anything reading 0, so they must be re-indexed
+        # after the event (same repair the ``skipped`` list gets) or they
+        # vanish until their next request delta.  Insertion-ordered dict,
+        # not a set: re-index order assigns queue tie-break sequence
+        # numbers, so it must not depend on hash salting.
+        locked_out: Dict[UnitKey, None] = {}
 
         def wants(unit_key: UnitKey, level: LocalityLevel, name: str) -> int:
             if unit_key in skip_keys:
+                return 0
+            if locked_app is not None and unit_key.app_id != locked_app:
+                locked_out[unit_key] = None
                 return 0
             demand = self._demands.get(unit_key)
             if demand is None or machine in demand.avoid:
@@ -531,11 +620,18 @@ class FuxiScheduler:
             consecutive_skips = 0
             grants.append(self._apply_grant(unit, demand, machine, count,
                                             level))
+            if exclusive:
+                locked_app = unit_key.app_id
             self._reindex(unit_key, demand)
             if self.pool.free(machine).is_zero():
                 break  # nothing left to hand out on this machine
         for unit_key, demand in skipped:
             self._reindex(unit_key, demand)
+        for unit_key in locked_out:
+            if unit_key not in skip_keys:
+                demand = self._demands.get(unit_key)
+                if demand is not None:
+                    self._reindex(unit_key, demand)
         return grants
 
     def _reindex(self, unit_key: UnitKey, demand: WaitingDemand) -> None:
@@ -543,8 +639,23 @@ class FuxiScheduler:
             self.tree.remove(unit_key)
             return
         unit = self.units.get(unit_key)
-        self.tree.index(unit_key, unit.priority, demand.submit_seq,
-                        demand.machine_hints, demand.rack_hints, demand.total)
+        if self._passthrough:
+            self.tree.index(unit_key, unit.priority, demand.submit_seq,
+                            demand.machine_hints, demand.rack_hints,
+                            demand.total)
+            return
+        # Policy path: priorities can drift (fair-share counts, size
+        # estimates, aging), and the lazy queues keep the priority an
+        # entry was *pushed* with — drop and re-push so the new rank
+        # takes effect.  Hint-blind policies index anywhere-only.
+        priority = self.policy.effective_priority(unit, demand)
+        if self.policy.use_hints:
+            machine_hints, rack_hints = demand.machine_hints, demand.rack_hints
+        else:
+            machine_hints = rack_hints = {}
+        self.tree.remove(unit_key)
+        self.tree.index(unit_key, priority, demand.submit_seq,
+                        machine_hints, rack_hints, demand.total)
 
     # ------------------------------------------------------------------ #
     # preemption
@@ -581,6 +692,8 @@ class FuxiScheduler:
                 self._track_units(victim, revocation.count)
                 self.stats.units_revoked += -revocation.count
                 self.stats.preemptions += 1
+                if not self._passthrough:
+                    self.policy.on_revoke(victim, machine, -revocation.count)
                 decisions.append(revocation)
             count = self._grant_limit(unit, machine, demand.wants_anywhere())
             if count > 0:

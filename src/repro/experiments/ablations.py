@@ -19,8 +19,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.baselines.hadoop10 import Hadoop10Scheduler, SlotRequest
-from repro.baselines.yarn import YarnRequest, YarnScheduler
+from repro.baselines import (Hadoop10Scheduler, SlotRequest, YarnRequest,
+                             YarnScheduler)
 from repro.core.request import RequestDelta
 from repro.core.resources import ResourceVector
 from repro.core.scheduler import FuxiScheduler

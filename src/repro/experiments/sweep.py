@@ -53,6 +53,34 @@ NAMED = {
 }
 
 
+def arena_tasks(*, policies: Sequence[str],
+                machines_per_rack: Sequence[int],
+                mixes: Sequence[str],
+                racks: int = 4,
+                concurrent_jobs: int = 24,
+                duration: float = 60.0,
+                workload_scale: int = 100,
+                seed: int = 7) -> List[RunTask]:
+    """The scheduler-arena grid: policy × cluster size × workload mix.
+
+    Every cell is one ``arena`` sweep task (a ``simulate`` run plus wall
+    scheduling-latency percentiles) at the *same* seed, so the cells are
+    directly comparable and each is byte-reproducible from its recorded
+    coordinates.  Cluster size varies via ``machines_per_rack`` with
+    ``racks`` fixed — one axis, not a racks×machines cartesian.
+    """
+    for policy in policies:
+        RunSpec(policy=policy)   # fail fast with the registered-name list
+    return make_tasks(
+        "arena",
+        params={"racks": racks, "concurrent_jobs": concurrent_jobs,
+                "duration": duration, "workload_scale": workload_scale},
+        grid={"policy": list(policies),
+              "machines_per_rack": list(machines_per_rack),
+              "workload_mix": list(mixes)},
+        seeds=[seed])
+
+
 def run_named(name: str, *, seed: Optional[int] = None,
               overrides: Optional[Mapping[str, Any]] = None,
               ) -> ExperimentReport:

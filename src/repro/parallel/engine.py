@@ -86,6 +86,7 @@ class SweepResult:
     outcomes: List[RunOutcome] = field(default_factory=list)
     resumed: int = 0
     jobs: int = 1
+    jobs_requested: int = 1
     wall_seconds: float = 0.0
 
     @property
@@ -149,6 +150,7 @@ class SweepResult:
         return {
             "host_cpu_count": os.cpu_count() or 1,
             "workers": self.jobs,
+            "workers_requested": self.jobs_requested,
             "tasks_run": len(self.outcomes) - self.resumed,
             "tasks_resumed": self.resumed,
             "wall_seconds": round(self.wall_seconds, 3),
@@ -199,7 +201,21 @@ def run_sweep(tasks: Sequence[RunTask], *, jobs: int = 1,
         say(f"resume: {len(reused)}/{len(ordered)} task(s) journaled ok, "
             f"{len(pending)} to run")
 
-    result = SweepResult(resumed=len(reused), jobs=jobs)
+    # Worker processes beyond the host's cores only add fork + IPC cost
+    # (observed as the <1.0 sweep "speedup" on 1-CPU hosts), so clamp —
+    # and when the clamp lands on one worker, skip the pool entirely.
+    host_cpus = os.cpu_count() or 1
+    effective = min(jobs, host_cpus, max(len(pending), 1))
+    if effective < jobs:
+        note = (f"workers clamped {jobs} -> {effective} "
+                f"(host cpus: {host_cpus}, pending tasks: {len(pending)})"
+                + ("; running serially" if effective == 1 else ""))
+        say(note)
+        if book is not None:
+            book.note(note)
+
+    result = SweepResult(resumed=len(reused), jobs=effective,
+                         jobs_requested=jobs)
     outcomes: Dict[str, RunOutcome] = dict(reused)
     started = time.perf_counter()
     done = len(reused)
@@ -216,11 +232,11 @@ def run_sweep(tasks: Sequence[RunTask], *, jobs: int = 1,
             f"({outcome.wall_seconds:.2f}s)")
 
     try:
-        if jobs == 1 or len(pending) <= 1:
+        if effective == 1 or len(pending) <= 1:
             for task in pending:
                 record(execute_task(task))
         else:
-            _run_pooled(pending, jobs, record, say)
+            _run_pooled(pending, effective, record, say)
     finally:
         if book is not None:
             book.close()

@@ -104,6 +104,15 @@ class SweepJournal:
         record.update(outcome.to_dict())
         self._write(record)
 
+    def note(self, text: str) -> None:
+        """Record an informational line (e.g. a worker clamp).
+
+        ``load`` skips unknown record kinds, so notes never affect resume
+        decisions — they only document how the sweep actually ran.
+        """
+        if self._handle is not None:
+            self._write({"record": "note", "text": text})
+
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()

@@ -12,6 +12,9 @@ Built-in kinds:
 
 - ``simulate`` — one :func:`repro.api.simulate` closed-loop synthetic run
   (params = :class:`repro.api.RunSpec` fields);
+- ``arena`` — ``simulate`` plus a ``wall_timing`` block of scheduling
+  wall-latency percentiles (the one deliberately nondeterministic field;
+  the arena benchmark strips it before byte-identity comparisons);
 - ``chaos`` — one seeded chaos run with invariant checking
   (params = :class:`repro.chaos.engine.ChaosConfig` fields);
 - ``experiment`` — one paper experiment repetition
@@ -69,6 +72,29 @@ def run_simulate(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     spec = RunSpec(**params)
     result = simulate(spec, seed=seed)
     return result.summary_dict()
+
+
+def run_arena_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One scheduler-arena cell: a simulate run + wall latency percentiles.
+
+    Identical to ``simulate`` except for one extra ``wall_timing`` block
+    carrying the master's scheduling-latency wall-clock percentiles.
+    Consumers comparing cells for determinism (``bench_arena.py
+    --check``) must strip ``wall_timing`` first — everything else stays a
+    pure function of (params, seed).
+    """
+    from repro.api import RunSpec, simulate
+    spec = RunSpec(**params)
+    result = simulate(spec, seed=seed)
+    summary = result.summary_dict()
+    series = result.metrics.series("fm.schedule_ms")
+    summary["wall_timing"] = {
+        "schedule_ms_avg": round(series.mean(), 4),
+        "schedule_ms_p50": round(series.percentile(50), 4),
+        "schedule_ms_p99": round(series.percentile(99), 4),
+        "schedule_ms_max": round(series.max(), 4),
+    }
+    return summary
 
 
 def run_chaos_task(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
@@ -135,6 +161,7 @@ def run_selfcheck(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 
 
 register_runner("simulate", run_simulate)
+register_runner("arena", run_arena_task)
 register_runner("chaos", run_chaos_task)
 register_runner("experiment", run_experiment_task)
 register_runner("fuzz", run_fuzz_task)

@@ -31,6 +31,15 @@ PAPER_SHAPES: Tuple[Tuple[int, int], ...] = (
 #: "0.5 core CPU with 2GB memory" per instance
 PAPER_INSTANCE_RESOURCES = ResourceVector.of(cpu=50, memory=2048)
 
+#: named sub-mixes of the paper shapes, the workload axis of the scheduler
+#: arena grid (``bench_arena.py``): "paper" is the full §5.2 distribution,
+#: "small"/"large" isolate its short-job and long-job halves
+MIXES: "dict[str, Tuple[Tuple[int, int], ...]]" = {
+    "paper": PAPER_SHAPES,
+    "small": PAPER_SHAPES[:3],
+    "large": PAPER_SHAPES[3:],
+}
+
 
 def mapreduce_job(name: str, mappers: int, reducers: int,
                   map_duration: float = 4.0, reduce_duration: float = 6.0,
@@ -69,6 +78,12 @@ class SyntheticWorkloadConfig:
     mean_duration: float = 6.0
     workers_cap: int = 30
     seed_stream: str = "synthetic"
+    mix: str = "paper"
+
+    def __post_init__(self) -> None:
+        if self.mix not in MIXES:
+            raise ValueError(f"unknown workload mix {self.mix!r}; "
+                             f"known mixes: {', '.join(sorted(MIXES))}")
 
 
 class SyntheticWorkload:
@@ -78,12 +93,13 @@ class SyntheticWorkload:
                  rng: SplitRandom) -> None:
         self.config = config
         self._rng = rng.stream(config.seed_stream)
+        self._shapes = MIXES[config.mix]
         self._seq = 0
 
     def next_job(self) -> JobSpec:
         """Draw the next job from the paper's mix (shape and kind uniform)."""
         self._seq += 1
-        shape = PAPER_SHAPES[(self._seq - 1) % len(PAPER_SHAPES)]
+        shape = self._shapes[(self._seq - 1) % len(self._shapes)]
         kind = "wordcount" if self._rng.random() < 0.5 else "terasort"
         mappers = max(2, shape[0] // self.config.scale)
         reducers = max(1, shape[1] // self.config.scale)

@@ -100,10 +100,15 @@ def test_campaign_journal_resume_round_trip(tmp_path):
                            resume=True)
     assert resumed.sweep.resumed == len(seeds)
     assert resumed.sweep.merged_json() == first.sweep.merged_json()
-    # journal rows round-trip as JSON (header + one outcome per seed)
-    lines = journal.read_text(encoding="utf-8").splitlines()
-    assert json.loads(lines[0])["record"] == "header"
-    assert len(lines) == 1 + len(seeds)
+    # journal rows round-trip as JSON (header + one outcome per seed;
+    # informational notes — e.g. the worker clamp on small hosts — ride
+    # along without affecting resume)
+    records = [json.loads(line) for line in
+               journal.read_text(encoding="utf-8").splitlines()]
+    assert records[0]["record"] == "header"
+    kinds = [r["record"] for r in records]
+    assert kinds.count("outcome") == len(seeds)
+    assert set(kinds) <= {"header", "outcome", "note"}
 
 
 @pytest.mark.skipif((os.cpu_count() or 1) < 4,

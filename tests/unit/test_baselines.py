@@ -1,8 +1,7 @@
 """Unit tests for the YARN / Mesos / Hadoop-1.0 baseline schedulers."""
 
-from repro.baselines.hadoop10 import Hadoop10Scheduler, SlotRequest
-from repro.baselines.mesos import MesosFramework, MesosMaster
-from repro.baselines.yarn import YarnRequest, YarnScheduler
+from repro.baselines import (Hadoop10Scheduler, MesosFramework, MesosMaster,
+                             SlotRequest, YarnRequest, YarnScheduler)
 from repro.core.resources import ResourceVector
 
 SLOT = ResourceVector.of(cpu=100, memory=1024)
