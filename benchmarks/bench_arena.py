@@ -29,6 +29,10 @@ Usage::
     # CI-sized grid (6 cells, all six policies), recorded under modes.quick
     python benchmarks/bench_arena.py --quick --record
 
+    # paper-scale grid (6 cells on the 5,000-machine bench_scale shape),
+    # recorded under modes.scale
+    python benchmarks/bench_arena.py --scale --record
+
     # CI determinism gate against the committed numbers
     python benchmarks/bench_arena.py --quick --check BENCH_arena.json
 
@@ -59,6 +63,15 @@ FULL = dict(racks=4, machines_per_rack=(10, 20), mixes=("paper", "large"),
 #: CI-sized grid: 6 policies x 1 size x 1 mix = 6 cells, well under a minute
 QUICK = dict(racks=2, machines_per_rack=(5,), mixes=("paper",),
              jobs=8, duration=30.0, scale=100)
+#: paper-scale grid: every policy on ``bench_scale_5000``'s 5,000-machine
+#: cluster shape (100 racks x 50), one mix, 6 cells — the tier where
+#: policy differences (locality hit-rate above all) stop being noise
+SCALE = dict(racks=100, machines_per_rack=(50,), mixes=("paper",),
+             jobs=200, duration=30.0, scale=100)
+
+#: BENCH_arena.json schema: 2 adds the paper-scale mode ("scale") and the
+#: input-locality hints that make ``locality_hit_rate`` differentiate cells
+SCHEMA = 2
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -66,6 +79,9 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized grid (6 cells: all six policies, "
                              "one cluster size, one mix)")
+    parser.add_argument("--scale", action="store_true",
+                        help="paper-scale grid (6 cells: all six policies "
+                             "on the 5,000-machine bench_scale shape)")
     parser.add_argument("--seed", type=int, default=7,
                         help="the shared per-cell seed (default 7)")
     parser.add_argument("--jobs", type=int, default=2, metavar="N",
@@ -181,7 +197,7 @@ def store(path: str, mode: str, result: dict) -> None:
     p = pathlib.Path(path)
     doc = json.loads(p.read_text(encoding="utf-8")) if p.exists() else {}
     doc.setdefault("bench", "arena")
-    doc.setdefault("schema", 1)
+    doc["schema"] = SCHEMA
     doc.setdefault("modes", {})[mode] = result
     p.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
                  encoding="utf-8")
@@ -247,8 +263,11 @@ def render(result: dict) -> str:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    preset = QUICK if args.quick else FULL
-    mode = "quick" if args.quick else "full"
+    if args.quick and args.scale:
+        print("--quick and --scale are mutually exclusive", file=sys.stderr)
+        return 2
+    preset = SCALE if args.scale else (QUICK if args.quick else FULL)
+    mode = "scale" if args.scale else ("quick" if args.quick else "full")
     result = run_grid(preset, args.seed, args.jobs)
     print(render(result))
     if args.check:

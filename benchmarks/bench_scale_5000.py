@@ -33,6 +33,12 @@ Usage::
     python benchmarks/bench_scale_5000.py --quick --sweep 8 --sweep-jobs 4 \
         --record current
 
+    # sharded engine leg (byte-identical results, parallel inside one run)
+    python benchmarks/bench_scale_5000.py --shards 4 --record sharded
+
+    # 20,000-machine run — the tier the sharded engine targets
+    python benchmarks/bench_scale_5000.py --xl --shards 4 --record sharded
+
     # telemetry cost + per-subsystem attribution (hooks stay off for
     # --check legs; the committed numbers are hook-free)
     python benchmarks/bench_scale_5000.py --quick --live-sample --profile
@@ -61,12 +67,29 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 FULL = dict(racks=100, machines_per_rack=50, jobs=1000, duration=60.0)
 #: CI-sized smoke: same shape, ~10x smaller, finishes in well under a minute
 QUICK = dict(racks=25, machines_per_rack=20, jobs=150, duration=20.0)
+#: beyond-paper scale: 20,000 machines — the tier the sharded engine exists
+#: for; shorter steady state so the leg stays recordable on small hosts
+XL = dict(racks=200, machines_per_rack=100, jobs=400, duration=15.0)
+
+#: BENCH_scale.json schema: 2 adds host_cpu_count + worker/shard counts to
+#: every leg, the ``sharded`` label and the ``xl`` (20k-machine) mode
+SCHEMA = 2
 
 
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized run (~500 machines / 150 jobs)")
+    parser.add_argument("--xl", action="store_true",
+                        help="20,000-machine run (4x paper scale; the "
+                             "sharded engine's target tier)")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="run the sharded engine with N agent-plane "
+                             "domains (0 = serial; results are "
+                             "byte-identical either way)")
+    parser.add_argument("--shard-backend", default="auto",
+                        choices=("auto", "process", "inline"),
+                        help="shard execution backend (default auto)")
     parser.add_argument("--racks", type=int, default=None)
     parser.add_argument("--machines-per-rack", type=int, default=None)
     parser.add_argument("--jobs", type=int, default=None,
@@ -82,9 +105,11 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="attach the per-subsystem profiler and add "
                              "its wall/event attribution to the result "
                              "under 'profile'")
-    parser.add_argument("--record", choices=("baseline", "current"),
+    parser.add_argument("--record", choices=("baseline", "current",
+                                             "sharded"),
                         default=None,
-                        help="store this run under the given label in --out")
+                        help="store this run under the given label in --out "
+                             "(sharded requires --shards)")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_scale.json"))
     parser.add_argument("--fig09-out", default=None,
                         help="write the Figure-9 shape-claim check here "
@@ -108,16 +133,19 @@ def parse_args(argv=None) -> argparse.Namespace:
 
 def run_benchmark(racks: int, machines_per_rack: int, jobs: int,
                   duration: float, seed: int,
-                  live_sample: bool = False, profile: bool = False) -> dict:
+                  live_sample: bool = False, profile: bool = False,
+                  shards: int = 0, shard_backend: str = "auto") -> dict:
     """One closed-loop synthetic run; returns the measured result dict."""
     from repro.api import RunSpec, simulate
 
     spec = RunSpec(racks=racks, machines_per_rack=machines_per_rack,
                    concurrent_jobs=jobs, duration=duration,
-                   live_sample=live_sample, profile=profile)
+                   live_sample=live_sample, profile=profile,
+                   shards=shards, shard_backend=shard_backend)
     machines = racks * machines_per_rack
     extras = "".join(f" [{name}]" for name, on in
-                     (("live-sample", live_sample), ("profile", profile))
+                     (("live-sample", live_sample), ("profile", profile),
+                      (f"shards={shards}", shards > 0))
                      if on)
     print(f"running {machines} machines / {jobs} concurrent jobs / "
           f"{duration:.0f}s steady state (seed {seed}){extras} ...",
@@ -126,6 +154,7 @@ def run_benchmark(racks: int, machines_per_rack: int, jobs: int,
     result = simulate(spec, seed=seed, trace=False)
     wall = time.perf_counter() - started
     loop = result.cluster.loop
+    events_total = result.cluster.events_total
     series = result.metrics.series("fm.schedule_ms")
     values = series.values()
     half = len(values) // 2
@@ -143,8 +172,16 @@ def run_benchmark(racks: int, machines_per_rack: int, jobs: int,
         "seed": seed,
         "wall_seconds": round(wall, 3),
         "sim_seconds": round(loop.now, 3),
-        "events": loop.events_executed,
-        "events_per_sec": round(loop.events_executed / wall, 1),
+        "events": events_total,
+        "events_per_sec": round(events_total / wall, 1),
+        # execution shape: worker processes driving the run, agent-plane
+        # shard count (0 = serial engine); "auto" backends report what
+        # they resolved to
+        "workers": (1 + shards if shards
+                    and result.cluster.resolved_backend == "process" else 1),
+        "shards": shards,
+        "shard_backend": (result.cluster.resolved_backend if shards
+                          else "serial"),
         "sched_requests": int(result.metrics.counter("fm.requests")),
         "grants": int(result.metrics.counter("fm.grants")),
         "jobs_completed": result.jobs_completed,
@@ -207,6 +244,7 @@ def run_sweep_benchmark(racks: int, machines_per_rack: int, jobs: int,
         "duration_sim_s": duration,
         "host_cpu_count": timing["host_cpu_count"],
         "workers": timing["workers"],
+        "shards": 0,  # sweeps parallelise across runs, not inside one
         "serial_wall_seconds": round(serial.wall_seconds, 3),
         "parallel_wall_seconds": round(pooled.wall_seconds, 3),
         "speedup": round(speedup, 2),
@@ -249,7 +287,7 @@ def load_json(path: str) -> dict:
 def store(path: str, mode: str, label: str, result: dict) -> dict:
     doc = load_json(path)
     doc.setdefault("bench", "scale")
-    doc.setdefault("schema", 1)
+    doc["schema"] = SCHEMA
     modes = doc.setdefault("modes", {})
     entry = modes.setdefault(mode, {})
     entry[label] = result
@@ -258,6 +296,13 @@ def store(path: str, mode: str, label: str, result: dict) -> dict:
         if cur["wall_seconds"] > 0:
             entry["speedup"] = round(
                 base["wall_seconds"] / cur["wall_seconds"], 2)
+    if "current" in entry and "sharded" in entry:
+        serial, sharded = entry["current"], entry["sharded"]
+        if serial["events_per_sec"] > 0:
+            # throughput ratio, not wall: sharded legs may run a shape the
+            # serial leg records at a different duration
+            entry["shard_throughput_ratio"] = round(
+                sharded["events_per_sec"] / serial["events_per_sec"], 2)
     pathlib.Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True)
                                   + "\n", encoding="utf-8")
     return doc
@@ -292,14 +337,25 @@ def check_regression(path: str, mode: str, result: dict,
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    preset = QUICK if args.quick else FULL
+    if args.quick and args.xl:
+        print("--quick and --xl are mutually exclusive", file=sys.stderr)
+        return 2
+    preset = XL if args.xl else (QUICK if args.quick else FULL)
     racks = args.racks or preset["racks"]
     machines_per_rack = args.machines_per_rack or preset["machines_per_rack"]
     jobs = args.jobs or preset["jobs"]
     duration = args.duration or preset["duration"]
     custom = (args.racks or args.machines_per_rack or args.jobs
               or args.duration)
-    mode = "custom" if custom else ("quick" if args.quick else "full")
+    mode = "custom" if custom else (
+        "xl" if args.xl else ("quick" if args.quick else "full"))
+    if args.record == "sharded" and not args.shards:
+        print("--record sharded requires --shards N", file=sys.stderr)
+        return 2
+    if args.check and args.shards:
+        # committed wall-clock gates are serial-engine numbers
+        print("--check cannot be combined with --shards", file=sys.stderr)
+        return 2
 
     if args.sweep is not None:
         if args.sweep < 2:
@@ -341,7 +397,8 @@ def main(argv=None) -> int:
 
     result = run_benchmark(racks, machines_per_rack, jobs, duration,
                            args.seed, live_sample=args.live_sample,
-                           profile=args.profile)
+                           profile=args.profile, shards=args.shards,
+                           shard_backend=args.shard_backend)
     print(json.dumps(result, indent=2))
 
     claims = fig09_claims(result)

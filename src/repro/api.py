@@ -45,7 +45,8 @@ from repro.core.scheduler import SchedulerConfig
 from repro.jobs.dag import critical_path_length
 from repro.sim.gctune import collect_young, deferred_gc
 from repro.workloads.synthetic import (MIXES, SyntheticWorkload,
-                                       SyntheticWorkloadConfig)
+                                       SyntheticWorkloadConfig,
+                                       ensure_input_files)
 
 __all__ = ["ClusterBuilder", "RunSpec", "RunResult", "simulate",
            "FuxiCluster", "SchedulerConfig"]
@@ -75,6 +76,9 @@ class RunSpec(ConfigBase):
                              help="synthetic shape mix (paper/small/large)",
                              choices=tuple(sorted(MIXES)))
     workers_cap: int = conf(12, help="max workers per job", min=1)
+    hint_fraction: float = conf(
+        -1.0, help="fraction of jobs carrying input-locality hints "
+                   "(-1 = the workload mix's preset)", min=-1.0)
     policy: str = conf("fuxi",
                        help="scheduler policy (a repro.core.policy registry "
                             "name: fuxi, yarn, mesos, hadoop10, size-based, "
@@ -105,12 +109,41 @@ class RunSpec(ConfigBase):
         True, help="freeze the setup heap and defer GC to slice "
                    "boundaries (kills multi-hundred-ms collection pauses "
                    "inside timed scheduling sections)")
+    shards: int = conf(
+        0, help="split the agent plane across N event-loop domains and run "
+                "them in parallel inside this one simulation (0 = serial); "
+                "results are byte-identical to the serial engine", min=0)
+    shard_backend: str = conf(
+        "auto", help="shard execution backend: forked processes, inline "
+                     "(same-process reference), or auto-pick by CPU count",
+        choices=("auto", "process", "inline"))
+    fault_spec: str = conf(
+        "", help="semicolon-separated fault plan applied to the run, "
+                 "kind@time[:machine][:key=value] tokens "
+                 "(e.g. 'NodeDown@20:r00m003;MasterFailure@40')",
+        cli="--faults")
 
     def validate(self) -> None:
         super().validate()
         # Registry-backed, so third-party register_policy() extensions are
         # accepted and a typo fails with the list of registered names.
         validate_policy_name(self.policy)
+        if self.shards:
+            if self.shards > self.machines:
+                raise ValueError(f"shards={self.shards} exceeds the "
+                                 f"{self.machines}-machine cluster")
+            for knob in ("live_sample", "flight_recorder", "profile"):
+                if getattr(self, knob):
+                    raise ValueError(f"{knob} requires the serial engine "
+                                     f"(shards=0): it reads live cluster "
+                                     f"state the shard domains own")
+        if self.fault_spec:
+            from repro.cluster.faults import FaultPlan
+            FaultPlan.from_spec(self.fault_spec)  # raises on junk
+        if self.hint_fraction != -1.0 \
+                and not 0.0 <= self.hint_fraction <= 1.0:
+            raise ValueError(f"hint_fraction must be in [0, 1] or -1 for "
+                             f"the mix preset, got {self.hint_fraction}")
 
     @property
     def machines(self) -> int:
@@ -177,16 +210,28 @@ class RunResult:
         This is the payload the parallel sweep engine ships back from
         worker processes instead of the (unpicklable) live cluster.
         """
-        loop = self.cluster.loop
+        # Execution-shape knobs are dropped from the spec echo: a sharded
+        # run must produce the byte-identical summary to its serial oracle,
+        # and shards/backend change how the run executes, not what it is.
+        spec_dict = self.spec.to_dict()
+        spec_dict.pop("shards", None)
+        spec_dict.pop("shard_backend", None)
         summary = {
-            "spec": self.spec.to_dict(),
+            "spec": spec_dict,
             "seed": self.spec.seed,
             "jobs_submitted": len(self.submitted),
             "jobs_completed": self.jobs_completed,
-            "sim_seconds": round(loop.now, 6),
-            "events": loop.events_executed,
+            "sim_seconds": round(self.cluster.loop.now, 6),
+            "events": self.cluster.events_total,
             "sched_requests": int(self.metrics.counter("fm.requests")),
             "grants": int(self.metrics.counter("fm.grants")),
+            # FNV-1a fold over every disseminated grant, per master: equal
+            # digests certify the full grant streams were identical.
+            "grant_stream": [
+                {"master": master.name,
+                 "digest": f"{master.grant_stream_digest:016x}",
+                 "grants": master.grants_disseminated}
+                for master in self.cluster.masters],
         }
         primary = self.cluster.primary_master
         if primary is not None and primary.scheduler is not None:
@@ -262,7 +307,8 @@ class ClusterBuilder:
                  master_config: Optional[FuxiMasterConfig] = None,
                  agent_config: Optional[FuxiAgentConfig] = None,
                  app_master_config: Optional[AppMasterConfig] = None,
-                 policy: Optional[str] = None):
+                 policy: Optional[str] = None,
+                 shards: int = 0, shard_backend: str = "auto"):
         self._racks = racks
         self._machines_per_rack = machines_per_rack
         self._machine_cpu = machine_cpu
@@ -275,8 +321,17 @@ class ClusterBuilder:
         self._agent_config = agent_config
         self._app_master_config = app_master_config
         self._policy = validate_policy_name(policy) if policy else None
+        self._shards = shards
+        self._shard_backend = shard_backend
 
     # fluent setters ---------------------------------------------------- #
+
+    def shards(self, count: int, backend: str = "auto") -> "ClusterBuilder":
+        """Shard the agent plane across ``count`` event-loop domains
+        (0 restores the serial engine).  Byte-identical results either way."""
+        self._shards = count
+        self._shard_backend = backend
+        return self
 
     def topology(self, racks: int, machines_per_rack: int) -> "ClusterBuilder":
         self._racks = racks
@@ -344,6 +399,8 @@ class ClusterBuilder:
             "trace": self._trace,
             "standby_master": self._standby_master,
             "policy": self._policy,
+            "shards": self._shards,
+            "shard_backend": self._shard_backend,
         }
 
     @classmethod
@@ -364,13 +421,18 @@ class ClusterBuilder:
             master_config = master_config or FuxiMasterConfig()
             master_config.scheduler = master_config.scheduler.replace(
                 policy=self._policy)
-        cluster = FuxiCluster(topology, seed=self._seed,
-                              network=self._network,
-                              master_config=master_config,
-                              agent_config=self._agent_config,
-                              app_master_config=self._app_master_config,
-                              standby_master=self._standby_master,
-                              trace=self._trace)
+        kwargs = dict(seed=self._seed, network=self._network,
+                      master_config=master_config,
+                      agent_config=self._agent_config,
+                      app_master_config=self._app_master_config,
+                      standby_master=self._standby_master,
+                      trace=self._trace)
+        if self._shards:
+            from repro.shard import ShardedCluster
+            cluster = ShardedCluster(topology, shards=self._shards,
+                                     backend=self._shard_backend, **kwargs)
+        else:
+            cluster = FuxiCluster(topology, **kwargs)
         if warm_up:
             cluster.warm_up()
         return cluster
@@ -415,8 +477,16 @@ def simulate(spec: Optional[RunSpec] = None, *,
                               policy=(spec.policy
                                       if spec.policy != "fuxi" else None),
                               agent_config=FuxiAgentConfig(
-                                  worker_start_delay=spec.worker_start_delay))
+                                  worker_start_delay=spec.worker_start_delay),
+                              shards=spec.shards,
+                              shard_backend=spec.shard_backend)
                .build(warm_up=False))
+    # Fault plan before the sampler kick: shard domains replay the same
+    # construction order (agents, faults, sampler), so same-instant events
+    # tie-break identically to the serial heap.
+    if spec.fault_spec:
+        from repro.cluster.faults import FaultPlan
+        cluster.schedule_faults(FaultPlan.from_spec(spec.fault_spec))
     cluster.enable_utilization_sampling(spec.utilization_sample_interval)
     if spec.live_sample:
         sampler = cluster.enable_live_sampler(spec.live_sample_interval)
@@ -432,13 +502,17 @@ def simulate(spec: Optional[RunSpec] = None, *,
         SyntheticWorkloadConfig(concurrent_jobs=spec.concurrent_jobs,
                                 scale=spec.workload_scale,
                                 workers_cap=spec.workers_cap,
-                                mix=spec.workload_mix),
+                                mix=spec.workload_mix,
+                                hint_fraction=spec.hint_fraction),
         cluster.rng)
     result = RunResult(cluster=cluster, spec=spec)
     ideals: Dict[str, float] = {}
 
     def submit_one() -> None:
         job = workload.next_job()
+        # place hinted input files before submit so the job master's
+        # locality lookup sees their block replica map
+        ensure_input_files(cluster.blockstore, job)
         app_id = cluster.submit_job(
             job, description_overrides={"am_start_delay":
                                         spec.am_start_delay})
@@ -485,4 +559,9 @@ def simulate(spec: Optional[RunSpec] = None, *,
                 "spec": spec.to_dict(),
             })
         raise
+    finally:
+        # Serial: no-op.  Sharded: absorb shard trace records and join the
+        # worker processes — also on the exception path, so a crashed run
+        # never leaks forked shards.
+        cluster.finalize()
     return result

@@ -77,7 +77,6 @@ class FuxiAgent(Actor):
         self.allocations: Dict[UnitKey, int] = {}
         self._book_version = 0
         self._book_digest = 0
-        self._heartbeat: Optional[msg.AgentHeartbeat] = None
         # running workers: worker_id -> plan; plus per-unit worker sets
         self.workers: Dict[str, msg.WorkPlan] = {}
         self._workers_by_unit: Dict[UnitKey, Set[str]] = {}
@@ -115,15 +114,14 @@ class FuxiAgent(Actor):
     def _send_heartbeat(self) -> None:
         if not self.alive:
             return
-        beat = self._heartbeat
-        if beat is None:
-            beat = self._heartbeat = msg.AgentHeartbeat(
-                machine=self.machine, rack=self.rack, capacity=self.capacity)
-        beat.capacity = self.capacity  # "can be changed at any time" (§3.2.1)
-        beat.health_sample = self.machine_state.health_sample()
-        beat.book_version = self._book_version
-        beat.book_digest = self._book_digest
-        self.send(self.config.master_address, beat)
+        # Fresh object per beat: heartbeats must be value snapshots so the
+        # sharded engine can pickle them across the process boundary.
+        self.send(self.config.master_address, msg.AgentHeartbeat(
+            machine=self.machine, rack=self.rack,
+            capacity=self.capacity,  # "can be changed at any time" (§3.2.1)
+            health_sample=self.machine_state.health_sample(),
+            book_version=self._book_version,
+            book_digest=self._book_digest))
 
     # ------------------------------------------------------------------ #
     # message handling
@@ -352,16 +350,17 @@ class FuxiAgent(Actor):
     def _handle_launch_app_master(self, sender: str, message: msg.LaunchAppMaster) -> None:
         if self.machine_state.launch_failures:
             return  # master's AM heartbeat timeout will pick a new agent
-        runtime = getattr(self, "runtime", None)
-        if runtime is None:
-            return
         incarnation = self._incarnation
         delay = message.description.get("am_start_delay", 0.2)
 
         def start() -> None:
             if not self.alive or incarnation != self._incarnation:
                 return
-            runtime.start_app_master(message.app_id, message.description, self.machine)
+            # The AM actor is constructed by the cluster services actor
+            # (it lives with the scheduler, possibly in another process
+            # than this agent), so the "fork" is a message, not a call.
+            self.send("cluster-svc", msg.AppMasterSpawn(
+                message.app_id, message.description, self.machine))
             self.send(self.config.master_address,
                       msg.AppMasterStarted(message.app_id, self.machine))
 

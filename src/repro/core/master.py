@@ -85,6 +85,12 @@ class FuxiMaster(Actor):
                                     grace_seconds=self.config.health_grace)
         self.recovering = False
         self.failovers = 0
+        # Running FNV-1a fold over every disseminated grant, in send order.
+        # Scheduling runs only on the coordinator under sharding, so equal
+        # digests certify the sharded run issued the *identical* grant
+        # stream as the serial oracle (the PR 9 byte-identity gate).
+        self.grant_stream_digest = 0xCBF29CE484222325
+        self.grants_disseminated = 0
         self._last_agent_seen: Dict[str, float] = {}
         self._last_app_seen: Dict[str, float] = {}
         self._app_master_machine: Dict[str, str] = {}
@@ -733,6 +739,16 @@ class FuxiMaster(Actor):
         """
         if not decisions and not agent_only:
             return
+        digest = self.grant_stream_digest
+        now = self.loop.now
+        for grant in decisions:
+            chunk = (f"{now!r}|{grant.unit_key.app_id}|"
+                     f"{grant.unit_key.slot_id}|{grant.machine}|"
+                     f"{grant.count}").encode("utf-8")
+            for byte in chunk:
+                digest = (digest ^ byte) * 0x100000001B3 & 0xFFFFFFFFFFFFFFFF
+            self.grants_disseminated += 1
+        self.grant_stream_digest = digest
         by_app: Dict[str, List[Grant]] = {}
         by_machine: Dict[str, List[Grant]] = {}
         for grant in decisions:

@@ -137,11 +137,9 @@ class AgentHeartbeat:
     (version, digest) pair additionally certifies the books have not moved
     between beats.
 
-    Mutable (unlike the other messages): an agent reuses one heartbeat
-    object across beats, refreshing the volatile fields in place.  The
-    in-process bus delivers references, so a late-delivered heartbeat shows
-    the agent's *current* snapshot — which is exactly what the safety sync
-    wants to compare, and deterministic either way.
+    Agents build a fresh heartbeat per beat: the sharded engine pickles
+    in-flight messages across a process boundary, so a heartbeat must be a
+    value snapshot at send time, not a reference into mutable agent state.
     """
 
     machine: str
@@ -193,6 +191,21 @@ class AppMasterStarted:
     """Agent -> FuxiMaster: the app master process is up."""
 
     app_id: str
+    machine: str
+
+
+@dataclass(frozen=True, slots=True)
+class AppMasterSpawn:
+    """Agent -> cluster services: instantiate the app-master actor.
+
+    In the real system the agent forks the AM process locally; in the
+    simulation the AM actor object must live where the scheduler lives
+    (the coordinator, under sharding), so the agent asks the cluster's
+    service actor to construct it instead of reaching into the runtime.
+    """
+
+    app_id: str
+    description: dict
     machine: str
 
 

@@ -1,0 +1,133 @@
+"""Shard execution backends: same-process (inline) and forked workers.
+
+Both backends expose the same three-call window protocol the coordinator
+drives:
+
+- ``go(barrier, inboxes)``  — open window ``k``: hand every shard its
+  boundary messages and the barrier time.  With the process backend the
+  shards start computing immediately, concurrently with the coordinator's
+  own window.
+- ``collect()``             — block until every shard reports DONE for the
+  open window; returns per-shard ``(outbox, util_rows, events_executed)``.
+- ``finalize()``            — end of run: per-shard ``(trace_records,
+  events_executed)``; the process backend also joins its workers.
+
+The inline host runs each shard's window lazily inside ``collect()`` —
+sequentially, in shard order — and produces *bit-identical* results to the
+process host, because domains are fully independent between barriers.  It
+is the debuggable reference backend (and the only one with cross-domain
+stack traces); the process host is the one that actually buys wall-clock
+parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional
+
+from repro.shard.domain import DomainSpec, ShardDomain, shard_worker_main
+
+
+class ShardHostError(RuntimeError):
+    """A shard worker failed; carries the remote traceback when available."""
+
+
+class InlineShardHost:
+    """All domains in the coordinator process; windows run at collect()."""
+
+    parallel = False
+    name = "inline"
+
+    def __init__(self, specs: List[DomainSpec]):
+        self.domains = [ShardDomain(spec) for spec in specs]
+        self._pending: Optional[tuple] = None
+
+    def go(self, barrier: float, inboxes: List[list]) -> None:
+        self._pending = (barrier, inboxes)
+
+    def collect(self) -> List[tuple]:
+        barrier, inboxes = self._pending
+        self._pending = None
+        return [domain.advance(barrier, inbox)
+                for domain, inbox in zip(self.domains, inboxes)]
+
+    def finalize(self) -> List[tuple]:
+        return [domain.final() for domain in self.domains]
+
+
+class ProcessShardHost:
+    """One forked worker per shard, window messages over pipes.
+
+    ``fork`` is required (and asserted): the DomainSpec — which embeds the
+    topology — travels by address-space inheritance, and only boundary
+    envelopes cross the pipes afterwards.
+    """
+
+    parallel = True
+    name = "process"
+
+    def __init__(self, specs: List[DomainSpec]):
+        ctx = multiprocessing.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for spec in specs:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=shard_worker_main, args=(child, spec),
+                               daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def go(self, barrier: float, inboxes: List[list]) -> None:
+        for conn, inbox in zip(self._conns, inboxes):
+            conn.send(("go", barrier, inbox))
+
+    def collect(self) -> List[tuple]:
+        return [self._recv(conn, "done") for conn in self._conns]
+
+    def finalize(self) -> List[tuple]:
+        reports = []
+        for conn in self._conns:
+            try:
+                conn.send(("final",))
+                reports.append(self._recv(conn, "final"))
+                conn.send(("stop",))
+            except (OSError, EOFError, ShardHostError):
+                reports.append(([], 0))
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        return reports
+
+    def _recv(self, conn, expect: str) -> tuple:
+        try:
+            reply = conn.recv()
+        except EOFError as exc:
+            raise ShardHostError("shard worker died mid-window") from exc
+        if reply[0] == "error":
+            raise ShardHostError(f"shard worker failed:\n{reply[1]}")
+        if reply[0] != expect:
+            raise ShardHostError(f"protocol error: expected {expect!r}, "
+                                 f"got {reply[0]!r}")
+        return reply[1:]
+
+
+def make_host(backend: str, specs: List[DomainSpec]):
+    """Build the requested backend; ``auto`` forks when the host has >1 CPU
+    and ``fork`` is available (otherwise the inline reference backend)."""
+    if backend == "auto":
+        can_fork = "fork" in multiprocessing.get_all_start_methods()
+        backend = ("process" if can_fork
+                   and (multiprocessing.cpu_count() or 1) > 1 else "inline")
+    if backend == "process":
+        return ProcessShardHost(specs)
+    if backend == "inline":
+        return InlineShardHost(specs)
+    raise ValueError(f"unknown shard backend {backend!r}")

@@ -40,6 +40,17 @@ MIXES: "dict[str, Tuple[Tuple[int, int], ...]]" = {
     "large": PAPER_SHAPES[3:],
 }
 
+#: per-mix default fraction of jobs carrying an input-locality hint — an
+#: input file whose block placement feeds the scheduler's machine hints.
+#: Long-job mixes hint more (big scans are where Pangu locality pays);
+#: the rest of the jobs stay hint-free so ``locality_hit_rate`` reflects
+#: how each arena policy spends scarce placement freedom, not a constant.
+HINT_FRACTIONS: "dict[str, float]" = {
+    "paper": 0.5,
+    "small": 0.25,
+    "large": 0.75,
+}
+
 
 def mapreduce_job(name: str, mappers: int, reducers: int,
                   map_duration: float = 4.0, reduce_duration: float = 6.0,
@@ -79,11 +90,23 @@ class SyntheticWorkloadConfig:
     workers_cap: int = 30
     seed_stream: str = "synthetic"
     mix: str = "paper"
+    #: fraction of jobs given an input file (locality hints); -1 selects
+    #: the mix's preset from :data:`HINT_FRACTIONS`
+    hint_fraction: float = -1.0
 
     def __post_init__(self) -> None:
         if self.mix not in MIXES:
             raise ValueError(f"unknown workload mix {self.mix!r}; "
                              f"known mixes: {', '.join(sorted(MIXES))}")
+        if self.hint_fraction != -1.0 and not 0.0 <= self.hint_fraction <= 1.0:
+            raise ValueError(f"hint_fraction must be in [0, 1] or -1 for "
+                             f"the mix preset, got {self.hint_fraction}")
+
+    @property
+    def effective_hint_fraction(self) -> float:
+        if self.hint_fraction >= 0.0:
+            return self.hint_fraction
+        return HINT_FRACTIONS[self.mix]
 
 
 class SyntheticWorkload:
@@ -93,6 +116,9 @@ class SyntheticWorkload:
                  rng: SplitRandom) -> None:
         self.config = config
         self._rng = rng.stream(config.seed_stream)
+        # hint decisions live on a sibling stream so turning hints on or
+        # off never perturbs the job shape/duration draw sequence
+        self._hint_rng = rng.stream(config.seed_stream + ".locality")
         self._shapes = MIXES[config.mix]
         self._seq = 0
 
@@ -107,12 +133,15 @@ class SyntheticWorkload:
             self._rng,
             mean=_log_mean(self.config.mean_duration), sigma=0.6,
             low=self.config.min_duration, high=self.config.max_duration)
+        name = f"{kind}-{self._seq:05d}"
+        hinted = self._hint_rng.random() < self.config.effective_hint_fraction
         return mapreduce_job(
-            name=f"{kind}-{self._seq:05d}",
+            name=name,
             mappers=mappers, reducers=reducers,
             map_duration=duration,
             reduce_duration=duration * 1.5,
             workers_per_task=min(self.config.workers_cap, mappers),
+            input_file=f"pangu://input/{name}" if hinted else "",
         )
 
     def initial_batch(self) -> List[JobSpec]:
@@ -121,6 +150,22 @@ class SyntheticWorkload:
     def jobs(self, count: int) -> Iterator[JobSpec]:
         for _ in range(count):
             yield self.next_job()
+
+
+def ensure_input_files(blockstore, job: JobSpec) -> None:
+    """Materialise ``job``'s input files in the block store before submit.
+
+    Sized at one block per instance of the consuming task, so the block
+    replica map yields exactly one placement hint per mapper — the shape
+    the job master's ``_locality_for`` translates into machine hints.
+    Files that already exist (shared inputs) are left alone.
+    """
+    for path, task in job.input_files:
+        if blockstore.exists(path):
+            continue
+        instances = job.tasks[task].instances if task in job.tasks else 1
+        blockstore.create_file(
+            path, size_mb=max(1, instances) * blockstore.block_size_mb)
 
 
 def _log_mean(mean: float) -> float:

@@ -101,3 +101,63 @@ def test_graysort_entries_sane():
         assert entry.published_seconds > 0
         assert entry.disk_bw_node > 0
         assert entry.published_tb_per_min > 0
+
+
+def test_hint_fraction_presets_and_override():
+    import pytest
+    from repro.workloads.synthetic import HINT_FRACTIONS, MIXES
+    assert set(HINT_FRACTIONS) == set(MIXES)
+    preset = SyntheticWorkloadConfig(mix="large")
+    assert preset.effective_hint_fraction == HINT_FRACTIONS["large"]
+    override = SyntheticWorkloadConfig(mix="large", hint_fraction=0.1)
+    assert override.effective_hint_fraction == 0.1
+    with pytest.raises(ValueError):
+        SyntheticWorkloadConfig(hint_fraction=1.5)
+
+
+def test_hinted_jobs_carry_input_files_deterministically():
+    def inputs(seed):
+        workload = SyntheticWorkload(
+            SyntheticWorkloadConfig(hint_fraction=0.5), SplitRandom(seed))
+        return [job.input_files for job in workload.jobs(40)]
+    first = inputs(3)
+    assert first == inputs(3)
+    hinted = [files for files in first if files]
+    assert 0 < len(hinted) < 40
+    for files in hinted:
+        (path, task), = files
+        assert task == "map"
+        assert path.startswith("pangu://input/")
+
+
+def test_hint_fraction_zero_and_one():
+    none = SyntheticWorkload(
+        SyntheticWorkloadConfig(hint_fraction=0.0), SplitRandom(1))
+    assert all(not job.input_files for job in none.jobs(12))
+    every = SyntheticWorkload(
+        SyntheticWorkloadConfig(hint_fraction=1.0), SplitRandom(1))
+    assert all(job.input_files for job in every.jobs(12))
+
+
+def test_hints_do_not_perturb_job_draws():
+    def shapes(fraction):
+        workload = SyntheticWorkload(
+            SyntheticWorkloadConfig(hint_fraction=fraction), SplitRandom(9))
+        return [(job.name, job.tasks["map"].instances,
+                 job.tasks["map"].duration) for job in workload.jobs(20)]
+    assert shapes(0.0) == shapes(1.0)  # hints ride a sibling RNG stream
+
+
+def test_ensure_input_files_places_one_block_per_mapper():
+    from repro.cluster.blockstore import BlockStore
+    from repro.workloads.synthetic import ensure_input_files
+    machines = [f"r00m{i:03d}" for i in range(6)]
+    store = BlockStore(machines, {m: "r00" for m in machines},
+                       rng=SplitRandom(4))
+    job = mapreduce_job("wc-1", mappers=5, reducers=2,
+                        input_file="pangu://input/wc-1")
+    ensure_input_files(store, job)
+    assert store.exists("pangu://input/wc-1")
+    assert len(store.blocks("pangu://input/wc-1")) == 5
+    ensure_input_files(store, job)  # idempotent: existing files untouched
+    assert len(store.blocks("pangu://input/wc-1")) == 5
