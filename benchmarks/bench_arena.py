@@ -36,6 +36,9 @@ Usage::
     # CI determinism gate against the committed numbers
     python benchmarks/bench_arena.py --quick --check BENCH_arena.json
 
+    # self-contained HTML/SVG chart of the committed full grid
+    python benchmarks/bench_arena.py --chart
+
 Exit codes: 0 ok, 2 bad arguments / missing committed numbers for
 --check, 3 determinism drift (a cell no longer reproduces its committed
 digest, or the pooled merge differs from the serial one).
@@ -69,9 +72,10 @@ QUICK = dict(racks=2, machines_per_rack=(5,), mixes=("paper",),
 SCALE = dict(racks=100, machines_per_rack=(50,), mixes=("paper",),
              jobs=200, duration=30.0, scale=100)
 
-#: BENCH_arena.json schema: 2 adds the paper-scale mode ("scale") and the
+#: BENCH_arena.json schema: 3 adds kernel backend + numpy provenance to
+#: every mode; 2 added the paper-scale mode ("scale") and the
 #: input-locality hints that make ``locality_hit_rate`` differentiate cells
-SCHEMA = 2
+SCHEMA = 3
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -93,6 +97,13 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--check", metavar="FILE", default=None,
                         help="re-run the grid and exit 3 unless every cell "
                              "reproduces the committed digest in FILE")
+    parser.add_argument("--chart", nargs="?", metavar="FILE",
+                        const=str(REPO_ROOT / "BENCH_arena.html"),
+                        default=None,
+                        help="render the committed grid in --out as a self-"
+                             "contained HTML/SVG page (default "
+                             "BENCH_arena.html); alone it skips the grid "
+                             "run, with --record it charts the fresh grid")
     return parser.parse_args(argv)
 
 
@@ -158,6 +169,8 @@ def run_grid(preset: dict, seed: int, jobs: int, say=print) -> dict:
             "schedule_ms": wall_timing,
             "digest": cell_digest(payload),
         })
+    from repro import kernels as kernel_backends
+
     timing = pooled.timing()
     return {
         "grid": {
@@ -178,6 +191,10 @@ def run_grid(preset: dict, seed: int, jobs: int, say=print) -> dict:
         "workers_requested": timing["workers_requested"],
         "wall_seconds": round(wall, 3),
         "python": sys.version.split()[0],
+        # compute-kernel provenance (results are byte-identical across
+        # backends; the wall clock is not)
+        "kernel_backend": kernel_backends.current(),
+        "numpy": kernel_backends.numpy_version(),
     }
 
 
@@ -261,11 +278,255 @@ def render(result: dict) -> str:
     return "\n".join(lines)
 
 
+# --------------------------------------------------------------------- #
+# chart rendering (self-contained HTML/SVG, no external dependencies)
+# --------------------------------------------------------------------- #
+
+#: the two plotted measures: key, section title, subtitle, value formatter
+CHART_MEASURES = (
+    ("slowdown_p50", "Makespan slowdown (p50)",
+     "job makespan over its critical-path lower bound — lower is better",
+     lambda v: f"{v:.2f}×"),
+    ("locality_hit_rate", "Locality hit rate",
+     "fraction of schedule units granted on a hinted machine — "
+     "higher is better",
+     lambda v: f"{100 * v:.0f}%"),
+)
+
+_CHART_CSS = """\
+  :root { color-scheme: light dark; }
+  body {
+    margin: 2rem auto; max-width: 64rem; padding: 0 1rem;
+    font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+    background: var(--page); color: var(--ink);
+  }
+  .viz-root {
+    --page: #f9f9f7; --surface: #fcfcfb; --ink: #0b0b0b;
+    --ink-2: #52514e; --muted: #898781; --grid: #e1e0d9;
+    --baseline: #c3c2b7; --series-1: #2a78d6;
+    --border: rgba(11, 11, 11, 0.10);
+  }
+  @media (prefers-color-scheme: dark) {
+    .viz-root {
+      --page: #0d0d0d; --surface: #1a1a19; --ink: #ffffff;
+      --ink-2: #c3c2b7; --muted: #898781; --grid: #2c2c2a;
+      --baseline: #383835; --series-1: #3987e5;
+      --border: rgba(255, 255, 255, 0.10);
+    }
+  }
+  h1 { font-size: 1.25rem; margin: 0 0 0.25rem; }
+  h2 { font-size: 1rem; margin: 1.75rem 0 0.1rem; }
+  .sub { color: var(--ink-2); font-size: 0.8rem; margin: 0 0 0.75rem; }
+  .facets { display: flex; flex-wrap: wrap; gap: 1rem; }
+  .facet {
+    background: var(--surface); border: 1px solid var(--border);
+    border-radius: 8px; padding: 0.75rem 0.5rem 0.25rem;
+  }
+  .facet h3 {
+    font-size: 0.8rem; font-weight: 600; margin: 0 0 0.25rem 0.5rem;
+    color: var(--ink-2);
+  }
+  svg text { font-family: inherit; }
+  #tip {
+    position: fixed; display: none; pointer-events: none; z-index: 10;
+    background: var(--surface); color: var(--ink);
+    border: 1px solid var(--border); border-radius: 6px;
+    box-shadow: 0 2px 8px rgba(0, 0, 0, 0.15);
+    padding: 0.4rem 0.6rem; font-size: 0.75rem; line-height: 1.5;
+    white-space: pre;
+  }
+  details { margin-top: 2rem; }
+  summary { cursor: pointer; color: var(--ink-2); font-size: 0.85rem; }
+  table {
+    border-collapse: collapse; font-size: 0.75rem; margin-top: 0.75rem;
+  }
+  th, td {
+    padding: 0.25rem 0.75rem; text-align: right;
+    border-bottom: 1px solid var(--grid);
+    font-variant-numeric: tabular-nums;
+  }
+  th:first-child, td:first-child { text-align: left; }
+  th { color: var(--ink-2); font-weight: 600; }
+"""
+
+_CHART_JS = """\
+  var tip = document.getElementById('tip');
+  document.querySelectorAll('[data-tip]').forEach(function (el) {
+    el.addEventListener('mousemove', function (ev) {
+      tip.textContent = el.getAttribute('data-tip');
+      tip.style.display = 'block';
+      var x = Math.min(ev.clientX + 14,
+                       window.innerWidth - tip.offsetWidth - 8);
+      tip.style.left = x + 'px';
+      tip.style.top = (ev.clientY + 14) + 'px';
+    });
+    el.addEventListener('mouseleave', function () {
+      tip.style.display = 'none';
+    });
+  });
+"""
+
+
+def _nice_ceiling(value: float) -> float:
+    """Round up to a clean axis maximum (1/2/2.5/5 x a power of ten)."""
+    if value <= 0:
+        return 1.0
+    import math
+    magnitude = 10.0 ** math.floor(math.log10(value))
+    for step in (1.0, 2.0, 2.5, 5.0, 10.0):
+        if value <= step * magnitude * (1 + 1e-9):
+            return step * magnitude
+    return 10.0 * magnitude  # pragma: no cover - loop always returns
+
+
+def _esc(text) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _facet_svg(cells: list, measure: str, fmt, x_max: float) -> str:
+    """One facet: horizontal slot-1 bars, one per policy, value at tip."""
+    gutter, plot_w, right_pad = 82, 200, 50
+    pitch, bar_h, top = 24, 14, 8
+    width = gutter + plot_w + right_pad
+    axis_y = top + pitch * len(cells) + 4
+    height = axis_y + 18
+    parts = [f'<svg width="{width}" height="{height}" role="img" '
+             f'viewBox="0 0 {width} {height}">']
+    # hairline grid at 0 / half / max, solid, one step off the surface
+    for frac in (0.0, 0.5, 1.0):
+        x = gutter + plot_w * frac
+        parts.append(f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" '
+                     f'y2="{axis_y}" stroke="var(--grid)" '
+                     f'stroke-width="1"/>')
+        parts.append(f'<text x="{x:.1f}" y="{axis_y + 13}" '
+                     f'text-anchor="middle" font-size="10" '
+                     f'fill="var(--muted)">{fmt(x_max * frac)}</text>')
+    parts.append(f'<line x1="{gutter}" y1="{top}" x2="{gutter}" '
+                 f'y2="{axis_y}" stroke="var(--baseline)" '
+                 f'stroke-width="1"/>')
+    for i, cell in enumerate(cells):
+        y = top + i * pitch + (pitch - bar_h) / 2
+        label_y = y + bar_h - 3
+        parts.append(f'<text x="{gutter - 8}" y="{label_y}" '
+                     f'text-anchor="end" font-size="11" '
+                     f'fill="var(--ink-2)">{_esc(cell["policy"])}</text>')
+        if not cell.get("ok"):
+            parts.append(f'<text x="{gutter + 6}" y="{label_y}" '
+                         f'font-size="10" fill="var(--muted)">n/a</text>')
+            continue
+        value = cell.get(measure, 0.0)
+        w = plot_w * (value / x_max if x_max else 0.0)
+        r = min(4.0, w / 2)
+        # 4px rounded data-end, square at the baseline
+        parts.append(
+            f'<path d="M{gutter},{y:.1f} h{w - r:.1f} '
+            f'a{r:.1f},{r:.1f} 0 0 1 {r:.1f},{r:.1f} '
+            f'v{bar_h - 2 * r:.1f} '
+            f'a{r:.1f},{r:.1f} 0 0 1 -{r:.1f},{r:.1f} '
+            f'h-{w - r:.1f} z" fill="var(--series-1)"/>')
+        parts.append(f'<text x="{gutter + w + 6:.1f}" y="{label_y}" '
+                     f'font-size="10" fill="var(--ink-2)">'
+                     f'{fmt(value)}</text>')
+        tip = (f"{cell['policy']} · {cell['workload_mix']} mix · "
+               f"{cell['machines']} machines\n"
+               f"{fmt(value)}\n"
+               f"jobs completed: {cell['jobs_completed']}\n"
+               f"units granted: {cell['units_granted']}")
+        parts.append(f'<rect x="0" y="{top + i * pitch}" width="{width}" '
+                     f'height="{pitch}" fill="transparent" '
+                     f'data-tip="{_esc(tip)}"/>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_chart(doc: dict, mode: str) -> str:
+    """The committed grid as one self-contained HTML page."""
+    entry = doc["modes"][mode]
+    cells = [c for c in entry["cells"] if c.get("ok")]
+    facets = {}  # (mix, machines) -> cells in fixed POLICIES order
+    for cell in cells:
+        facets.setdefault((cell["workload_mix"], cell["machines"]),
+                          []).append(cell)
+    for group in facets.values():
+        group.sort(key=lambda c: POLICIES.index(c["policy"]))
+    grid = entry["grid"]
+    provenance = (f"seed {grid['seed']} · {len(cells)} cells · "
+                  f"kernels: {entry.get('kernel_backend', 'python')}"
+                  + (f" (numpy {entry['numpy']})"
+                     if entry.get("numpy") else ""))
+
+    sections = []
+    for measure, title, subtitle, fmt in CHART_MEASURES:
+        x_max = _nice_ceiling(max((c.get(measure, 0.0) for c in cells),
+                                  default=1.0))
+        blocks = []
+        for (mix, machines), group in sorted(facets.items()):
+            blocks.append(
+                f'<div class="facet"><h3>{_esc(mix)} mix · '
+                f'{machines} machines</h3>'
+                + _facet_svg(group, measure, fmt, x_max) + "</div>")
+        sections.append(f"<h2>{_esc(title)}</h2>"
+                        f'<p class="sub">{_esc(subtitle)}</p>'
+                        f'<div class="facets">{"".join(blocks)}</div>')
+
+    header = ["policy", "mix", "machines", "slowdown p50", "slowdown p95",
+              "locality", "jobs done", "grants", "preemptions"]
+    rows = []
+    for cell in sorted(cells, key=lambda c: (c["workload_mix"],
+                                             c["machines"],
+                                             POLICIES.index(c["policy"]))):
+        rows.append("<tr>" + "".join(
+            f"<td>{_esc(v)}</td>" for v in (
+                cell["policy"], cell["workload_mix"], cell["machines"],
+                f"{cell['slowdown_p50']:.3f}", f"{cell['slowdown_p95']:.3f}",
+                f"{100 * cell['locality_hit_rate']:.1f}%",
+                cell["jobs_completed"], cell["grants"],
+                cell["preemptions"])) + "</tr>")
+    table = ("<details><summary>Table view (all cells)</summary><table>"
+             "<tr>" + "".join(f"<th>{h}</th>" for h in header) + "</tr>"
+             + "".join(rows) + "</table></details>")
+
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n"
+        "<meta name=\"viewport\" "
+        "content=\"width=device-width, initial-scale=1\">\n"
+        "<title>Scheduler arena</title>\n"
+        f"<style>\n{_CHART_CSS}</style>\n</head>\n"
+        "<body class=\"viz-root\">\n"
+        "<h1>Scheduler arena — policy × workload-mix grid</h1>\n"
+        f'<p class="sub">{_esc(provenance)}</p>\n'
+        + "\n".join(sections) + "\n" + table + "\n"
+        '<div id="tip"></div>\n'
+        f"<script>\n{_CHART_JS}</script>\n</body>\n</html>\n")
+
+
+def write_chart(src: str, dst: str) -> int:
+    """Render the committed grid in ``src`` to an HTML file at ``dst``."""
+    p = pathlib.Path(src)
+    if not p.exists():
+        print(f"--chart: no recorded grid at {src}", file=sys.stderr)
+        return 2
+    doc = json.loads(p.read_text(encoding="utf-8"))
+    modes = doc.get("modes", {})
+    mode = "full" if "full" in modes else next(iter(sorted(modes)), None)
+    if mode is None:
+        print(f"--chart: {src} has no recorded modes", file=sys.stderr)
+        return 2
+    pathlib.Path(dst).write_text(render_chart(doc, mode), encoding="utf-8")
+    print(f"chart ({mode} grid) written to {dst}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     if args.quick and args.scale:
         print("--quick and --scale are mutually exclusive", file=sys.stderr)
         return 2
+    if args.chart and not (args.record or args.check):
+        # chart-only invocation: render the committed grid, skip the run
+        return write_chart(args.out, args.chart)
     preset = SCALE if args.scale else (QUICK if args.quick else FULL)
     mode = "scale" if args.scale else ("quick" if args.quick else "full")
     result = run_grid(preset, args.seed, args.jobs)
@@ -279,6 +540,10 @@ def main(argv=None) -> int:
     if args.record:
         store(args.out, mode, result)
         print(f"recorded modes.{mode} in {args.out}")
+    if args.chart:
+        code = write_chart(args.out, args.chart)
+        if code:
+            return code
     return 0 if not result["failed"] else 3
 
 

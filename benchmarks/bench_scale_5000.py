@@ -39,6 +39,9 @@ Usage::
     # 20,000-machine run — the tier the sharded engine targets
     python benchmarks/bench_scale_5000.py --xl --shards 4 --record sharded
 
+    # 100,000-machine run — the tier the vectorized kernels target
+    python benchmarks/bench_scale_5000.py --xxl --record current
+
     # telemetry cost + per-subsystem attribution (hooks stay off for
     # --check legs; the committed numbers are hook-free)
     python benchmarks/bench_scale_5000.py --quick --live-sample --profile
@@ -70,10 +73,14 @@ QUICK = dict(racks=25, machines_per_rack=20, jobs=150, duration=20.0)
 #: beyond-paper scale: 20,000 machines — the tier the sharded engine exists
 #: for; shorter steady state so the leg stays recordable on small hosts
 XL = dict(racks=200, machines_per_rack=100, jobs=400, duration=15.0)
+#: internet scale: 100,000 machines — the tier the vectorized kernels
+#: exist for; a short steady state keeps the leg recordable anywhere
+XXL = dict(racks=1000, machines_per_rack=100, jobs=200, duration=5.0)
 
-#: BENCH_scale.json schema: 2 adds host_cpu_count + worker/shard counts to
-#: every leg, the ``sharded`` label and the ``xl`` (20k-machine) mode
-SCHEMA = 2
+#: BENCH_scale.json schema: 3 adds the kernel backend + numpy version to
+#: every leg and the ``xxl`` (100k-machine) mode; 2 added host_cpu_count,
+#: worker/shard counts, the ``sharded`` label and the ``xl`` mode
+SCHEMA = 3
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -83,6 +90,13 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--xl", action="store_true",
                         help="20,000-machine run (4x paper scale; the "
                              "sharded engine's target tier)")
+    parser.add_argument("--xxl", action="store_true",
+                        help="100,000-machine run (20x paper scale; the "
+                             "vectorized kernels' target tier)")
+    parser.add_argument("--kernels", default="auto",
+                        choices=("auto", "numpy", "python"),
+                        help="compute-kernel backend (default auto; "
+                             "results are byte-identical either way)")
     parser.add_argument("--shards", type=int, default=0, metavar="N",
                         help="run the sharded engine with N agent-plane "
                              "domains (0 = serial; results are "
@@ -134,18 +148,22 @@ def parse_args(argv=None) -> argparse.Namespace:
 def run_benchmark(racks: int, machines_per_rack: int, jobs: int,
                   duration: float, seed: int,
                   live_sample: bool = False, profile: bool = False,
-                  shards: int = 0, shard_backend: str = "auto") -> dict:
+                  shards: int = 0, shard_backend: str = "auto",
+                  kernels: str = "auto") -> dict:
     """One closed-loop synthetic run; returns the measured result dict."""
+    from repro import kernels as kernel_backends
     from repro.api import RunSpec, simulate
 
     spec = RunSpec(racks=racks, machines_per_rack=machines_per_rack,
                    concurrent_jobs=jobs, duration=duration,
                    live_sample=live_sample, profile=profile,
-                   shards=shards, shard_backend=shard_backend)
+                   shards=shards, shard_backend=shard_backend,
+                   kernels=kernels)
     machines = racks * machines_per_rack
     extras = "".join(f" [{name}]" for name, on in
                      (("live-sample", live_sample), ("profile", profile),
-                      (f"shards={shards}", shards > 0))
+                      (f"shards={shards}", shards > 0),
+                      (f"kernels={kernels}", kernels != "auto"))
                      if on)
     print(f"running {machines} machines / {jobs} concurrent jobs / "
           f"{duration:.0f}s steady state (seed {seed}){extras} ...",
@@ -199,6 +217,10 @@ def run_benchmark(racks: int, machines_per_rack: int, jobs: int,
         "peak_rss_mb": round(peak_rss_mb, 1),
         "host_cpu_count": os.cpu_count() or 1,
         "python": sys.version.split()[0],
+        # compute-kernel provenance: what the run actually executed with
+        # ("auto" resolves before the first pool is built)
+        "kernel_backend": kernel_backends.current(),
+        "numpy": kernel_backends.numpy_version(),
     }
     if live_sample:
         store = result.timeseries
@@ -220,6 +242,7 @@ def run_sweep_benchmark(racks: int, machines_per_rack: int, jobs: int,
     meaningful on multi-core hosts, so ``host_cpu_count`` travels with
     the numbers instead of gating them.
     """
+    from repro import kernels as kernel_backends
     from repro.parallel import make_tasks, run_sweep
 
     params = dict(racks=racks, machines_per_rack=machines_per_rack,
@@ -252,6 +275,8 @@ def run_sweep_benchmark(racks: int, machines_per_rack: int, jobs: int,
         "failed": len(pooled.failures),
         "task_wall_spread": timing["task_wall_spread"],
         "python": sys.version.split()[0],
+        "kernel_backend": kernel_backends.current(),
+        "numpy": kernel_backends.numpy_version(),
     }
 
 
@@ -337,10 +362,12 @@ def check_regression(path: str, mode: str, result: dict,
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    if args.quick and args.xl:
-        print("--quick and --xl are mutually exclusive", file=sys.stderr)
+    if sum((args.quick, args.xl, args.xxl)) > 1:
+        print("--quick, --xl and --xxl are mutually exclusive",
+              file=sys.stderr)
         return 2
-    preset = XL if args.xl else (QUICK if args.quick else FULL)
+    preset = (XXL if args.xxl else
+              XL if args.xl else (QUICK if args.quick else FULL))
     racks = args.racks or preset["racks"]
     machines_per_rack = args.machines_per_rack or preset["machines_per_rack"]
     jobs = args.jobs or preset["jobs"]
@@ -348,6 +375,7 @@ def main(argv=None) -> int:
     custom = (args.racks or args.machines_per_rack or args.jobs
               or args.duration)
     mode = "custom" if custom else (
+        "xxl" if args.xxl else
         "xl" if args.xl else ("quick" if args.quick else "full"))
     if args.record == "sharded" and not args.shards:
         print("--record sharded requires --shards N", file=sys.stderr)
@@ -398,7 +426,8 @@ def main(argv=None) -> int:
     result = run_benchmark(racks, machines_per_rack, jobs, duration,
                            args.seed, live_sample=args.live_sample,
                            profile=args.profile, shards=args.shards,
-                           shard_backend=args.shard_backend)
+                           shard_backend=args.shard_backend,
+                           kernels=args.kernels)
     print(json.dumps(result, indent=2))
 
     claims = fig09_claims(result)

@@ -117,6 +117,12 @@ class RunSpec(ConfigBase):
         "auto", help="shard execution backend: forked processes, inline "
                      "(same-process reference), or auto-pick by CPU count",
         choices=("auto", "process", "inline"))
+    kernels: str = conf(
+        "auto", help="compute-kernel backend for the pool/heartbeat hot "
+                     "paths: vectorized numpy, pure-python reference, or "
+                     "auto-pick by availability; results are byte-identical "
+                     "either way",
+        choices=("auto", "numpy", "python"))
     fault_spec: str = conf(
         "", help="semicolon-separated fault plan applied to the run, "
                  "kind@time[:machine][:key=value] tokens "
@@ -216,6 +222,7 @@ class RunResult:
         spec_dict = self.spec.to_dict()
         spec_dict.pop("shards", None)
         spec_dict.pop("shard_backend", None)
+        spec_dict.pop("kernels", None)
         summary = {
             "spec": spec_dict,
             "seed": self.spec.seed,
@@ -466,6 +473,11 @@ def simulate(spec: Optional[RunSpec] = None, *,
         overrides["trace"] = trace
     if overrides:
         spec = spec.replace(**overrides)
+
+    # Kernel backend is process-global (pools/heartbeat columns consult it
+    # at construction time), so pin it before any cluster objects exist.
+    from repro import kernels as kernel_backends
+    kernel_backends.select(spec.kernels)
 
     cluster = (ClusterBuilder(racks=spec.racks,
                               machines_per_rack=spec.machines_per_rack,

@@ -46,6 +46,10 @@ class BlockStore:
         self.block_size_mb = block_size_mb
         self._rng = (rng or SplitRandom(0)).stream("blockstore")
         self._files: Dict[str, List[Block]] = {}
+        # rack -> machines outside that rack.  Membership is fixed after
+        # construction, so the off-rack candidate list for a replica's rack
+        # is computed once instead of scanning every machine per block.
+        self._off_rack_cache: Dict[Optional[str], List[str]] = {}
 
     # --------------------------------------------------------------- #
     # writing
@@ -76,12 +80,19 @@ class BlockStore:
     def delete_file(self, path: str) -> None:
         self._files.pop(path, None)
 
+    def _off_rack(self, rack: Optional[str]) -> List[str]:
+        machines = self._off_rack_cache.get(rack)
+        if machines is None:
+            machines = self._off_rack_cache[rack] = [
+                m for m in self._machines if self._rack_of.get(m) != rack]
+        return machines
+
     def _place_replicas(self) -> List[str]:
         first = self._rng.choice(self._machines)
         replicas = [first]
-        first_rack = self._rack_of.get(first)
-        off_rack = [m for m in self._machines
-                    if self._rack_of.get(m) != first_rack and m != first]
+        # ``first`` is never off its own rack, so the candidate list is a
+        # pure function of the rack (cached above).
+        off_rack = self._off_rack(self._rack_of.get(first))
         if off_rack and self.replication > 1:
             replicas.append(self._rng.choice(off_rack))
         while len(replicas) < self.replication:

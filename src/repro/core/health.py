@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set
 
+from repro.kernels.heartbeat import make_time_column
+
 
 class HealthPlugin:
     """One check item.  Subclass and override :meth:`evaluate`."""
@@ -90,7 +92,6 @@ def default_plugins() -> List[HealthPlugin]:
 @dataclass
 class _MachineHealth:
     score: float = 1.0
-    below_since: Optional[float] = None
     # Copy of the last raw sample (copied because agents reuse the
     # heartbeat's sample dict in place) and a memo of its score.
     last_sample: Optional[Dict[str, float]] = None
@@ -107,6 +108,10 @@ class HealthMonitor:
         self.threshold = threshold
         self.grace_seconds = grace_seconds
         self._machines: Dict[str, _MachineHealth] = {}
+        # When each below-threshold machine first dipped, in a columnar
+        # time column (repro.kernels): the grace-period roll-up is one
+        # vectorized pass instead of an O(machines) scan per liveness tick.
+        self._below_since = make_time_column()
         self._total_weight = sum(p.weight for p in self.plugins)
 
     def add_plugin(self, plugin: HealthPlugin) -> None:
@@ -141,10 +146,10 @@ class HealthMonitor:
         state.last_sample = dict(sample)
         state.score = score
         if score < self.threshold:
-            if state.below_since is None:
-                state.below_since = now
+            if machine not in self._below_since:
+                self._below_since.set(machine, now)
         else:
-            state.below_since = None
+            self._below_since.pop(machine)
         return score
 
     def score(self, machine: str) -> float:
@@ -153,11 +158,8 @@ class HealthMonitor:
 
     def unavailable_machines(self, now: float) -> Set[str]:
         """Machines below threshold for longer than the grace period."""
-        return {
-            machine for machine, state in self._machines.items()
-            if state.below_since is not None
-            and now - state.below_since >= self.grace_seconds
-        }
+        return set(self._below_since.elapsed_at_least(now, self.grace_seconds))
 
     def forget(self, machine: str) -> None:
         self._machines.pop(machine, None)
+        self._below_since.pop(machine)

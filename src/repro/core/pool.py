@@ -18,13 +18,16 @@ an equivalence test pins on randomized demand sets.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.resources import ResourceVector
+from repro.kernels.fitindex import make_fit_columns, rank as _rank
 
 #: stop indexing new shapes beyond this many distinct unit sizes (real
 #: workloads use a handful; the fallback scan keeps exotic callers correct).
 _MAX_SHAPE_INDEXES = 32
+
+_ZERO = ResourceVector()
 
 
 class _ShapeIndex:
@@ -59,6 +62,27 @@ class _ShapeIndex:
                 insort(bucket, machine)
         else:
             self.units.pop(machine, None)
+
+    def bulk_build(self, machines: List[str], counts: List[int]) -> None:
+        """Populate a fresh index from name-sorted machines and fit counts.
+
+        Appending machines in name order keeps every bucket sorted without
+        a single ``insort`` — the O(n²) list movement of building a large
+        index one update at a time becomes one linear pass.  The resulting
+        structure is exactly what n ``update`` calls would have produced.
+        """
+        units = self.units
+        buckets = self.buckets
+        for machine, count in zip(machines, counts):
+            if count <= 0:
+                continue
+            units[machine] = count
+            bucket = buckets.get(count)
+            if bucket is None:
+                buckets[count] = [machine]
+            else:
+                bucket.append(machine)
+        self.bucket_keys = sorted(buckets)
 
     def ranked(self, disabled: set,
                limit: Optional[int] = None) -> List[Tuple[str, int]]:
@@ -102,9 +126,33 @@ class FreeResourcePool:
         # unit-size -> incrementally maintained fit index (see module doc)
         self._shape_indexes: Dict[ResourceVector, _ShapeIndex] = {}
         self._sorted_machines: Optional[List[str]] = None
+        # columnar free-vector store for bulk fit-count sweeps (repro.kernels)
+        self._columns = make_fit_columns(self._free)
+        # Running per-dimension totals, maintained by delta on every
+        # capacity/free change: total_capacity/total_free are O(dims) reads
+        # instead of O(machines) rebuilds (the live sampler polls them
+        # every period).
+        self._cap_totals: Dict[str, float] = {}
+        self._free_totals: Dict[str, float] = {}
+        self._cap_total_vec: Optional[ResourceVector] = None
+        self._free_total_vec: Optional[ResourceVector] = None
+
+    @staticmethod
+    def _totals_shift(totals: Dict[str, float],
+                      old: Optional[ResourceVector],
+                      new: Optional[ResourceVector]) -> None:
+        if old is not None:
+            for name, amount in old.as_dict().items():
+                totals[name] = totals.get(name, 0.0) - amount
+        if new is not None:
+            for name, amount in new.as_dict().items():
+                totals[name] = totals.get(name, 0.0) + amount
 
     def _update_free(self, machine: str, free: ResourceVector) -> None:
+        self._totals_shift(self._free_totals, self._free.get(machine), free)
+        self._free_total_vec = None
         self._free[machine] = free
+        self._columns.set_free(machine, free)
         if free.is_zero():
             self._has_free.discard(machine)
             for index in self._shape_indexes.values():
@@ -116,15 +164,20 @@ class FreeResourcePool:
                              index.unit_size.max_units_in(free))
 
     def _shape_index(self, unit_size: ResourceVector) -> Optional[_ShapeIndex]:
-        """The (lazily built) index for this unit size, or None if over cap."""
+        """The (lazily built) index for this unit size, or None if over cap.
+
+        First build is one columnar ``bulk_units`` sweep over the machines
+        with free resources plus a linear bucket fill — no per-machine
+        scalar fit math, no insort (see ``_ShapeIndex.bulk_build``).
+        """
         index = self._shape_indexes.get(unit_size)
         if index is None:
             if len(self._shape_indexes) >= _MAX_SHAPE_INDEXES:
                 return None
             index = _ShapeIndex(unit_size)
-            max_units_in = unit_size.max_units_in
-            for machine in self._has_free:
-                index.update(machine, max_units_in(self._free[machine]))
+            machines = sorted(self._has_free)
+            index.bulk_build(machines,
+                             self._columns.bulk_units(unit_size, machines))
             self._shape_indexes[unit_size] = index
         return index
 
@@ -140,18 +193,30 @@ class FreeResourcePool:
         """
         if machine in self._capacity:
             allocated = self._capacity[machine].monus(self._free[machine])
+            self._totals_shift(self._cap_totals,
+                               self._capacity[machine], capacity)
+            self._cap_total_vec = None
             self._capacity[machine] = capacity
             self._update_free(machine, capacity.monus(allocated))
         else:
+            self._totals_shift(self._cap_totals, None, capacity)
+            self._cap_total_vec = None
             self._capacity[machine] = capacity
             self._sorted_machines = None
             self._update_free(machine, capacity)
 
     def remove_machine(self, machine: str) -> None:
         """Drop a machine entirely (node down)."""
-        if self._capacity.pop(machine, None) is not None:
+        capacity = self._capacity.pop(machine, None)
+        if capacity is not None:
             self._sorted_machines = None
-        self._free.pop(machine, None)
+            self._totals_shift(self._cap_totals, capacity, None)
+            self._cap_total_vec = None
+        free = self._free.pop(machine, None)
+        if free is not None:
+            self._totals_shift(self._free_totals, free, None)
+            self._free_total_vec = None
+        self._columns.drop(machine)
         self._disabled.discard(machine)
         self._has_free.discard(machine)
         for index in self._shape_indexes.values():
@@ -193,27 +258,34 @@ class FreeResourcePool:
     # --------------------------------------------------------------- #
 
     def capacity(self, machine: str) -> ResourceVector:
-        return self._capacity.get(machine, ResourceVector())
+        return self._capacity.get(machine, _ZERO)
 
     def free(self, machine: str) -> ResourceVector:
-        return self._free.get(machine, ResourceVector())
+        return self._free.get(machine, _ZERO)
 
     def allocated(self, machine: str) -> ResourceVector:
         return self.capacity(machine).monus(self.free(machine))
 
     @staticmethod
-    def _sum(vectors: Iterable[ResourceVector]) -> ResourceVector:
-        acc: Dict[str, float] = {}
-        for vector in vectors:
-            for name, amount in vector.as_dict().items():
-                acc[name] = acc.get(name, 0.0) + amount
-        return ResourceVector(acc)
+    def _totals_vector(totals: Dict[str, float]) -> ResourceVector:
+        # Running totals can retain sub-nanoscale residue after a machine's
+        # contribution is subtracted back out; anything below 1e-12 is
+        # arithmetic dust, never a real resource amount.
+        return ResourceVector(
+            {name: amount for name, amount in totals.items()
+             if amount > 1e-12})
 
     def total_capacity(self) -> ResourceVector:
-        return self._sum(self._capacity.values())
+        vec = self._cap_total_vec
+        if vec is None:
+            vec = self._cap_total_vec = self._totals_vector(self._cap_totals)
+        return vec
 
     def total_free(self) -> ResourceVector:
-        return self._sum(self._free.values())
+        vec = self._free_total_vec
+        if vec is None:
+            vec = self._free_total_vec = self._totals_vector(self._free_totals)
+        return vec
 
     def total_allocated(self) -> ResourceVector:
         return self.total_capacity().monus(self.total_free())
@@ -309,12 +381,10 @@ class FreeResourcePool:
             return scored if limit is None else scored[:limit]
         if index is not None:
             return index.ranked(self._disabled, limit)
-        # over the shape cap: fall back to the direct scan
-        scored = []
-        for machine in sorted(m for m in self._has_free
-                              if m not in self._disabled):
-            units = self.max_units(machine, unit_size)
-            if units > 0:
-                scored.append((machine, units))
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored if limit is None else scored[:limit]
+        # over the shape cap: bulk fit-count sweep over eligible machines
+        machines = sorted(m for m in self._has_free
+                          if m not in self._disabled)
+        counts = self._columns.bulk_units(unit_size, machines)
+        return _rank([(machine, units)
+                      for machine, units in zip(machines, counts)
+                      if units > 0], limit)

@@ -188,6 +188,11 @@ class StreamHub:
         self._dest_of: Dict[str, str] = {}
         self._receivers: Dict[str, StreamReceiver] = {}
         self._full_state_of: Dict[tuple, Callable[[], Any]] = {}
+        # per-peer indexes so drop_peer is O(peer's streams), not a scan
+        # of every stream the hub has ever opened (app exits at 5k scale
+        # were paying O(agents) per exit)
+        self._sender_keys_of: Dict[str, List[tuple]] = {}
+        self._receiver_streams_of: Dict[str, List[str]] = {}
         # Fired when the hub goes from zero to one outgoing stream; lets
         # receive-only actors (FuxiAgents) arm their retransmit timer lazily
         # instead of ticking it forever with nothing to resend.
@@ -207,6 +212,7 @@ class StreamHub:
             stream = f"{self.actor.name}>{dest}:{kind}"
             sender = self._senders[key] = StreamSender(stream)
             self._dest_of[stream] = dest
+            self._sender_keys_of.setdefault(dest, []).append(key)
             if full_state is not None:
                 self._full_state_of[key] = full_state
             if first and self._on_first_sender is not None:
@@ -235,14 +241,14 @@ class StreamHub:
 
     def drop_peer(self, dest: str) -> None:
         """Forget all streams to/from a peer (it was declared dead)."""
-        for key in [k for k in self._senders if k[0] == dest]:
-            stream = self._senders[key].stream
-            self._dest_of.pop(stream, None)
+        for key in self._sender_keys_of.pop(dest, ()):
+            sender = self._senders.pop(key, None)
+            if sender is None:
+                continue
+            self._dest_of.pop(sender.stream, None)
             self._full_state_of.pop(key, None)
-            del self._senders[key]
-        for stream in [s for s in self._receivers
-                       if s.startswith(f"{dest}>")]:
-            del self._receivers[stream]
+        for stream in self._receiver_streams_of.pop(dest, ()):
+            self._receivers.pop(stream, None)
 
     def retransmit_pending(self, max_deltas: int = 32) -> None:
         """Resend unacknowledged traffic (call from a periodic timer).
@@ -277,6 +283,7 @@ class StreamHub:
     def reset_receivers(self) -> None:
         """Forget receive positions (used when the owning actor restarts)."""
         self._receivers.clear()
+        self._receiver_streams_of.clear()
 
     def on_envelope(self, bus_sender: str, inner: Any,
                     factory: Optional[Callable[[str, str], Optional[StreamReceiver]]] = None,
@@ -295,6 +302,7 @@ class StreamHub:
             receiver = factory(peer, kind)
             if receiver is not None:
                 self._receivers[stream] = receiver
+                self._receiver_streams_of.setdefault(peer, []).append(stream)
         if receiver is None:
             return False
         receiver.receive(inner)

@@ -127,6 +127,9 @@ class FuxiScheduler:
         self.quota = quota or QuotaManager()
         self.stats = ScheduleStats()
         self._demands: Dict[UnitKey, WaitingDemand] = {}
+        # app -> its waiting-demand keys (ordered set), so app exit walks
+        # only the exiting app's demands instead of every app's
+        self._demand_keys_of: Dict[str, Dict[UnitKey, None]] = {}
         self._rack_machines: Dict[str, List[str]] = {}
         self._machine_rack: Dict[str, str] = {}
         self._apps: Set[str] = set()
@@ -245,7 +248,7 @@ class FuxiScheduler:
             self._end_decision(span)
 
     def _unregister_app(self, app_id: str) -> List[Grant]:
-        for unit_key in [k for k in self._demands if k.app_id == app_id]:
+        for unit_key in self._demand_keys_of.pop(app_id, ()):
             self.tree.remove(unit_key)
             del self._demands[unit_key]
         revocations = self.ledger.drop_app(app_id)
@@ -298,6 +301,8 @@ class FuxiScheduler:
             self._seq += 1
             demand = WaitingDemand(submit_seq=self._seq)
             self._demands[delta.unit_key] = demand
+            self._demand_keys_of.setdefault(
+                delta.unit_key.app_id, {})[delta.unit_key] = None
         demand.apply_delta(delta)
         if demand.is_empty():
             self.tree.remove(delta.unit_key)
@@ -306,6 +311,9 @@ class FuxiScheduler:
                 # nothing worth remembering (an avoid list must survive
                 # even while demand is momentarily zero)
                 self._demands.pop(delta.unit_key, None)
+                keys = self._demand_keys_of.get(delta.unit_key.app_id)
+                if keys is not None:
+                    keys.pop(delta.unit_key, None)
             return []
         decisions = self._place_demand(delta.unit_key, demand)
         self._reindex(delta.unit_key, demand)
@@ -780,6 +788,12 @@ class FuxiScheduler:
         problems = self.conservation_violations()
         if problems:
             raise AssertionError("; ".join(problems))
+
+    def install_demand(self, unit_key: UnitKey,
+                       demand: "WaitingDemand") -> None:
+        """Adopt a reconciled/restored demand object wholesale (failover)."""
+        self._demands[unit_key] = demand
+        self._demand_keys_of.setdefault(unit_key.app_id, {})[unit_key] = None
 
     def snapshot_demands(self) -> Dict[UnitKey, dict]:
         """Serializable copy of every outstanding demand (failover support)."""

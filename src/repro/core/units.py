@@ -66,10 +66,13 @@ class UnitRegistry:
     """ScheduleUnit definitions known to a scheduler, keyed by UnitKey."""
 
     _units: dict = field(default_factory=dict)
+    # app -> its unit keys (ordered set); app exit drops only its own keys
+    _keys_of_app: dict = field(default_factory=dict)
 
     def define(self, unit: ScheduleUnit) -> None:
         """Register or replace a unit definition."""
         self._units[unit.key] = unit
+        self._keys_of_app.setdefault(unit.key.app_id, {})[unit.key] = None
 
     def get(self, key: UnitKey) -> ScheduleUnit:
         try:
@@ -79,8 +82,8 @@ class UnitRegistry:
 
     def drop_app(self, app_id: str) -> None:
         """Remove every unit belonging to ``app_id`` (application exit)."""
-        for key in [k for k in self._units if k.app_id == app_id]:
-            del self._units[key]
+        for key in self._keys_of_app.pop(app_id, ()):
+            self._units.pop(key, None)
 
     def units_of(self, app_id: str):
         return [u for k, u in sorted(self._units.items()) if k.app_id == app_id]

@@ -1,0 +1,153 @@
+"""Columnar fit-index kernels for the free-resource pool.
+
+The pool's shape indexes answer "how many whole units of size *u* fit on
+each machine".  Building one index over *n* machines used to run *n*
+scalar ``max_units_in`` calls and *n* ``insort``s into count buckets — at
+100k machines the insort storm alone is quadratic in list movement.  The
+kernel layer turns the build into one columnar pass:
+
+* machine free vectors live in dense per-dimension float64 columns keyed
+  by interned machine slots (numpy backend); the python backend serves
+  the same queries straight off the pool's own vector map;
+* ``bulk_units`` computes every machine's fit count in one vectorized
+  sweep per dimension, reproducing ``ResourceVector.max_units_in``
+  **bit for bit**: the scalar formula ``int((supply + 1e-9) / amount)``
+  with the ``10**9`` sentinel is elementwise IEEE-754 float64 math, so
+  ``np.floor((col + 1e-9) / amount)`` matches CPython exactly for the
+  non-negative values the pool stores;
+* ``rank`` produces the exact ``(-units, name)`` placement order with a
+  stable integer-keyed sort, shared verbatim by both backends.
+
+Backends are interchangeable per :mod:`repro.kernels`; an equivalence
+property suite pins identical rankings on randomized op sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro import kernels
+from repro.core.resources import ResourceVector
+
+_SENTINEL = 10 ** 9  # max_units_in's "fits anywhere" count
+
+
+class PyFitColumns:
+    """Pure-Python fallback: a view over the pool's own free-vector map.
+
+    Maintenance calls are no-ops — the pool's dict *is* the storage — so
+    the fallback adds zero per-event cost.
+    """
+
+    backend = "python"
+
+    def __init__(self, free_map: Mapping[str, ResourceVector]):
+        self._free = free_map
+
+    def set_free(self, machine: str, free: ResourceVector) -> None:
+        pass
+
+    def drop(self, machine: str) -> None:
+        pass
+
+    def bulk_units(self, unit_size: ResourceVector,
+                   machines: Sequence[str]) -> List[int]:
+        """Fit counts for ``machines`` in the given order."""
+        max_units_in = unit_size.max_units_in
+        free = self._free
+        return [max_units_in(free[m]) for m in machines]
+
+
+class NumpyFitColumns:
+    """Dense per-dimension columns with vectorized fit-count sweeps."""
+
+    backend = "numpy"
+
+    def __init__(self, free_map: Mapping[str, ResourceVector]):
+        self._np = kernels.np()
+        self._slots: Dict[str, int] = {}      # machine -> row
+        self._cols: Dict[str, object] = {}    # dimension -> float64 column
+        self._cap = 64                        # allocated rows per column
+        self._top = 0                         # rows ever assigned
+        for machine, free in free_map.items():
+            self.set_free(machine, free)
+
+    def _grow(self, need: int) -> None:
+        np = self._np
+        while self._cap < need:
+            self._cap *= 2
+        for name, col in self._cols.items():
+            fresh = np.zeros(self._cap, dtype=np.float64)
+            fresh[:len(col)] = col
+            self._cols[name] = fresh
+
+    def _column(self, name: str):
+        col = self._cols.get(name)
+        if col is None:
+            col = self._cols[name] = self._np.zeros(self._cap,
+                                                    dtype=self._np.float64)
+        return col
+
+    def set_free(self, machine: str, free: ResourceVector) -> None:
+        slot = self._slots.get(machine)
+        if slot is None:
+            slot = self._slots[machine] = self._top
+            self._top += 1
+            if self._top > self._cap:
+                self._grow(self._top)
+        dims = free.as_dict()
+        for name, col in self._cols.items():
+            col[slot] = dims.pop(name, 0.0)
+        for name, amount in dims.items():      # dimensions seen first now
+            self._column(name)[slot] = amount
+
+    def drop(self, machine: str) -> None:
+        slot = self._slots.pop(machine, None)
+        if slot is not None:
+            for col in self._cols.values():
+                col[slot] = 0.0
+
+    def bulk_units(self, unit_size: ResourceVector,
+                   machines: Sequence[str]) -> List[int]:
+        np = self._np
+        unit_dims = unit_size.as_dict()
+        if not unit_dims:
+            return [_SENTINEL] * len(machines)
+        slots = np.fromiter((self._slots[m] for m in machines),
+                            dtype=np.intp, count=len(machines))
+        counts = np.full(len(machines), _SENTINEL, dtype=np.int64)
+        for name, amount in unit_dims.items():
+            col = self._cols.get(name)
+            supply = col[slots] if col is not None \
+                else np.zeros(len(machines), dtype=np.float64)
+            # exact replica of the scalar path: (supply + 1e-9) / amount,
+            # truncated, with ratios >= 1e9 pinned to the sentinel
+            ratio = (supply + 1e-9) / amount
+            fit = np.floor(ratio)
+            np.minimum(fit, float(_SENTINEL), out=fit)
+            np.minimum(counts, fit.astype(np.int64), out=counts)
+        return counts.tolist()
+
+
+def make_fit_columns(free_map: Mapping[str, ResourceVector]):
+    """Columns for the active kernel backend, seeded from ``free_map``.
+
+    The python fallback aliases ``free_map`` (the pool's live dict); the
+    numpy backend copies it into dense columns and tracks updates.
+    """
+    if kernels.np() is not None:
+        return NumpyFitColumns(free_map)
+    return PyFitColumns(free_map)
+
+
+def rank(pairs: Iterable[Tuple[str, int]],
+         limit: Optional[int] = None) -> List[Tuple[str, int]]:
+    """Order (machine, units) pairs by ``(-units, name)``; exact prefix cut.
+
+    ``pairs`` may arrive in any order; a stable sort by descending units
+    over the name-sorted list reproduces the pool's canonical placement
+    ranking on both backends (integer keys — no float hazard).
+    """
+    scored = sorted(pairs)
+    scored.sort(key=lambda pair: -pair[1])
+    return scored if limit is None else scored[:limit]

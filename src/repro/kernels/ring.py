@@ -1,0 +1,149 @@
+"""Framed shared-memory ring buffers for the shard transport.
+
+The sharded engine's window protocol is strictly lock-step: the coordinator
+sends one ``go`` per window and blocks on one reply, so each direction of a
+coordinator<->worker link carries **at most one frame in flight**.  That
+lets a plain single-producer/single-consumer ring replace pickled pipe
+payloads: the producer serializes an envelope batch once, copies it into
+the shared segment, and ships only a ``(offset, length)`` control tuple
+down the pipe; the consumer reconstructs the batch with a single
+``pickle.loads`` over a zero-copy view.
+
+Frames are contiguous — a frame that does not fit in the space before the
+end of the segment wraps to offset 0 (the skipped tail is dead space for
+that lap).  A frame larger than the whole segment does not fit at all:
+``try_write`` returns None and the caller falls back to sending the raw
+bytes through the pipe, so correctness never depends on sizing.
+
+Lifecycle: the parent creates the segment before forking; the child
+inherits the mapping through the forked address space and must **never**
+unlink it — the parent owns the name and unlinks on close.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+from typing import Any, Optional, Tuple
+
+#: default segment size per link direction (envelope batches are small;
+#: utilization rows and trace finals occasionally spike).
+DEFAULT_CAPACITY = 4 * 1024 * 1024
+
+
+class RingFull(Exception):
+    """No contiguous space for the frame (consumer has not caught up)."""
+
+
+class ShmRing:
+    """A framed SPSC ring over one ``multiprocessing.shared_memory`` segment.
+
+    The ring tracks its own read/write cursors *locally on each side*;
+    cursor positions travel with the ``(offset, length)`` control tuples,
+    so no shared counters (and no locks) are needed — the lock-step window
+    protocol is the synchronization.
+    """
+
+    def __init__(self, name: Optional[str] = None,
+                 capacity: int = DEFAULT_CAPACITY, create: bool = True):
+        if create:
+            self._shm = shared_memory.SharedMemory(create=True, size=capacity)
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+        self._owner = create
+        self.capacity = self._shm.size
+        self._write = 0          # next byte to write
+        self._read = 0           # first byte not yet released
+        self._used = 0           # bytes between read and write cursors
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def disown(self) -> None:
+        """Mark this handle as a non-owner (forked child side).
+
+        A forked worker inherits the parent's ring object; only the parent
+        may unlink the segment, so the child calls this once at startup.
+        """
+        self._owner = False
+
+    # ------------------------- producer side ----------------------- #
+
+    def try_write(self, data: bytes) -> Optional[Tuple[int, int]]:
+        """Copy ``data`` into the ring; returns (offset, length) or None.
+
+        None means the frame cannot fit given unconsumed data (or exceeds
+        the segment outright) — the caller should use its fallback path.
+        """
+        length = len(data)
+        if length > self.capacity - self._used:
+            return None
+        offset = self._write
+        if offset + length > self.capacity:
+            # wrap: the tail gap becomes dead space until the reader laps
+            dead = self.capacity - offset
+            if length + dead > self.capacity - self._used:
+                return None
+            self._used += dead
+            offset = 0
+        self._shm.buf[offset:offset + length] = data
+        self._write = offset + length
+        self._used += length
+        return (offset, length)
+
+    def write(self, data: bytes) -> Tuple[int, int]:
+        """Like :meth:`try_write` but raises :class:`RingFull` on no space."""
+        frame = self.try_write(data)
+        if frame is None:
+            raise RingFull(f"frame of {len(data)} bytes does not fit "
+                           f"({self._used}/{self.capacity} used)")
+        return frame
+
+    # ------------------------- consumer side ----------------------- #
+
+    def read(self, offset: int, length: int) -> memoryview:
+        """Zero-copy view of a frame previously produced by the peer."""
+        if offset < 0 or offset + length > self.capacity:
+            raise ValueError(f"frame ({offset}, {length}) outside segment "
+                             f"of {self.capacity} bytes")
+        return self._shm.buf[offset:offset + length]
+
+    def consume(self, offset: int, length: int) -> None:
+        """Release a frame's bytes back to the producer (producer-side).
+
+        Called by the producer once the protocol guarantees the peer is
+        done with the frame (the lock-step reply); accounts for dead tail
+        space when the frame wrapped.
+        """
+        if offset == 0 and self._read != 0:
+            self._used -= self.capacity - self._read  # release the dead tail
+            self._read = 0
+        self._read = offset + length
+        self._used -= length
+        if self._used == 0:
+            # ring drained: rewind so big frames always fit contiguously
+            self._read = self._write = 0
+
+    # ------------------------- lifecycle --------------------------- #
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (BufferError, OSError):  # pragma: no cover - interpreter races
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+
+def dumps_frame(payload: Any) -> bytes:
+    """One serialization per batch: the frame body is a single pickle."""
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_frame(view: memoryview) -> Any:
+    """Reconstruct a frame body written by :func:`dumps_frame`."""
+    return pickle.loads(view)

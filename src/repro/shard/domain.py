@@ -228,17 +228,55 @@ class ShardDomain:
                              phantom=True)
 
 
-def shard_worker_main(conn, spec: DomainSpec) -> None:
-    """Entry point of a forked shard worker: serve GO/FINAL over the pipe."""
+def shard_worker_main(conn, spec: DomainSpec,
+                      ring_in=None, ring_out=None) -> None:
+    """Entry point of a forked shard worker: serve GO/FINAL over the pipe.
+
+    With shm rings attached (see ``ProcessShardHost``), window payloads are
+    read from / written to the shared segments and the pipe carries only
+    control tuples; without rings (or when a frame doesn't fit) the payload
+    rides the pipe as before.
+    """
+    from repro.kernels.ring import dumps_frame, loads_frame
+
+    if ring_in is not None:
+        ring_in.disown()        # parent owns the segments; never unlink here
+        ring_out.disown()
+    pending_out = None          # our previous reply frame, not yet released
+
+    def decode(frame):
+        if frame[0] == "raw":
+            return frame[1]
+        return loads_frame(ring_in.read(*frame))
+
+    def reply(tag, result):
+        # one serialization per batch: everything but the trailing event
+        # count goes into a single ring frame
+        nonlocal pending_out
+        payload, events = result[:-1], result[-1]
+        frame = None
+        if ring_out is not None:
+            frame = ring_out.try_write(dumps_frame(payload))
+        if frame is None:
+            conn.send((tag, ("raw", payload), events))
+        else:
+            conn.send((tag, frame, events))
+            pending_out = frame
+
     try:
         domain = ShardDomain(spec)
         while True:
             op = conn.recv()
+            # a new command means the coordinator consumed our last reply:
+            # its ring bytes are free again
+            if pending_out is not None:
+                ring_out.consume(*pending_out)
+                pending_out = None
             tag = op[0]
             if tag == "go":
-                conn.send(("done",) + domain.advance(op[1], op[2]))
+                reply("done", domain.advance(op[1], decode(op[2])))
             elif tag == "final":
-                conn.send(("final",) + domain.final())
+                reply("final", domain.final())
             else:  # "stop"
                 break
     except EOFError:  # coordinator went away; nothing left to serve

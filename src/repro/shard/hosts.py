@@ -25,6 +25,7 @@ from __future__ import annotations
 import multiprocessing
 from typing import List, Optional
 
+from repro.kernels import ring as ring_mod
 from repro.shard.domain import DomainSpec, ShardDomain, shard_worker_main
 
 
@@ -56,42 +57,80 @@ class InlineShardHost:
 
 
 class ProcessShardHost:
-    """One forked worker per shard, window messages over pipes.
+    """One forked worker per shard; window payloads ride shared memory.
 
     ``fork`` is required (and asserted): the DomainSpec — which embeds the
-    topology — travels by address-space inheritance, and only boundary
-    envelopes cross the pipes afterwards.
+    topology — travels by address-space inheritance.  Each worker link gets
+    a pair of framed shm rings (:mod:`repro.kernels.ring`), created before
+    the fork so both sides share the mapping.  Envelope batches are pickled
+    **once** per window into a ring frame; the pipes carry only small
+    ``(offset, length)`` control tuples, which removes the per-window
+    chunked-pipe copy of the payload.  A frame that does not fit falls back
+    to sending the raw bytes through the pipe, so sizing is a performance
+    knob, never a correctness one.
     """
 
     parallel = True
     name = "process"
 
-    def __init__(self, specs: List[DomainSpec]):
+    def __init__(self, specs: List[DomainSpec],
+                 ring_capacity: int = ring_mod.DEFAULT_CAPACITY):
         ctx = multiprocessing.get_context("fork")
         self._conns = []
         self._procs = []
+        self._rings_in = []    # coordinator -> worker payloads (we produce)
+        self._rings_out = []   # worker -> coordinator payloads (peer produces)
+        self._pending_in: List[Optional[tuple]] = []
         for spec in specs:
+            try:
+                ring_in = ring_mod.ShmRing(capacity=ring_capacity)
+                ring_out = ring_mod.ShmRing(capacity=ring_capacity)
+            except OSError:  # pragma: no cover - no /dev/shm on this host
+                ring_in = ring_out = None
             parent, child = ctx.Pipe()
-            proc = ctx.Process(target=shard_worker_main, args=(child, spec),
+            proc = ctx.Process(target=shard_worker_main,
+                               args=(child, spec, ring_in, ring_out),
                                daemon=True)
             proc.start()
             child.close()
             self._conns.append(parent)
             self._procs.append(proc)
+            self._rings_in.append(ring_in)
+            self._rings_out.append(ring_out)
+            self._pending_in.append(None)
 
     def go(self, barrier: float, inboxes: List[list]) -> None:
-        for conn, inbox in zip(self._conns, inboxes):
-            conn.send(("go", barrier, inbox))
+        for i, (conn, inbox) in enumerate(zip(self._conns, inboxes)):
+            ring = self._rings_in[i]
+            frame = None
+            if ring is not None:
+                frame = ring.try_write(ring_mod.dumps_frame(inbox))
+            if frame is None:
+                conn.send(("go", barrier, ("raw", inbox)))
+            else:
+                conn.send(("go", barrier, frame))
+                self._pending_in[i] = frame
 
     def collect(self) -> List[tuple]:
-        return [self._recv(conn, "done") for conn in self._conns]
+        out = []
+        for i, conn in enumerate(self._conns):
+            frame, events = self._recv(conn, "done")
+            out.append(self._read_frame(i, frame) + (events,))
+            # the worker replied, so it is done with this window's inbox
+            # frame: release those ring bytes for the next window
+            pending = self._pending_in[i]
+            if pending is not None:
+                self._rings_in[i].consume(*pending)
+                self._pending_in[i] = None
+        return out
 
     def finalize(self) -> List[tuple]:
         reports = []
-        for conn in self._conns:
+        for i, conn in enumerate(self._conns):
             try:
                 conn.send(("final",))
-                reports.append(self._recv(conn, "final"))
+                frame, events = self._recv(conn, "final")
+                reports.append(self._read_frame(i, frame) + (events,))
                 conn.send(("stop",))
             except (OSError, EOFError, ShardHostError):
                 reports.append(([], 0))
@@ -104,7 +143,16 @@ class ProcessShardHost:
             proc.join(timeout=10)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
+        for ring in self._rings_in + self._rings_out:
+            if ring is not None:
+                ring.close()
         return reports
+
+    def _read_frame(self, i: int, frame) -> tuple:
+        """Decode a worker reply payload: a ring frame or raw fallback."""
+        if frame[0] == "raw":
+            return frame[1]
+        return ring_mod.loads_frame(self._rings_out[i].read(*frame))
 
     def _recv(self, conn, expect: str) -> tuple:
         try:

@@ -229,6 +229,50 @@ def test_ranking_matches_reference_scan_on_random_demand(ops):
             assert pool.best_fit_machines(size) == reference_ranking(pool, size)
 
 
+def _kernel_backends():
+    from repro import kernels
+    return ("python", "numpy") if kernels.numpy_available() else ("python",)
+
+
+@pytest.mark.parametrize("backend", _kernel_backends())
+@given(ops=st.lists(st.tuples(st.sampled_from(MACHINES),
+                              st.sampled_from(range(len(SIZES))),
+                              st.integers(min_value=1, max_value=4),
+                              st.sampled_from(["alloc", "release", "disable",
+                                               "enable", "remove", "add"])),
+                    max_size=40))
+def test_ranking_matches_reference_on_every_kernel_backend(backend, ops):
+    """Both kernel backends must reproduce the reference scan exactly.
+
+    The vectorized fit columns and the pure-python fallback are selected at
+    pool construction; the same churn sequence must rank identically under
+    either — the byte-identity contract of :mod:`repro.kernels`.
+    """
+    from repro import kernels
+
+    with kernels.use(backend):
+        pool = make_pool(MACHINES)
+        for machine, size_idx, units, op in ops:
+            amount = SIZES[size_idx] * units
+            if op == "alloc":
+                if pool.has_machine(machine) \
+                        and amount.fits_in(pool.free(machine)):
+                    pool.allocate(machine, amount)
+            elif op == "release":
+                pool.release(machine, amount)
+            elif op == "disable":
+                pool.disable(machine)
+            elif op == "enable":
+                pool.enable(machine)
+            elif op == "remove":
+                pool.remove_machine(machine)
+            else:
+                pool.add_machine(machine, CAP)
+            for size in SIZES:
+                assert pool.best_fit_machines(size) == \
+                    reference_ranking(pool, size)
+
+
 def test_ranking_with_candidates_matches_reference():
     pool = make_pool(MACHINES)
     pool.allocate("m00", SLOT * 3)
